@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the consensus machinery: block-tree operations, vote
+//! aggregation and full state-machine message handling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moonshot_consensus::aggregator::VoteAggregator;
+use moonshot_consensus::blocktree::BlockTree;
+use moonshot_consensus::{
+    ConsensusProtocol, Message, NodeConfig, PipelinedMoonshot, SimpleMoonshot,
+};
+use moonshot_crypto::{KeyPair, Keyring};
+use moonshot_types::time::{SimDuration, SimTime};
+use moonshot_types::{Block, NodeId, Payload, SignedVote, View, Vote, VoteKind};
+
+fn bench_blocktree(c: &mut Criterion) {
+    c.bench_function("blocktree/insert_chain_of_1000", |b| {
+        b.iter(|| {
+            let mut tree = BlockTree::new();
+            let mut parent = tree.genesis().clone();
+            for v in 1..=1000u64 {
+                let block = Block::build(View(v), NodeId(0), &parent, Payload::empty());
+                tree.insert(block.clone());
+                parent = block;
+            }
+            tree
+        });
+    });
+
+    // Ancestry query on a deep chain.
+    let mut tree = BlockTree::new();
+    let mut parent = tree.genesis().clone();
+    let mut mid = parent.id();
+    for v in 1..=1000u64 {
+        let block = Block::build(View(v), NodeId(0), &parent, Payload::empty());
+        tree.insert(block.clone());
+        if v == 500 {
+            mid = block.id();
+        }
+        parent = block;
+    }
+    let tip = parent.id();
+    c.bench_function("blocktree/extends_depth_500", |b| {
+        b.iter(|| assert!(tree.extends(tip, mid)));
+    });
+}
+
+fn bench_vote_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vote_aggregation");
+    for n in [4usize, 50, 200] {
+        let ring = Keyring::simulated(n);
+        let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::empty());
+        let votes: Vec<SignedVote> = (0..ring.quorum_threshold() as u16)
+            .map(|i| {
+                SignedVote::sign(
+                    Vote {
+                        kind: VoteKind::Normal,
+                        block_id: block.id(),
+                        block_height: block.height(),
+                        view: block.view(),
+                    },
+                    NodeId(i),
+                    &KeyPair::from_seed(i as u64),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &votes, |b, votes| {
+            b.iter(|| {
+                let mut agg = VoteAggregator::new();
+                let mut qc = None;
+                for v in votes {
+                    qc = agg.add(v.clone(), &ring);
+                }
+                qc.expect("quorum")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Drives one node through a full happy-path view worth of messages.
+fn bench_state_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_machine_view");
+    for name in ["simple", "pipelined"] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let n = 4;
+                    let mk = |i: usize| -> Box<dyn ConsensusProtocol> {
+                        let cfg = NodeConfig::simulated(
+                            NodeId::from_index(i),
+                            n,
+                            SimDuration::from_millis(100),
+                        );
+                        if name == "simple" {
+                            Box::new(SimpleMoonshot::new(cfg))
+                        } else {
+                            Box::new(PipelinedMoonshot::new(cfg))
+                        }
+                    };
+                    (0..n).map(mk).collect::<Vec<_>>()
+                },
+                |mut nodes| {
+                    // Leader proposes; everyone votes; deliver all votes to
+                    // node 0 until it advances a view.
+                    let t = SimTime(0);
+                    let outs = nodes[0].start(t);
+                    let proposal = outs.iter().find_map(|o| match o {
+                        moonshot_consensus::Output::Multicast(m @ Message::Propose { .. }) => {
+                            Some(m.clone())
+                        }
+                        _ => None,
+                    });
+                    let proposal = proposal.expect("leader proposes at start");
+                    let mut votes = Vec::new();
+                    #[allow(clippy::needless_range_loop)] // `i` is also the node id
+                    for i in 1..4 {
+                        nodes[i].start(t);
+                        for o in nodes[i].handle_message(NodeId(0), proposal.clone(), t) {
+                            if let moonshot_consensus::Output::Multicast(m @ Message::Vote(_)) = o
+                            {
+                                votes.push((NodeId(i as u16), m));
+                            }
+                        }
+                    }
+                    for (from, vote) in votes {
+                        nodes[0].handle_message(from, vote, t);
+                    }
+                    assert!(nodes[0].current_view() >= View(1));
+                    nodes
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocktree, bench_vote_aggregation, bench_state_machine);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation studies for the design decisions called out in DESIGN.md:
+//!
+//! * **D1 — optimistic proposals**: Pipelined Moonshot with opt-proposals
+//!   disabled (leaders wait for the certificate): ω degrades from δ to 2δ.
+//! * **D2 — vote multicasting vs designated aggregator**: Jolteon *is* the
+//!   aggregator design; compare against PM directly.
+//! * **D3 — pipelining vs explicit pre-commit**: PM vs CM across payloads.
+//! * **D4 — LCO vs LSO**: reorg resilience priced under the WM schedule.
+//!
+//! ```sh
+//! cargo run --release -p moonshot-bench --bin ablation
+//! ```
+
+use moonshot_sim::runner::{run, ProtocolKind, RunConfig, Schedule};
+use moonshot_types::time::SimDuration;
+
+fn main() {
+    let dur = SimDuration::from_secs(20);
+
+    println!("── D1: optimistic proposals (ω = δ vs 2δ), n = 20, empty blocks");
+    let with_opt =
+        run(&RunConfig::happy_path(ProtocolKind::PipelinedMoonshot, 20, 0).with_duration(dur));
+    let without =
+        run(&RunConfig::happy_path(ProtocolKind::PipelinedNoOptimistic, 20, 0).with_duration(dur));
+    println!(
+        "  with opt-proposals:    {:>5} blocks, {:>6.0} ms",
+        with_opt.metrics.committed_blocks,
+        with_opt.metrics.avg_latency_ms()
+    );
+    println!(
+        "  without (wait for QC): {:>5} blocks, {:>6.0} ms",
+        without.metrics.committed_blocks,
+        without.metrics.avg_latency_ms()
+    );
+    println!(
+        "  → optimistic proposals buy {:.2}x throughput\n",
+        with_opt.metrics.committed_blocks as f64 / without.metrics.committed_blocks as f64
+    );
+
+    println!("── D2: vote multicasting (PM) vs designated aggregator (Jolteon), n = 50");
+    let pm = run(&RunConfig::happy_path(ProtocolKind::PipelinedMoonshot, 50, 0).with_duration(dur));
+    let j = run(&RunConfig::happy_path(ProtocolKind::Jolteon, 50, 0).with_duration(dur));
+    println!(
+        "  PM (O(n²) votes):      {:>5} blocks, {:>6.0} ms",
+        pm.metrics.committed_blocks,
+        pm.metrics.avg_latency_ms()
+    );
+    println!(
+        "  Jolteon (O(n) votes):  {:>5} blocks, {:>6.0} ms",
+        j.metrics.committed_blocks,
+        j.metrics.avg_latency_ms()
+    );
+    println!("  → linearity costs sequentialised hops: lower throughput and higher latency\n");
+
+    println!("── D3: pipelining (PM) vs explicit pre-commit (CM) as payloads grow, n = 30");
+    for payload in [0u64, 18_000, 180_000, 1_800_000] {
+        let pm = run(&RunConfig::happy_path(ProtocolKind::PipelinedMoonshot, 30, payload)
+            .with_duration(dur));
+        let cm = run(&RunConfig::happy_path(ProtocolKind::CommitMoonshot, 30, payload)
+            .with_duration(dur));
+        println!(
+            "  p = {:>9}: PM {:>6.0} ms vs CM {:>6.0} ms  (CM/PM = {:.2})",
+            payload,
+            pm.metrics.avg_latency_ms(),
+            cm.metrics.avg_latency_ms(),
+            cm.metrics.avg_latency_ms() / pm.metrics.avg_latency_ms(),
+        );
+    }
+    println!("  → pipelining is counter-productive once proposals dwarf votes (β ≫ ρ)\n");
+
+    println!("── D4: reorg resilience priced (WM schedule, n = 16, f' = 5)");
+    for protocol in [ProtocolKind::PipelinedMoonshot, ProtocolKind::Jolteon] {
+        let mut cfg = RunConfig::failures(protocol, Schedule::WorstMoonshot);
+        cfg.n = 16;
+        cfg.f_prime = 5;
+        cfg.duration = SimDuration::from_secs(40);
+        let m = run(&cfg).metrics;
+        println!(
+            "  {:<4} {:>5} blocks, {:>7.0} ms",
+            protocol.label(),
+            m.committed_blocks,
+            m.avg_latency_ms()
+        );
+    }
+    println!("  → Moonshot commits the honest blocks WM delays (reorg resilience); Jolteon");
+    println!("    drops them entirely and reports deceptively low latency on the survivors.");
+}

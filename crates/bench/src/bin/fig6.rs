@@ -1,0 +1,57 @@
+//! Regenerates Fig. 6 of the paper: the happy-path performance overview —
+//! throughput and latency for every protocol across network sizes and
+//! payload sizes with `f′ = 0`.
+//!
+//! ```sh
+//! MOONSHOT_SCALE=quick cargo run --release -p moonshot-bench --bin fig6
+//! ```
+//!
+//! Writes `fig6.csv` next to the textual report.
+
+use moonshot_bench::scale_from_env;
+use moonshot_sim::experiment::{grid_to_csv, happy_path_grid};
+
+fn main() {
+    let scale = scale_from_env();
+    eprintln!(
+        "fig6: sizes {:?} × payloads {:?} × 4 protocols × {} samples × {}s …",
+        scale.sizes,
+        scale.payloads,
+        scale.samples,
+        scale.duration.as_secs_f64()
+    );
+    let cells = happy_path_grid(&scale);
+
+    println!("FIG. 6 — Performance overview (f' = 0)\n");
+    for &n in &scale.sizes {
+        println!("── n = {n} ───────────────────────────────────────────────────────");
+        println!(
+            "{:<12} {:>6} {:>10} {:>12} {:>14}",
+            "payload", "proto", "blocks/s", "latency", "transfer"
+        );
+        for &payload in &scale.payloads {
+            for cell in cells.iter().filter(|c| c.n == n && c.payload == payload) {
+                println!(
+                    "{:<12} {:>6} {:>10.2} {:>9.0} ms {:>11.1} kB/s",
+                    human_bytes(payload),
+                    cell.protocol.label(),
+                    cell.report.throughput_bps,
+                    cell.report.avg_latency_ms,
+                    cell.report.transfer_rate / 1_000.0,
+                );
+            }
+        }
+        println!();
+    }
+    let csv = grid_to_csv(&cells);
+    std::fs::write("fig6.csv", &csv).expect("write fig6.csv");
+    eprintln!("wrote fig6.csv ({} rows)", cells.len());
+}
+
+fn human_bytes(b: u64) -> String {
+    match b {
+        0 => "empty".into(),
+        b if b < 1_000_000 => format!("{} kB", b as f64 / 1_000.0),
+        b => format!("{:.1} MB", b as f64 / 1e6),
+    }
+}

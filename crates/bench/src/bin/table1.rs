@@ -1,0 +1,48 @@
+//! Regenerates Table I of the paper: the theoretical comparison of
+//! chain-based rotating leader BFT SMR protocols.
+//!
+//! ```sh
+//! cargo run -p moonshot-bench --bin table1
+//! ```
+
+use moonshot_consensus::properties::{Responsiveness, TABLE_I};
+
+fn main() {
+    println!("TABLE I — Theoretical comparison of chain-based rotating leader BFT SMR protocols\n");
+    println!(
+        "{:<20} {:<7} {:<8} {:<7} {:<6} {:<5} {:<10} {:<13} {:<12} {:<20}",
+        "Protocol",
+        "Model",
+        "Commit",
+        "Period",
+        "Reorg",
+        "View",
+        "Pipelined",
+        "Steady-state",
+        "View-change",
+        "Responsiveness"
+    );
+    for p in &TABLE_I {
+        let marker = if p.this_work { " *" } else { "" };
+        println!(
+            "{:<20} {:<7} {:<8} {:<7} {:<6} {:<5} {:<10} {:<13} {:<12} {:<20}",
+            format!("{}{}", p.name, marker),
+            p.model.to_string(),
+            p.commit_latency,
+            format!("{}δ", p.block_period_hops),
+            if p.reorg_resilient { "yes" } else { "no" },
+            format!("{}Δ", p.view_length_delta),
+            if p.pipelined { "yes" } else { "no" },
+            p.steady_state,
+            p.view_change,
+            match p.responsiveness {
+                Responsiveness::None => "—",
+                Responsiveness::Standard => "standard",
+                Responsiveness::ConsecutiveHonest => "consecutive honest",
+                Responsiveness::AllHonest => "all honest only",
+            },
+        );
+    }
+    println!("\n(*) this work — the Moonshot family: the only partially synchronous protocols");
+    println!("with both a δ block period and a constant (3δ) commit latency.");
+}

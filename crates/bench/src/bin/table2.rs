@@ -1,0 +1,40 @@
+//! Regenerates Table II of the paper: observed latencies between the five
+//! AWS regions of the evaluation (the input matrix of our WAN model).
+//!
+//! ```sh
+//! cargo run -p moonshot-bench --bin table2
+//! ```
+
+use moonshot_net::latency::aws;
+
+fn main() {
+    println!("TABLE II — Observed round-trip latencies (ms) between AWS regions\n");
+    print!("{:<16}", "Source \\ Dest");
+    for name in aws::REGIONS {
+        print!("{:>16}", name);
+    }
+    println!();
+    for (i, row) in aws::TABLE_II_RTT_MS.iter().enumerate() {
+        print!("{:<16}", aws::REGIONS[i]);
+        for ms in row {
+            print!("{:>16.2}", ms);
+        }
+        println!();
+    }
+    println!("\nThe simulator uses RTT/2 as one-way propagation, with nodes spread evenly");
+    println!("across the five regions (as in the paper), plus up to 10% jitter:");
+    println!();
+    let one_way = aws::one_way_matrix();
+    print!("{:<16}", "one-way (ms)");
+    for name in aws::REGIONS {
+        print!("{:>16}", name);
+    }
+    println!();
+    for (i, row) in one_way.iter().enumerate() {
+        print!("{:<16}", aws::REGIONS[i]);
+        for d in row {
+            print!("{:>16.2}", d.as_millis_f64());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table III of the paper: mean throughput and latency of each
+//! Moonshot protocol vs Jolteon per network size, averaged across payload
+//! configurations (f′ = 0).
+//!
+//! ```sh
+//! MOONSHOT_SCALE=quick cargo run --release -p moonshot-bench --bin table3
+//! ```
+
+use moonshot_bench::scale_from_env;
+use moonshot_sim::experiment::{happy_path_grid, table3};
+
+fn main() {
+    let scale = scale_from_env();
+    let cells = happy_path_grid(&scale);
+    let rows = table3(&cells);
+
+    println!("TABLE III — Performance vs Jolteon (f' = 0), mean ratios across payload sizes\n");
+    println!(
+        "{:<6} {:<22} {:>18} {:>18}",
+        "n", "protocol", "throughput ratio", "latency ratio"
+    );
+    for row in &rows {
+        println!(
+            "{:<6} {:<22} {:>17.2}x {:>17.2}x",
+            row.n,
+            row.protocol.label(),
+            row.throughput_ratio,
+            row.latency_ratio
+        );
+    }
+    println!("\nPaper reference: throughput ratios ≈ 1.4-1.6x (growing with n), latency ratios");
+    println!("≈ 0.5-0.6x. Shapes to check: every throughput ratio > 1, every latency ratio < 1,");
+    println!("and ratios improving for Moonshot as n grows.");
+}

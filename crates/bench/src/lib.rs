@@ -1,0 +1,18 @@
+//! Shared helpers for the experiment binaries of the Moonshot reproduction.
+//!
+//! The binaries live in `src/bin/`; each regenerates one table or figure of
+//! the paper. This library holds the scale-selection logic they share.
+
+#![forbid(unsafe_code)]
+
+use moonshot_sim::experiment::Scale;
+
+/// Reads the experiment scale from `MOONSHOT_SCALE` (`quick`, `standard`,
+/// `paper`), defaulting to `standard`.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("MOONSHOT_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        Ok("paper") => Scale::paper(),
+        _ => Scale::standard(),
+    }
+}

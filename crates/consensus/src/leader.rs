@@ -1,0 +1,231 @@
+//! Leader election.
+//!
+//! The paper requires the election function `L` to keep electing sequences
+//! with at least two consecutive honest leaders after GST for the pipelined
+//! protocols (one for Commit Moonshot), to change the leader every view for
+//! LCO implementations, and to elect each node with equal probability in
+//! fair implementations (§II.B). Round-robin satisfies all three against a
+//! static adversary. The failure experiments (§VI.B) use explicit schedules
+//! (`B`, `WM`, `WJ`) built by [`schedule`].
+
+use std::fmt;
+
+use moonshot_types::{NodeId, View};
+
+/// A deterministic leader election function shared by all nodes.
+pub trait LeaderElection: Send {
+    /// The leader of `view`.
+    fn leader(&self, view: View) -> NodeId;
+}
+
+impl fmt::Debug for dyn LeaderElection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dyn LeaderElection")
+    }
+}
+
+/// Round-robin rotation: the leader of view `v` is node `(v − 1) mod n`.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRobin {
+    n: usize,
+}
+
+impl RoundRobin {
+    /// Round-robin over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        RoundRobin { n }
+    }
+}
+
+impl LeaderElection for RoundRobin {
+    fn leader(&self, view: View) -> NodeId {
+        let slot = view.0.saturating_sub(1) as usize % self.n;
+        NodeId::from_index(slot)
+    }
+}
+
+/// A repeating explicit schedule: the leader of view `v` is
+/// `order[(v − 1) mod order.len()]`.
+#[derive(Clone, Debug)]
+pub struct ScheduleElection {
+    order: Vec<NodeId>,
+}
+
+impl ScheduleElection {
+    /// Builds a schedule from an explicit leader order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty.
+    pub fn new(order: Vec<NodeId>) -> Self {
+        assert!(!order.is_empty(), "schedule must be non-empty");
+        ScheduleElection { order }
+    }
+
+    /// Length of one iteration of the schedule.
+    pub fn period(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The underlying order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
+impl LeaderElection for ScheduleElection {
+    fn leader(&self, view: View) -> NodeId {
+        self.order[view.0.saturating_sub(1) as usize % self.order.len()]
+    }
+}
+
+/// The three fair LSO/LCO leader schedules of §VI.B. Nodes `0..n−f'` are
+/// honest; nodes `n−f'..n` are Byzantine (silent).
+pub mod schedule {
+    use super::*;
+
+    /// Returns the honest node ids `0..n−f'` for a network built by these
+    /// schedules.
+    pub fn honest_nodes(n: usize, f_prime: usize) -> Vec<NodeId> {
+        (0..n - f_prime).map(NodeId::from_index).collect()
+    }
+
+    /// Returns the Byzantine node ids `n−f'..n`.
+    pub fn byzantine_nodes(n: usize, f_prime: usize) -> Vec<NodeId> {
+        (n - f_prime..n).map(NodeId::from_index).collect()
+    }
+
+    /// Schedule `B`: all honest leaders first, then all Byzantine — the best
+    /// case for non-reorg-resilient and pipelined protocols.
+    pub fn best_case(n: usize, f_prime: usize) -> ScheduleElection {
+        let mut order = honest_nodes(n, f_prime);
+        order.extend(byzantine_nodes(n, f_prime));
+        ScheduleElection::new(order)
+    }
+
+    /// Schedule `WM`: honest-then-Byzantine pairs for `2f'` views, then the
+    /// remaining `n − 2f'` honest — the worst case for reorg-resilient
+    /// pipelined protocols.
+    pub fn worst_moonshot(n: usize, f_prime: usize) -> ScheduleElection {
+        let honest = honest_nodes(n, f_prime);
+        let byz = byzantine_nodes(n, f_prime);
+        let mut order = Vec::with_capacity(n);
+        for i in 0..f_prime {
+            order.push(honest[i]);
+            order.push(byz[i]);
+        }
+        order.extend_from_slice(&honest[f_prime..]);
+        ScheduleElection::new(order)
+    }
+
+    /// Schedule `WJ`: honest-honest-Byzantine triples for `3f'` views, then
+    /// the remaining `n − 3f'` honest — the worst case for non-reorg-
+    /// resilient pipelined protocols (Jolteon).
+    pub fn worst_jolteon(n: usize, f_prime: usize) -> ScheduleElection {
+        let honest = honest_nodes(n, f_prime);
+        let byz = byzantine_nodes(n, f_prime);
+        let mut order = Vec::with_capacity(n);
+        for i in 0..f_prime {
+            order.push(honest[2 * i]);
+            order.push(honest[2 * i + 1]);
+            order.push(byz[i]);
+        }
+        order.extend_from_slice(&honest[2 * f_prime..]);
+        ScheduleElection::new(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_every_view() {
+        let rr = RoundRobin::new(4);
+        assert_eq!(rr.leader(View(1)), NodeId(0));
+        assert_eq!(rr.leader(View(2)), NodeId(1));
+        assert_eq!(rr.leader(View(4)), NodeId(3));
+        assert_eq!(rr.leader(View(5)), NodeId(0));
+    }
+
+    #[test]
+    fn round_robin_is_fair_over_period() {
+        let rr = RoundRobin::new(7);
+        let mut counts = [0usize; 7];
+        for v in 1..=70u64 {
+            counts[rr.leader(View(v)).as_usize()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn schedule_repeats_with_period() {
+        let s = ScheduleElection::new(vec![NodeId(2), NodeId(0)]);
+        assert_eq!(s.leader(View(1)), NodeId(2));
+        assert_eq!(s.leader(View(2)), NodeId(0));
+        assert_eq!(s.leader(View(3)), NodeId(2));
+        assert_eq!(s.period(), 2);
+    }
+
+    #[test]
+    fn best_case_schedule_shape() {
+        // n = 10, f' = 3: honest 0..6, byzantine 7..9.
+        let s = schedule::best_case(10, 3);
+        assert_eq!(s.period(), 10);
+        let order = s.order();
+        assert!(order[..7].iter().all(|id| id.as_usize() < 7));
+        assert!(order[7..].iter().all(|id| id.as_usize() >= 7));
+    }
+
+    #[test]
+    fn worst_moonshot_schedule_shape() {
+        let s = schedule::worst_moonshot(10, 3);
+        let order = s.order();
+        assert_eq!(order.len(), 10);
+        // First 2f' = 6 views alternate honest/byzantine.
+        for i in 0..3 {
+            assert!(order[2 * i].as_usize() < 7);
+            assert!(order[2 * i + 1].as_usize() >= 7);
+        }
+        // Remaining views honest.
+        assert!(order[6..].iter().all(|id| id.as_usize() < 7));
+    }
+
+    #[test]
+    fn worst_jolteon_schedule_shape() {
+        let s = schedule::worst_jolteon(10, 3);
+        let order = s.order();
+        assert_eq!(order.len(), 10);
+        for i in 0..3 {
+            assert!(order[3 * i].as_usize() < 7);
+            assert!(order[3 * i + 1].as_usize() < 7);
+            assert!(order[3 * i + 2].as_usize() >= 7);
+        }
+        assert!(order[9..].iter().all(|id| id.as_usize() < 7));
+    }
+
+    #[test]
+    fn schedules_are_fair_each_node_leads_once_per_period() {
+        for s in [
+            schedule::best_case(10, 3),
+            schedule::worst_moonshot(10, 3),
+            schedule::worst_jolteon(10, 3),
+        ] {
+            let mut seen: Vec<_> = s.order().to_vec();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 10, "every node leads exactly once per period");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one node")]
+    fn round_robin_zero_panics() {
+        let _ = RoundRobin::new(0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Theoretical protocol properties — the data behind Table I of the paper.
+//!
+//! The `table1` experiment binary prints this table; keeping it as data in
+//! the library lets tests assert the claimed properties against the
+//! implementations (e.g. measured view cadence ≈ `block_period_hops`).
+
+use std::fmt;
+
+/// Network model assumed by a protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkModel {
+    /// Partially synchronous (Dwork et al.).
+    PartialSynchrony,
+    /// Synchronous.
+    Synchrony,
+}
+
+impl fmt::Display for NetworkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkModel::PartialSynchrony => write!(f, "psync."),
+            NetworkModel::Synchrony => write!(f, "sync."),
+        }
+    }
+}
+
+/// Which notion of optimistic responsiveness a protocol satisfies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Responsiveness {
+    /// No optimistic responsiveness.
+    None,
+    /// Standard optimistic responsiveness (Definition 6).
+    Standard,
+    /// Responsiveness only under consecutive honest leaders (Definition 7).
+    ConsecutiveHonest,
+    /// Claims responsiveness only when all nodes are honest (Simplex).
+    AllHonest,
+}
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolProperties {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Citation/section in the paper.
+    pub source: &'static str,
+    /// Network model.
+    pub model: NetworkModel,
+    /// Minimum commit latency in message hops (δ). `None` if not constant
+    /// (Apollo's is (f+1)δ).
+    pub commit_latency_hops: Option<u32>,
+    /// Display form of the commit latency (e.g. "3δ", "(f+1)δ").
+    pub commit_latency: &'static str,
+    /// Minimum view-change block period in hops (δ).
+    pub block_period_hops: u32,
+    /// Reorg resilience.
+    pub reorg_resilient: bool,
+    /// View length in multiples of Δ.
+    pub view_length_delta: u32,
+    /// Whether the protocol pipelines block certification.
+    pub pipelined: bool,
+    /// Steady-state communication complexity.
+    pub steady_state: &'static str,
+    /// View-change communication complexity.
+    pub view_change: &'static str,
+    /// Responsiveness notion satisfied.
+    pub responsiveness: Responsiveness,
+    /// Whether this row is one of the paper's contributions.
+    pub this_work: bool,
+}
+
+/// Table I of the paper: theoretical comparison of chain-based rotating
+/// leader BFT SMR protocols.
+pub const TABLE_I: [ProtocolProperties; 11] = [
+    ProtocolProperties {
+        name: "HotStuff",
+        source: "[38]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(7),
+        commit_latency: "7δ",
+        block_period_hops: 2,
+        reorg_resilient: false,
+        view_length_delta: 4,
+        pipelined: true,
+        steady_state: "O(n)",
+        view_change: "O(n)",
+        responsiveness: Responsiveness::Standard,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "Fast HotStuff",
+        source: "[24]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(5),
+        commit_latency: "5δ",
+        block_period_hops: 2,
+        reorg_resilient: false,
+        view_length_delta: 4,
+        pipelined: true,
+        steady_state: "O(n)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::Standard,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "Jolteon",
+        source: "[21]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(5),
+        commit_latency: "5δ",
+        block_period_hops: 2,
+        reorg_resilient: false,
+        view_length_delta: 4,
+        pipelined: true,
+        steady_state: "O(n)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::Standard,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "HotStuff-2",
+        source: "[28]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(5),
+        commit_latency: "5δ",
+        block_period_hops: 2,
+        reorg_resilient: false,
+        view_length_delta: 7,
+        pipelined: true,
+        steady_state: "O(n)",
+        view_change: "O(n)",
+        responsiveness: Responsiveness::Standard,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "PaLa",
+        source: "[14]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(4),
+        commit_latency: "4δ",
+        block_period_hops: 2,
+        reorg_resilient: false,
+        view_length_delta: 5,
+        pipelined: true,
+        steady_state: "O(n²)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::Standard,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "ICC",
+        source: "[11]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(3),
+        commit_latency: "3δ",
+        block_period_hops: 2,
+        reorg_resilient: false,
+        view_length_delta: 4,
+        pipelined: false,
+        steady_state: "O(n²)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::Standard,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "Simplex",
+        source: "[13]",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(3),
+        commit_latency: "3δ",
+        block_period_hops: 2,
+        reorg_resilient: true,
+        view_length_delta: 3,
+        pipelined: false,
+        steady_state: "Unbounded",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::AllHonest,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "Apollo",
+        source: "[5]",
+        model: NetworkModel::Synchrony,
+        commit_latency_hops: None,
+        commit_latency: "(f+1)δ",
+        block_period_hops: 1,
+        reorg_resilient: true,
+        view_length_delta: 4,
+        pipelined: false,
+        steady_state: "O(n)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::None,
+        this_work: false,
+    },
+    ProtocolProperties {
+        name: "Simple Moonshot",
+        source: "§III",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(3),
+        commit_latency: "3δ",
+        block_period_hops: 1,
+        reorg_resilient: true,
+        view_length_delta: 5,
+        pipelined: true,
+        steady_state: "O(n²)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::ConsecutiveHonest,
+        this_work: true,
+    },
+    ProtocolProperties {
+        name: "Pipelined Moonshot",
+        source: "§IV",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(3),
+        commit_latency: "3δ",
+        block_period_hops: 1,
+        reorg_resilient: true,
+        view_length_delta: 3,
+        pipelined: true,
+        steady_state: "O(n²)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::Standard,
+        this_work: true,
+    },
+    ProtocolProperties {
+        name: "Commit Moonshot",
+        source: "§V",
+        model: NetworkModel::PartialSynchrony,
+        commit_latency_hops: Some(3),
+        commit_latency: "3δ",
+        block_period_hops: 1,
+        reorg_resilient: true,
+        view_length_delta: 3,
+        pipelined: false,
+        steady_state: "O(n²)",
+        view_change: "O(n²)",
+        responsiveness: Responsiveness::Standard,
+        this_work: true,
+    },
+];
+
+/// Looks up a row of Table I by protocol name.
+pub fn properties_of(name: &str) -> Option<&'static ProtocolProperties> {
+    TABLE_I.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_work_rows_match_paper_claims() {
+        let ours: Vec<_> = TABLE_I.iter().filter(|p| p.this_work).collect();
+        assert_eq!(ours.len(), 3);
+        for p in &ours {
+            assert_eq!(p.commit_latency_hops, Some(3), "{}", p.name);
+            assert_eq!(p.block_period_hops, 1, "{}", p.name);
+            assert!(p.reorg_resilient, "{}", p.name);
+            assert_eq!(p.steady_state, "O(n²)", "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn moonshot_beats_jolteon_on_every_latency_metric() {
+        let jolteon = properties_of("Jolteon").unwrap();
+        let pm = properties_of("Pipelined Moonshot").unwrap();
+        assert!(pm.commit_latency_hops < jolteon.commit_latency_hops);
+        assert!(pm.block_period_hops < jolteon.block_period_hops);
+        assert!(pm.view_length_delta < jolteon.view_length_delta);
+        assert!(pm.reorg_resilient && !jolteon.reorg_resilient);
+    }
+
+    #[test]
+    fn only_moonshot_and_apollo_have_delta_block_period() {
+        for p in &TABLE_I {
+            if p.block_period_hops == 1 {
+                assert!(p.this_work || p.name == "Apollo", "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(properties_of("jolteon").is_some());
+        assert!(properties_of("COMMIT MOONSHOT").is_some());
+        assert!(properties_of("nonexistent").is_none());
+    }
+
+    #[test]
+    fn simple_moonshot_longer_view_than_pipelined() {
+        let sm = properties_of("Simple Moonshot").unwrap();
+        let pm = properties_of("Pipelined Moonshot").unwrap();
+        assert_eq!(sm.view_length_delta, 5);
+        assert_eq!(pm.view_length_delta, 3);
+        assert_eq!(sm.responsiveness, Responsiveness::ConsecutiveHonest);
+        assert_eq!(pm.responsiveness, Responsiveness::Standard);
+    }
+}

@@ -1,0 +1,208 @@
+//! The sans-IO protocol interface.
+//!
+//! Every consensus protocol in this crate is a deterministic state machine:
+//! the caller feeds it messages and timer expirations, and it returns
+//! [`Output`]s (sends, multicasts, timers, commits). The state machines know
+//! nothing about the transport, which makes them runnable both under the
+//! discrete-event simulator (`moonshot-sim`) and in unit/property tests that
+//! deliver messages in adversarial orders.
+
+use std::fmt;
+
+use moonshot_crypto::{KeyPair, Keyring};
+use moonshot_types::time::{SimDuration, SimTime};
+use moonshot_types::{Block, NodeId, Payload, View};
+
+use crate::message::Message;
+
+/// A protocol-level timer token.
+///
+/// Protocols arm logical timers and receive them back on expiry; stale
+/// tokens (for views already left) are ignored, so the runner never needs to
+/// cancel anything.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimerToken {
+    /// The view-failure timer (`view-timer_i`, τ).
+    ViewTimer(View),
+    /// Simple Moonshot's `2Δ` proposal wait in view `v`.
+    ProposeTimer(View),
+}
+
+/// A block committed by the state machine, with provenance.
+#[derive(Clone, Debug)]
+pub struct CommittedBlock {
+    /// The committed block.
+    pub block: Block,
+    /// `true` for a direct commit, `false` for an ancestor committed
+    /// indirectly.
+    pub direct: bool,
+    /// The view whose certificate triggered the commit.
+    pub commit_view: View,
+}
+
+/// An effect emitted by a protocol state machine.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// Send `message` to one node over the authenticated channel.
+    Send(NodeId, Message),
+    /// Multicast `message` to all nodes (including the sender itself).
+    Multicast(Message),
+    /// Arm a logical timer.
+    SetTimer {
+        /// Token handed back on expiry.
+        token: TimerToken,
+        /// Delay from now.
+        after: SimDuration,
+    },
+    /// A block became committed.
+    Commit(CommittedBlock),
+}
+
+/// The interface every protocol implements.
+pub trait ConsensusProtocol {
+    /// Called once at startup; typically enters view 1 and arms timers.
+    fn start(&mut self, now: SimTime) -> Vec<Output>;
+
+    /// Handles a delivered message from `from`.
+    fn handle_message(&mut self, from: NodeId, message: Message, now: SimTime) -> Vec<Output>;
+
+    /// Handles an expired timer. Stale tokens must be ignored.
+    fn handle_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<Output>;
+
+    /// The node's current view (for inspection and metrics).
+    fn current_view(&self) -> View;
+
+    /// A short, human-readable protocol name (e.g. `"pipelined-moonshot"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Where a leader's block payloads come from.
+///
+/// The paper's evaluation has leaders synthesize parametric payloads at block
+/// creation time (§VI); examples may inject real data instead.
+pub enum PayloadSource {
+    /// Every block is empty.
+    Empty,
+    /// `bytes` of synthetic 180-byte items per block, keyed by view.
+    SyntheticBytes(u64),
+    /// Custom payload per view.
+    Custom(Box<dyn FnMut(View) -> Payload + Send>),
+}
+
+impl PayloadSource {
+    /// Produces the payload for a block proposed in `view`.
+    pub fn payload_for(&mut self, view: View) -> Payload {
+        match self {
+            PayloadSource::Empty => Payload::empty(),
+            PayloadSource::SyntheticBytes(bytes) => Payload::synthetic_bytes(*bytes, view.0),
+            PayloadSource::Custom(f) => f(view),
+        }
+    }
+}
+
+impl fmt::Debug for PayloadSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadSource::Empty => write!(f, "PayloadSource::Empty"),
+            PayloadSource::SyntheticBytes(b) => write!(f, "PayloadSource::SyntheticBytes({b})"),
+            PayloadSource::Custom(_) => write!(f, "PayloadSource::Custom(..)"),
+        }
+    }
+}
+
+/// Per-node protocol configuration shared by all protocols in this crate.
+#[derive(Debug)]
+pub struct NodeConfig {
+    /// This node's id.
+    pub node_id: NodeId,
+    /// This node's signing key.
+    pub keypair: KeyPair,
+    /// The validator-set PKI.
+    pub keyring: Keyring,
+    /// The known message-delay bound Δ used to derive view-timer lengths.
+    pub delta: SimDuration,
+    /// Leader election function.
+    pub election: Box<dyn crate::leader::LeaderElection>,
+    /// Payload source for blocks this node proposes.
+    pub payloads: PayloadSource,
+    /// Whether to cryptographically verify incoming votes/certificates.
+    ///
+    /// Always `true` in tests; large-scale experiments may disable it to
+    /// trade fidelity for speed (honest simulations never forge).
+    pub verify_signatures: bool,
+}
+
+impl NodeConfig {
+    /// A configuration with round-robin leader election and empty payloads.
+    pub fn simulated(node_id: NodeId, n: usize, delta: SimDuration) -> NodeConfig {
+        NodeConfig {
+            node_id,
+            keypair: KeyPair::from_seed(node_id.0 as u64),
+            keyring: Keyring::simulated(n),
+            delta,
+            election: Box::new(crate::leader::RoundRobin::new(n)),
+            payloads: PayloadSource::Empty,
+            verify_signatures: true,
+        }
+    }
+
+    /// The leader of `view` under this node's election function.
+    pub fn leader(&self, view: View) -> NodeId {
+        self.election.leader(view)
+    }
+
+    /// Whether this node leads `view`.
+    pub fn is_leader(&self, view: View) -> bool {
+        self.leader(view) == self.node_id
+    }
+
+    /// Number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.keyring.len()
+    }
+
+    /// Quorum threshold `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        self.keyring.quorum_threshold()
+    }
+
+    /// Honest-evidence threshold `f + 1`.
+    pub fn f_plus_one(&self) -> usize {
+        self.keyring.honest_evidence_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_source_empty() {
+        let mut src = PayloadSource::Empty;
+        assert_eq!(src.payload_for(View(1)).size(), 0);
+    }
+
+    #[test]
+    fn payload_source_synthetic_is_view_keyed() {
+        let mut src = PayloadSource::SyntheticBytes(1_800);
+        let a = src.payload_for(View(1));
+        let b = src.payload_for(View(2));
+        assert_eq!(a.size(), 1_800);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn payload_source_custom() {
+        let mut src = PayloadSource::Custom(Box::new(|v| Payload::from(vec![v.0 as u8; 3])));
+        assert_eq!(src.payload_for(View(7)).size(), 3);
+    }
+
+    #[test]
+    fn node_config_thresholds() {
+        let cfg = NodeConfig::simulated(NodeId(0), 4, SimDuration::from_millis(100));
+        assert_eq!(cfg.n(), 4);
+        assert_eq!(cfg.quorum(), 3);
+        assert_eq!(cfg.f_plus_one(), 2);
+        assert!(cfg.is_leader(View(5))); // round-robin: (5-1) % 4 == 0
+    }
+}

@@ -1,0 +1,144 @@
+//! Block synchronisation: fetching blocks a node learns about through
+//! certificates but never received as proposals.
+//!
+//! The paper assumes reliable links, under which every proposal eventually
+//! arrives. A deployment cannot: a node that missed a proposal (pre-GST
+//! loss, late join) would hold certificates for blocks it cannot connect and
+//! its commit log would wedge at the gap. The protocols therefore issue
+//! [`crate::message::Message::BlockRequest`]s for certified-but-missing
+//! blocks — to the block's proposer (who certainly produced it) and to the
+//! peer that showed us the certificate — and serve requests from their own
+//! tree.
+
+use std::collections::HashSet;
+
+use moonshot_types::{Block, BlockId, NodeId, View};
+
+use crate::message::Message;
+use crate::protocol::Output;
+
+/// Tracks outstanding block fetches and deduplicates requests.
+#[derive(Clone, Debug, Default)]
+pub struct BlockFetcher {
+    requested: HashSet<BlockId>,
+}
+
+impl BlockFetcher {
+    /// A fetcher with no outstanding requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits block requests for `block_id` to each distinct peer in `hints`
+    /// (skipping `me`), the first time it is asked for this block.
+    pub fn request(
+        &mut self,
+        block_id: BlockId,
+        me: NodeId,
+        hints: impl IntoIterator<Item = NodeId>,
+        out: &mut Vec<Output>,
+    ) {
+        if !self.requested.insert(block_id) {
+            return;
+        }
+        let mut sent = HashSet::new();
+        for hint in hints {
+            if hint != me && sent.insert(hint) {
+                out.push(Output::Send(hint, Message::BlockRequest { block_id }));
+            }
+        }
+    }
+
+    /// Marks a block as no longer outstanding (it arrived).
+    pub fn fulfilled(&mut self, block_id: BlockId) {
+        self.requested.remove(&block_id);
+    }
+
+    /// Number of outstanding requests.
+    pub fn outstanding(&self) -> usize {
+        self.requested.len()
+    }
+
+    /// Clears all outstanding requests (used at view GC boundaries; a still
+    /// missing block will be re-requested by the next certificate that
+    /// references it).
+    pub fn clear(&mut self) {
+        self.requested.clear();
+    }
+}
+
+/// Serves a block request from a tree: `Some(response)` if the block is
+/// known.
+pub fn serve_request(
+    tree: &crate::blocktree::BlockTree,
+    requester: NodeId,
+    block_id: BlockId,
+) -> Option<Output> {
+    tree.get(block_id)
+        .map(|block| Output::Send(requester, Message::BlockResponse { block: block.clone() }))
+}
+
+/// Validates a block received through sync: structural validity plus the
+/// proposer matching the view's leader under `leader_of`.
+pub fn validate_response(block: &Block, leader_of: impl Fn(View) -> NodeId) -> bool {
+    block.header_is_valid() && (block.is_genesis() || block.proposer() == leader_of(block.view()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocktree::BlockTree;
+    use moonshot_types::Payload;
+
+    #[test]
+    fn request_deduplicates_per_block() {
+        let mut fetcher = BlockFetcher::new();
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        fetcher.request(id, NodeId(0), [NodeId(1), NodeId(2)], &mut out);
+        assert_eq!(out.len(), 2);
+        fetcher.request(id, NodeId(0), [NodeId(3)], &mut out);
+        assert_eq!(out.len(), 2, "second request suppressed");
+        assert_eq!(fetcher.outstanding(), 1);
+    }
+
+    #[test]
+    fn request_skips_self_and_duplicate_hints() {
+        let mut fetcher = BlockFetcher::new();
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        fetcher.request(id, NodeId(1), [NodeId(1), NodeId(2), NodeId(2)], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn fulfilled_allows_rerequest() {
+        let mut fetcher = BlockFetcher::new();
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        fetcher.request(id, NodeId(0), [NodeId(1)], &mut out);
+        fetcher.fulfilled(id);
+        fetcher.request(id, NodeId(0), [NodeId(1)], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn serve_known_block() {
+        let mut tree = BlockTree::new();
+        let block = Block::build(View(1), NodeId(0), &Block::genesis().clone(), Payload::empty());
+        tree.insert(block.clone());
+        let out = serve_request(&tree, NodeId(3), block.id());
+        assert!(matches!(
+            out,
+            Some(Output::Send(NodeId(3), Message::BlockResponse { .. }))
+        ));
+        assert!(serve_request(&tree, NodeId(3), moonshot_crypto::Digest::hash(b"nope")).is_none());
+    }
+
+    #[test]
+    fn response_validation() {
+        let block = Block::build(View(3), NodeId(2), &Block::genesis(), Payload::empty());
+        assert!(validate_response(&block, |_| NodeId(2)));
+        assert!(!validate_response(&block, |_| NodeId(1)));
+    }
+}

@@ -1,0 +1,277 @@
+//! Multi-signatures: collections of individual signatures over the same
+//! message, used to assemble block certificates and timeout certificates.
+//!
+//! The paper's implementation "constructed certificate proofs from an array
+//! of these \[ED25519\] signatures" (§VI) rather than threshold signatures; we
+//! mirror that: a [`MultiSig`] is a set of `(signer, signature)` pairs with
+//! duplicate-signer rejection, and a certificate is valid when it carries at
+//! least a quorum of valid signatures over the certified message.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{Keyring, SignerIndex};
+use crate::signature::{Signature, SIGNATURE_LEN};
+
+/// Errors produced when assembling or validating a [`MultiSig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiSigError {
+    /// The signer index was already present in the aggregate.
+    DuplicateSigner(SignerIndex),
+    /// The signer index is outside the keyring.
+    UnknownSigner(SignerIndex),
+    /// A signature failed verification.
+    InvalidSignature(SignerIndex),
+    /// Fewer signatures than the required threshold.
+    BelowThreshold {
+        /// Signatures present.
+        have: usize,
+        /// Threshold required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for MultiSigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiSigError::DuplicateSigner(s) => write!(f, "duplicate signer {s}"),
+            MultiSigError::UnknownSigner(s) => write!(f, "unknown signer {s}"),
+            MultiSigError::InvalidSignature(s) => write!(f, "invalid signature from signer {s}"),
+            MultiSigError::BelowThreshold { have, need } => {
+                write!(f, "only {have} signatures, {need} required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiSigError {}
+
+/// An accumulating set of signatures over one logical message.
+///
+/// # Examples
+///
+/// ```
+/// use moonshot_crypto::keys::{KeyPair, Keyring};
+/// use moonshot_crypto::multisig::MultiSig;
+///
+/// let ring = Keyring::simulated(4);
+/// let msg = b"vote for block";
+/// let mut agg = MultiSig::new();
+/// for i in 0..3u64 {
+///     agg.add(i as u16, KeyPair::from_seed(i).sign(msg)).unwrap();
+/// }
+/// assert!(agg.verify_quorum(&ring, msg).is_ok());
+/// ```
+/// Cloning is O(1): certificates are multicast to every node, so the
+/// signature array is shared behind an [`Arc`] (copy-on-write on `add`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiSig {
+    /// Sorted by signer index; no duplicates.
+    entries: Arc<Vec<(SignerIndex, Signature)>>,
+}
+
+impl MultiSig {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        MultiSig { entries: Arc::new(Vec::new()) }
+    }
+
+    /// Number of distinct signers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the aggregate holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a signature from `signer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiSigError::DuplicateSigner`] if `signer` already
+    /// contributed.
+    pub fn add(&mut self, signer: SignerIndex, sig: Signature) -> Result<(), MultiSigError> {
+        match self.entries.binary_search_by_key(&signer, |(s, _)| *s) {
+            Ok(_) => Err(MultiSigError::DuplicateSigner(signer)),
+            Err(pos) => {
+                Arc::make_mut(&mut self.entries).insert(pos, (signer, sig));
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether `signer` has contributed.
+    pub fn contains(&self, signer: SignerIndex) -> bool {
+        self.entries.binary_search_by_key(&signer, |(s, _)| *s).is_ok()
+    }
+
+    /// Iterates over `(signer, signature)` pairs in signer order.
+    pub fn iter(&self) -> impl Iterator<Item = (SignerIndex, &Signature)> {
+        self.entries.iter().map(|(s, sig)| (*s, sig))
+    }
+
+    /// The signer indices in ascending order.
+    pub fn signers(&self) -> impl Iterator<Item = SignerIndex> + '_ {
+        self.entries.iter().map(|(s, _)| *s)
+    }
+
+    /// Verifies every signature over `msg` and checks the quorum threshold.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unknown signer or invalid signature, or if fewer
+    /// than `ring.quorum_threshold()` signatures are present.
+    pub fn verify_quorum(&self, ring: &Keyring, msg: &[u8]) -> Result<(), MultiSigError> {
+        self.verify_threshold(ring, msg, ring.quorum_threshold())
+    }
+
+    /// Verifies every signature over `msg` against an explicit threshold.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiSig::verify_quorum`].
+    pub fn verify_threshold(
+        &self,
+        ring: &Keyring,
+        msg: &[u8],
+        need: usize,
+    ) -> Result<(), MultiSigError> {
+        if self.len() < need {
+            return Err(MultiSigError::BelowThreshold { have: self.len(), need });
+        }
+        for (signer, sig) in self.iter() {
+            let key = ring.key(signer).ok_or(MultiSigError::UnknownSigner(signer))?;
+            if !key.verify(msg, sig) {
+                return Err(MultiSigError::InvalidSignature(signer));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialized size in bytes on the wire: each entry is a 2-byte index
+    /// plus a 64-byte signature.
+    pub fn wire_size(&self) -> usize {
+        self.entries.len() * (2 + SIGNATURE_LEN)
+    }
+}
+
+impl FromIterator<(SignerIndex, Signature)> for MultiSig {
+    /// Collects entries, silently keeping the first signature per signer.
+    fn from_iter<I: IntoIterator<Item = (SignerIndex, Signature)>>(iter: I) -> Self {
+        let mut agg = MultiSig::new();
+        for (s, sig) in iter {
+            let _ = agg.add(s, sig);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    fn ring4() -> Keyring {
+        Keyring::simulated(4)
+    }
+
+    fn signed(msg: &[u8], signers: &[u16]) -> MultiSig {
+        signers
+            .iter()
+            .map(|&i| (i, KeyPair::from_seed(i as u64).sign(msg)))
+            .collect()
+    }
+
+    #[test]
+    fn quorum_of_three_passes_n4() {
+        let agg = signed(b"m", &[0, 1, 2]);
+        assert!(agg.verify_quorum(&ring4(), b"m").is_ok());
+    }
+
+    #[test]
+    fn two_signatures_below_quorum_n4() {
+        let agg = signed(b"m", &[0, 1]);
+        assert_eq!(
+            agg.verify_quorum(&ring4(), b"m"),
+            Err(MultiSigError::BelowThreshold { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn duplicate_signer_rejected() {
+        let mut agg = MultiSig::new();
+        let sig = KeyPair::from_seed(0).sign(b"m");
+        agg.add(0, sig).unwrap();
+        assert_eq!(agg.add(0, sig), Err(MultiSigError::DuplicateSigner(0)));
+        assert_eq!(agg.len(), 1);
+    }
+
+    #[test]
+    fn wrong_message_detected() {
+        let agg = signed(b"m", &[0, 1, 2]);
+        assert_eq!(
+            agg.verify_quorum(&ring4(), b"other"),
+            Err(MultiSigError::InvalidSignature(0))
+        );
+    }
+
+    #[test]
+    fn unknown_signer_detected() {
+        let agg = signed(b"m", &[0, 1, 9]);
+        assert_eq!(
+            agg.verify_quorum(&ring4(), b"m"),
+            Err(MultiSigError::UnknownSigner(9))
+        );
+    }
+
+    #[test]
+    fn forged_signature_detected() {
+        let mut agg = signed(b"m", &[0, 1]);
+        // Signer 2's slot filled with signer 3's signature.
+        agg.add(2, KeyPair::from_seed(3).sign(b"m")).unwrap();
+        assert_eq!(
+            agg.verify_quorum(&ring4(), b"m"),
+            Err(MultiSigError::InvalidSignature(2))
+        );
+    }
+
+    #[test]
+    fn from_iterator_dedupes() {
+        let sig = KeyPair::from_seed(1).sign(b"m");
+        let agg: MultiSig = vec![(1, sig), (1, sig), (0, KeyPair::from_seed(0).sign(b"m"))]
+            .into_iter()
+            .collect();
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn signers_sorted() {
+        let agg = signed(b"m", &[3, 0, 2]);
+        assert_eq!(agg.signers().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn wire_size_counts_entries() {
+        let agg = signed(b"m", &[0, 1, 2]);
+        assert_eq!(agg.wire_size(), 3 * 66);
+    }
+
+    #[test]
+    fn explicit_threshold() {
+        let agg = signed(b"m", &[0]);
+        assert!(agg.verify_threshold(&ring4(), b"m", 1).is_ok());
+        assert!(agg.verify_threshold(&ring4(), b"m", 2).is_err());
+    }
+
+    #[test]
+    fn contains_reports_membership() {
+        let agg = signed(b"m", &[1, 3]);
+        assert!(agg.contains(1));
+        assert!(agg.contains(3));
+        assert!(!agg.contains(0));
+    }
+}

@@ -1,0 +1,203 @@
+//! NIC serialization (transmission-delay) model.
+//!
+//! Propagation latency alone cannot reproduce the paper's results: with
+//! multi-megabyte payloads and 200 peers, the sender's NIC is the bottleneck
+//! — broadcasting a block means serializing `n − 1` copies through a shared
+//! uplink. [`NicModel`] charges each transmitted byte against a per-node
+//! egress (and per-receiver ingress) queue, which yields the paper's key
+//! trends: throughput halving as payload grows 10×, and the transfer-rate
+//! ceiling explored in Fig. 8.
+
+use moonshot_types::NodeId;
+
+use moonshot_types::time::{SimDuration, SimTime};
+
+/// Bytes per microsecond for a given link speed in gigabits per second.
+fn bytes_per_us(gbps: f64) -> f64 {
+    // 1 Gbps = 10^9 bits/s = 125 * 10^6 bytes/s = 125 bytes/µs.
+    gbps * 125.0
+}
+
+/// Per-node NIC state: serialises egress and ingress bytes.
+#[derive(Clone, Debug)]
+pub struct NicModel {
+    egress_free: Vec<SimTime>,
+    ingress_free: Vec<SimTime>,
+    egress_bytes_per_us: f64,
+    ingress_bytes_per_us: f64,
+    /// Fixed per-message processing overhead (sender side serialization,
+    /// signing amortisation, syscall costs).
+    per_message_overhead: SimDuration,
+}
+
+impl NicModel {
+    /// Creates a NIC model for `n` nodes with symmetric `gbps` links and the
+    /// given fixed per-message overhead.
+    pub fn new(n: usize, gbps: f64, per_message_overhead: SimDuration) -> Self {
+        NicModel {
+            egress_free: vec![SimTime::ZERO; n],
+            ingress_free: vec![SimTime::ZERO; n],
+            egress_bytes_per_us: bytes_per_us(gbps),
+            ingress_bytes_per_us: bytes_per_us(gbps),
+            per_message_overhead,
+        }
+    }
+
+    /// An effectively infinite-bandwidth model (pure propagation), useful
+    /// for unit-testing protocols in isolation.
+    pub fn unbounded(n: usize) -> Self {
+        NicModel::new(n, 1e12, SimDuration::ZERO)
+    }
+
+    /// The time to push `bytes` through one direction of the link.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        SimDuration((bytes as f64 / self.egress_bytes_per_us).ceil() as u64)
+            + self.per_message_overhead
+    }
+
+    /// Registers a transmission of `bytes` from `src` starting no earlier
+    /// than `now`, and returns the *departure completion* time (when the last
+    /// byte has left `src`).
+    pub fn transmit(&mut self, src: NodeId, now: SimTime, bytes: usize) -> SimTime {
+        let start = self.egress_free[src.as_usize()].max(now);
+        let done = start + self.tx_time(bytes);
+        self.egress_free[src.as_usize()] = done;
+        done
+    }
+
+    /// Registers a *fair-share broadcast* of `copies` copies of `bytes` each:
+    /// all copies complete when the whole burst has left the NIC, modelling
+    /// TCP fan-out where the OS round-robins packets across peer sockets so
+    /// every stream finishes at ≈ the same time. This is the β of the
+    /// paper's modified partially synchronous model: every recipient of a
+    /// large proposal receives its last byte ≈ `n·size/bandwidth` after the
+    /// send begins.
+    pub fn transmit_broadcast(
+        &mut self,
+        src: NodeId,
+        now: SimTime,
+        bytes: usize,
+        copies: usize,
+    ) -> SimTime {
+        let start = self.egress_free[src.as_usize()].max(now);
+        let per_copy = SimDuration(
+            (bytes as f64 / self.egress_bytes_per_us).ceil() as u64,
+        ) + self.per_message_overhead;
+        let done = start + per_copy * copies as u64;
+        self.egress_free[src.as_usize()] = done;
+        done
+    }
+
+    /// Registers reception of `bytes` at `dst` whose last byte *arrives* at
+    /// `arrival`; returns the time the receiver has fully read the message.
+    pub fn receive(&mut self, dst: NodeId, arrival: SimTime, bytes: usize) -> SimTime {
+        let rx = SimDuration((bytes as f64 / self.ingress_bytes_per_us).ceil() as u64);
+        let start = self.ingress_free[dst.as_usize()].max(arrival);
+        let done = start + rx;
+        self.ingress_free[dst.as_usize()] = done;
+        done
+    }
+
+    /// Resets all queues (used between simulation runs).
+    pub fn reset(&mut self) {
+        self.egress_free.fill(SimTime::ZERO);
+        self.ingress_free.fill(SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let nic = NicModel::new(2, 10.0, SimDuration::ZERO); // 10 Gbps = 1250 B/µs
+        assert_eq!(nic.tx_time(1250), SimDuration::from_micros(1));
+        assert_eq!(nic.tx_time(1_250_000), SimDuration::from_micros(1_000));
+    }
+
+    #[test]
+    fn egress_serialises_back_to_back_sends() {
+        let mut nic = NicModel::new(2, 10.0, SimDuration::ZERO);
+        let t0 = SimTime::ZERO;
+        let d1 = nic.transmit(NodeId(0), t0, 1250);
+        let d2 = nic.transmit(NodeId(0), t0, 1250);
+        assert_eq!(d1, SimTime(1));
+        assert_eq!(d2, SimTime(2)); // queued behind the first
+    }
+
+    #[test]
+    fn egress_of_different_nodes_independent() {
+        let mut nic = NicModel::new(2, 10.0, SimDuration::ZERO);
+        let d1 = nic.transmit(NodeId(0), SimTime::ZERO, 1250);
+        let d2 = nic.transmit(NodeId(1), SimTime::ZERO, 1250);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn ingress_queues_simultaneous_arrivals() {
+        let mut nic = NicModel::new(3, 10.0, SimDuration::ZERO);
+        let a1 = nic.receive(NodeId(2), SimTime(100), 1250);
+        let a2 = nic.receive(NodeId(2), SimTime(100), 1250);
+        assert_eq!(a1, SimTime(101));
+        assert_eq!(a2, SimTime(102));
+    }
+
+    #[test]
+    fn idle_gap_not_charged() {
+        let mut nic = NicModel::new(2, 10.0, SimDuration::ZERO);
+        nic.transmit(NodeId(0), SimTime::ZERO, 1250);
+        // Next send starts well after the queue drained.
+        let d = nic.transmit(NodeId(0), SimTime(1_000), 1250);
+        assert_eq!(d, SimTime(1_001));
+    }
+
+    #[test]
+    fn per_message_overhead_added() {
+        let nic = NicModel::new(2, 10.0, SimDuration::from_micros(50));
+        assert_eq!(nic.tx_time(0), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn unbounded_is_effectively_free() {
+        let mut nic = NicModel::unbounded(2);
+        let d = nic.transmit(NodeId(0), SimTime::ZERO, 9_000_000);
+        assert!(d <= SimTime(1));
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut nic = NicModel::new(2, 10.0, SimDuration::ZERO);
+        nic.transmit(NodeId(0), SimTime::ZERO, 1_250_000);
+        nic.reset();
+        assert_eq!(nic.transmit(NodeId(0), SimTime::ZERO, 1250), SimTime(1));
+    }
+}
+
+#[cfg(test)]
+mod broadcast_tests {
+    use super::*;
+
+    #[test]
+    fn fair_share_broadcast_completes_at_burst_end() {
+        let mut nic = NicModel::new(4, 10.0, SimDuration::ZERO); // 1250 B/µs
+        // Three copies of 1250 B each: all depart when the burst drains.
+        let done = nic.transmit_broadcast(NodeId(0), SimTime::ZERO, 1250, 3);
+        assert_eq!(done, SimTime(3));
+    }
+
+    #[test]
+    fn fair_share_broadcast_queues_behind_prior_traffic() {
+        let mut nic = NicModel::new(4, 10.0, SimDuration::ZERO);
+        nic.transmit(NodeId(0), SimTime::ZERO, 12_500); // 10µs of backlog
+        let done = nic.transmit_broadcast(NodeId(0), SimTime::ZERO, 1250, 2);
+        assert_eq!(done, SimTime(12));
+    }
+
+    #[test]
+    fn fair_share_broadcast_includes_per_message_overhead() {
+        let mut nic = NicModel::new(4, 10.0, SimDuration::from_micros(5));
+        let done = nic.transmit_broadcast(NodeId(0), SimTime::ZERO, 0, 4);
+        assert_eq!(done, SimTime(20));
+    }
+}

@@ -1,0 +1,624 @@
+//! The discrete-event simulation engine.
+//!
+//! Protocol nodes are *sans-IO* [`Actor`]s: the engine calls them with
+//! messages and timer expirations, and they emit effects (sends, broadcasts,
+//! timers) through a [`Context`]. The engine owns time, the event queue, the
+//! propagation-latency model, the NIC bandwidth model and the pre-GST
+//! adversary, so a run is a pure function of `(actors, config, seed)` —
+//! fully reproducible.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use moonshot_types::{NodeId, WireSize};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bandwidth::NicModel;
+use crate::latency::LatencyModel;
+use moonshot_types::time::{SimDuration, SimTime};
+
+/// Identifier of a pending timer, unique within a simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// A node's behaviour: the engine drives it through these callbacks.
+///
+/// Implementations must be deterministic given the callback sequence; all
+/// nondeterminism lives in the engine's seeded RNG.
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Context<M>);
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<M>);
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<M>);
+}
+
+/// The effect interface handed to actors during callbacks.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    node: NodeId,
+    n: usize,
+    effects: &'a mut Vec<Effect<M>>,
+    next_timer: &'a mut u64,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the acting node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the network.
+    pub fn network_size(&self) -> usize {
+        self.n
+    }
+
+    /// Sends `msg` to `to` (point-to-point, authenticated channel).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Multicasts `msg` to every node, including the sender itself (the
+    /// paper's protocols count a node's own votes; self-delivery uses the
+    /// loopback path and skips the NIC).
+    pub fn multicast(&mut self, msg: M) {
+        self.effects.push(Effect::Multicast { msg });
+    }
+
+    /// Arms a one-shot timer `after` from now.
+    pub fn set_timer(&mut self, after: SimDuration) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        self.effects.push(Effect::SetTimer { id, after });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+}
+
+enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    Multicast { msg: M },
+    SetTimer { id: TimerId, after: SimDuration },
+    CancelTimer(TimerId),
+}
+
+impl<M> std::fmt::Debug for Effect<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Effect::Send { to, .. } => write!(f, "Send(to={to})"),
+            Effect::Multicast { .. } => write!(f, "Multicast"),
+            Effect::SetTimer { id, after } => write!(f, "SetTimer({id:?}, {after})"),
+            Effect::CancelTimer(id) => write!(f, "CancelTimer({id:?})"),
+        }
+    }
+}
+
+enum EventKind<M> {
+    Start,
+    Deliver { from: NodeId, msg: M },
+    Timer(TimerId),
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Behaviour of the adversary before GST (§II: messages may be arbitrarily
+/// delayed — here, bounded by `extra_delay` and `drop_probability` so runs
+/// terminate).
+#[derive(Clone, Debug)]
+pub struct PreGstAdversary {
+    /// Maximum extra delay added to each delivery before GST.
+    pub extra_delay: SimDuration,
+    /// Probability a message sent before GST is dropped entirely.
+    pub drop_probability: f64,
+}
+
+impl Default for PreGstAdversary {
+    fn default() -> Self {
+        PreGstAdversary { extra_delay: SimDuration::ZERO, drop_probability: 0.0 }
+    }
+}
+
+/// Static configuration of a simulated network.
+pub struct NetworkConfig {
+    /// One-way propagation model.
+    pub latency: Box<dyn LatencyModel>,
+    /// NIC bandwidth model (transmission delays).
+    pub nic: NicModel,
+    /// Global Stabilization Time: before this instant the adversary applies.
+    pub gst: SimTime,
+    /// Adversarial behaviour before GST.
+    pub adversary: PreGstAdversary,
+    /// Fixed loopback delay for self-delivery of multicasts.
+    pub loopback: SimDuration,
+    /// RNG seed; two runs with equal configs and seeds are identical.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for NetworkConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkConfig")
+            .field("gst", &self.gst)
+            .field("adversary", &self.adversary)
+            .field("loopback", &self.loopback)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetworkConfig {
+    /// A synchronous-from-the-start network with the given latency model and
+    /// per-node NIC.
+    pub fn new(latency: Box<dyn LatencyModel>, nic: NicModel) -> Self {
+        NetworkConfig {
+            latency,
+            nic,
+            gst: SimTime::ZERO,
+            adversary: PreGstAdversary::default(),
+            loopback: SimDuration::from_micros(20),
+            seed: 0,
+        }
+    }
+
+    /// Sets the GST and pre-GST adversary.
+    pub fn with_gst(mut self, gst: SimTime, adversary: PreGstAdversary) -> Self {
+        self.gst = gst;
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Statistics the engine gathers about a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to actors.
+    pub delivered: u64,
+    /// Messages dropped by the pre-GST adversary.
+    pub dropped: u64,
+    /// Total bytes transmitted (all copies of all messages).
+    pub bytes_sent: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// See the crate-level documentation.
+pub struct Simulation<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+    queue: BinaryHeap<Event<M>>,
+    cancelled: HashSet<TimerId>,
+    crashed: Vec<bool>,
+    config: NetworkConfig,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    started: bool,
+    stats: NetworkStats,
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.actors.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M: WireSize + Clone> Simulation<M> {
+    /// Creates a simulation over the given actors.
+    pub fn new(actors: Vec<Box<dyn Actor<M>>>, config: NetworkConfig) -> Self {
+        let n = actors.len();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Simulation {
+            actors,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            crashed: vec![false; n],
+            config,
+            rng,
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            started: false,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Crashes `node`: it stops receiving messages and timers immediately.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed[node.as_usize()] = true;
+    }
+
+    /// Whether `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.as_usize()]
+    }
+
+    /// Mutable access to an actor (for inspection in tests).
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut dyn Actor<M> {
+        &mut *self.actors[node.as_usize()]
+    }
+
+    fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Event { at, seq: self.seq, node, kind });
+    }
+
+    fn start(&mut self) {
+        self.started = true;
+        for i in 0..self.actors.len() {
+            self.push(SimTime::ZERO, NodeId::from_index(i), EventKind::Start);
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.start();
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        let node = ev.node;
+        if self.crashed[node.as_usize()] {
+            return true;
+        }
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                n: self.actors.len(),
+                effects: &mut effects,
+                next_timer: &mut self.next_timer,
+            };
+            match ev.kind {
+                EventKind::Start => self.actors[node.as_usize()].on_start(&mut ctx),
+                EventKind::Deliver { from, msg } => {
+                    self.actors[node.as_usize()].on_message(from, msg, &mut ctx)
+                }
+                EventKind::Timer(id) => {
+                    if self.cancelled.remove(&id) {
+                        return true;
+                    }
+                    self.stats.timers_fired += 1;
+                    self.actors[node.as_usize()].on_timer(id, &mut ctx)
+                }
+            }
+        }
+        self.apply_effects(node, effects);
+        true
+    }
+
+    /// Runs until the queue drains or simulated time reaches `deadline`,
+    /// then advances the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.started {
+            self.start();
+        }
+        while self.queue.peek().is_some_and(|ev| ev.at <= deadline) {
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    fn apply_effects(&mut self, src: NodeId, effects: Vec<Effect<M>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.route(src, to, msg),
+                Effect::Multicast { msg } => {
+                    // Self-delivery over loopback, no NIC charge.
+                    let at = self.now + self.config.loopback;
+                    self.push(at, src, EventKind::Deliver { from: src, msg: msg.clone() });
+                    // Fair-share fan-out: every copy departs when the whole
+                    // burst has drained the sender's NIC (TCP-like).
+                    let copies = self.actors.len().saturating_sub(1);
+                    if copies > 0 {
+                        let size = msg.wire_size();
+                        let departure =
+                            self.config.nic.transmit_broadcast(src, self.now, size, copies);
+                        for i in 0..self.actors.len() {
+                            let to = NodeId::from_index(i);
+                            if to != src {
+                                self.route_at(src, to, msg.clone(), departure);
+                            }
+                        }
+                    }
+                }
+                Effect::SetTimer { id, after } => {
+                    self.push(self.now + after, src, EventKind::Timer(id));
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, src: NodeId, dst: NodeId, msg: M) {
+        let departure = self.config.nic.transmit(src, self.now, msg.wire_size());
+        self.route_at(src, dst, msg, departure);
+    }
+
+    /// Routes one copy whose last byte leaves `src` at `departure`.
+    fn route_at(&mut self, src: NodeId, dst: NodeId, msg: M, departure: SimTime) {
+        let size = msg.wire_size();
+        self.stats.bytes_sent += size as u64;
+        // Pre-GST adversary may drop or delay arbitrarily (bounded here).
+        let pre_gst = self.now < self.config.gst;
+        if pre_gst && self.rng.gen_bool(self.config.adversary.drop_probability) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let propagation = self.config.latency.propagation(src, dst, &mut self.rng);
+        let mut arrival = departure + propagation;
+        if pre_gst && self.config.adversary.extra_delay > SimDuration::ZERO {
+            arrival += SimDuration(self.rng.gen_range(0..=self.config.adversary.extra_delay.0));
+        }
+        let delivered = self.config.nic.receive(dst, arrival, size);
+        self.stats.delivered += 1;
+        self.push(delivered, dst, EventKind::Deliver { from: src, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone, Debug)]
+    struct Ping(u32);
+    impl WireSize for Ping {
+        fn wire_size(&self) -> usize {
+            100
+        }
+    }
+
+    type Log = Rc<RefCell<Vec<(NodeId, NodeId, u32, SimTime)>>>;
+
+    /// Echoes every message back; node 0 kicks off with a multicast.
+    struct Echo {
+        log: Log,
+    }
+
+    impl Actor<Ping> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<Ping>) {
+            if ctx.node() == NodeId(0) {
+                ctx.multicast(Ping(1));
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+            self.log.borrow_mut().push((ctx.node(), from, msg.0, ctx.now()));
+            if msg.0 == 1 && ctx.node() != NodeId(0) {
+                ctx.send(NodeId(0), Ping(2));
+            }
+        }
+        fn on_timer(&mut self, _t: TimerId, _ctx: &mut Context<Ping>) {}
+    }
+
+    fn config(ms: u64) -> NetworkConfig {
+        NetworkConfig::new(
+            Box::new(UniformLatency::new(SimDuration::from_millis(ms), SimDuration::ZERO)),
+            NicModel::unbounded(3),
+        )
+    }
+
+    fn echo_net(n: usize) -> (Vec<Box<dyn Actor<Ping>>>, Log) {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let actors = (0..n)
+            .map(|_| Box::new(Echo { log: log.clone() }) as Box<dyn Actor<Ping>>)
+            .collect();
+        (actors, log)
+    }
+
+    fn at_node(log: &Log, node: u16) -> Vec<(NodeId, u32, SimTime)> {
+        log.borrow()
+            .iter()
+            .filter(|(to, _, _, _)| *to == NodeId(node))
+            .map(|(_, from, v, t)| (*from, *v, *t))
+            .collect()
+    }
+
+    #[test]
+    fn multicast_reaches_all_and_echoes_return() {
+        let (actors, log) = echo_net(3);
+        let mut sim = Simulation::new(actors, config(10));
+        sim.run_until(SimTime(1_000_000));
+        // Node 0 got its own loopback copy plus two echoes.
+        let r0 = at_node(&log, 0);
+        assert_eq!(r0.len(), 3);
+        // Echoes arrive at ~20ms (10 out + 10 back).
+        let echo_times: Vec<_> = r0.iter().filter(|(_, v, _)| *v == 2).collect();
+        assert_eq!(echo_times.len(), 2);
+        for (_, _, t) in echo_times {
+            assert!(*t >= SimTime(20_000) && *t < SimTime(21_000), "echo at {t}");
+        }
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let (actors, log) = echo_net(3);
+        let mut sim = Simulation::new(actors, config(10));
+        sim.crash(NodeId(2));
+        sim.run_until(SimTime(1_000_000));
+        assert!(at_node(&log, 2).is_empty());
+        // Node 0 only gets one echo (from node 1) plus loopback.
+        assert_eq!(at_node(&log, 0).len(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (actors, log) = echo_net(3);
+            let mut sim = Simulation::new(actors, config(10));
+            sim.run_until(SimTime(1_000_000));
+            let events = log.borrow().clone();
+            (sim.stats(), events)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pre_gst_drops_all_with_probability_one() {
+        let cfg = config(10).with_gst(
+            SimTime(1_000_000_000),
+            PreGstAdversary { extra_delay: SimDuration::ZERO, drop_probability: 1.0 },
+        );
+        let (actors, log) = echo_net(3);
+        let mut sim = Simulation::new(actors, cfg);
+        sim.run_until(SimTime(1_000_000));
+        // Only the loopback self-delivery survives (not routed).
+        assert_eq!(at_node(&log, 0).len(), 1);
+        assert_eq!(at_node(&log, 1).len(), 0);
+        assert_eq!(sim.stats().dropped, 2);
+    }
+
+    #[test]
+    fn pre_gst_extra_delay_applies() {
+        let cfg = config(10).with_gst(
+            SimTime(1_000_000_000),
+            PreGstAdversary {
+                extra_delay: SimDuration::from_millis(500),
+                drop_probability: 0.0,
+            },
+        );
+        let (actors, log) = echo_net(2);
+        let mut sim = Simulation::new(actors, cfg);
+        sim.run_until(SimTime(2_000_000));
+        let r1 = at_node(&log, 1);
+        assert_eq!(r1.len(), 1);
+        // Arrived no earlier than base latency; possibly up to +500ms extra.
+        assert!(r1[0].2 >= SimTime(10_000));
+        assert!(r1[0].2 <= SimTime(510_100));
+    }
+
+    struct TimerBox {
+        fired: Rc<RefCell<Vec<SimTime>>>,
+        cancel_second: bool,
+    }
+    impl Actor<Ping> for TimerBox {
+        fn on_start(&mut self, ctx: &mut Context<Ping>) {
+            let _t1 = ctx.set_timer(SimDuration::from_millis(5));
+            let t2 = ctx.set_timer(SimDuration::from_millis(10));
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<Ping>) {}
+        fn on_timer(&mut self, _t: TimerId, ctx: &mut Context<Ping>) {
+            self.fired.borrow_mut().push(ctx.now());
+        }
+    }
+
+    fn timer_sim(cancel_second: bool) -> (Simulation<Ping>, Rc<RefCell<Vec<SimTime>>>) {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let actors: Vec<Box<dyn Actor<Ping>>> =
+            vec![Box::new(TimerBox { fired: fired.clone(), cancel_second })];
+        (Simulation::new(actors, config(1)), fired)
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut sim, fired) = timer_sim(false);
+        sim.run_until(SimTime(1_000_000));
+        assert_eq!(*fired.borrow(), vec![SimTime(5_000), SimTime(10_000)]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let (mut sim, fired) = timer_sim(true);
+        sim.run_until(SimTime(1_000_000));
+        assert_eq!(*fired.borrow(), vec![SimTime(5_000)]);
+        assert_eq!(sim.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let (actors, _log) = echo_net(2);
+        let mut sim = Simulation::new(actors, config(1));
+        sim.run_until(SimTime(500_000));
+        assert_eq!(sim.now(), SimTime(500_000));
+    }
+
+    #[test]
+    fn bytes_accounted() {
+        let (actors, _log) = echo_net(2);
+        let mut sim = Simulation::new(actors, config(1));
+        sim.run_until(SimTime(1_000_000));
+        // Multicast routes one 100 B copy to node 1, whose echo routes 100 B
+        // back; the loopback self-copy bypasses `route`.
+        assert_eq!(sim.stats().bytes_sent, 200);
+    }
+}

@@ -1,0 +1,193 @@
+//! Byzantine behaviours for the failure experiments (§VI.B) and for
+//! adversarial testing.
+//!
+//! The paper's `f′ = f` experiments model faulty leaders that fail to drive
+//! their views ([`SilentActor`]). For safety testing we additionally provide
+//! an [`EquivocatingActor`] that signs conflicting votes and proposals —
+//! safety must hold regardless.
+
+use std::sync::Arc;
+
+use moonshot_consensus::Message;
+use moonshot_crypto::KeyPair;
+use moonshot_net::{Actor, Context, TimerId};
+use moonshot_types::{Block, NodeId, Payload, SignedVote, View, Vote, VoteKind};
+use parking_lot::Mutex;
+
+/// A Byzantine node that does nothing at all: never proposes, votes or
+/// times out. This is the behaviour the paper's leader schedules assume for
+/// faulty nodes (their views simply fail).
+#[derive(Debug, Default)]
+pub struct SilentActor;
+
+impl Actor<Message> for SilentActor {
+    fn on_start(&mut self, _ctx: &mut Context<Message>) {}
+    fn on_message(&mut self, _from: NodeId, _msg: Message, _ctx: &mut Context<Message>) {}
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<Message>) {}
+}
+
+/// Counts messages a Byzantine node *would* have seen (used in tests to
+/// confirm traffic reaches faulty nodes without them participating).
+#[derive(Debug)]
+pub struct ObservingSilentActor {
+    /// Shared counter of messages received.
+    pub seen: Arc<Mutex<u64>>,
+}
+
+impl Actor<Message> for ObservingSilentActor {
+    fn on_start(&mut self, _ctx: &mut Context<Message>) {}
+    fn on_message(&mut self, _from: NodeId, _msg: Message, _ctx: &mut Context<Message>) {
+        *self.seen.lock() += 1;
+    }
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<Message>) {}
+}
+
+/// A Byzantine node that votes for *every* proposal it sees — including
+/// equivocating ones — and, when it would be the leader, proposes two
+/// conflicting blocks per view. Safety of the honest nodes must survive up
+/// to `f` of these.
+pub struct EquivocatingActor {
+    node: NodeId,
+    keypair: KeyPair,
+    /// Leader election must match the honest nodes' (round-robin over n).
+    n: usize,
+}
+
+impl std::fmt::Debug for EquivocatingActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EquivocatingActor").field("node", &self.node).finish()
+    }
+}
+
+impl EquivocatingActor {
+    /// Creates an equivocator for `node` in an `n`-node round-robin network.
+    pub fn new(node: NodeId, n: usize) -> Self {
+        EquivocatingActor { node, keypair: KeyPair::from_seed(node.0 as u64), n }
+    }
+
+    fn is_leader(&self, view: View) -> bool {
+        (view.0.saturating_sub(1) as usize % self.n) == self.node.as_usize()
+    }
+}
+
+impl Actor<Message> for EquivocatingActor {
+    fn on_start(&mut self, _ctx: &mut Context<Message>) {}
+
+    fn on_message(&mut self, _from: NodeId, msg: Message, ctx: &mut Context<Message>) {
+        match msg {
+            Message::Propose { block, justify, view } => {
+                // Vote for everything, with every vote kind.
+                for kind in [VoteKind::Optimistic, VoteKind::Normal] {
+                    let vote = Vote {
+                        kind,
+                        block_id: block.id(),
+                        block_height: block.height(),
+                        view,
+                    };
+                    ctx.multicast(Message::Vote(SignedVote::sign(
+                        vote,
+                        self.node,
+                        &self.keypair,
+                    )));
+                }
+                // If the next view is ours, propose two equivocating blocks.
+                let next = view.next();
+                if self.is_leader(next) {
+                    for salt in [1u8, 2u8] {
+                        let child = Block::build(
+                            next,
+                            self.node,
+                            &block,
+                            Payload::from(vec![salt; 4]),
+                        );
+                        ctx.multicast(Message::OptPropose { block: child, view: next });
+                    }
+                }
+                let _ = justify;
+            }
+            Message::OptPropose { block, view } => {
+                let vote = Vote {
+                    kind: VoteKind::Optimistic,
+                    block_id: block.id(),
+                    block_height: block.height(),
+                    view,
+                };
+                ctx.multicast(Message::Vote(SignedVote::sign(vote, self.node, &self.keypair)));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<Message>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::ProtocolActor;
+    use crate::metrics::MetricsSink;
+    use moonshot_consensus::{NodeConfig, PipelinedMoonshot};
+    use moonshot_net::{NetworkConfig, NicModel, Simulation, UniformLatency};
+    use moonshot_types::time::{SimDuration, SimTime};
+
+    #[test]
+    fn equivocator_does_not_break_safety_or_liveness() {
+        let metrics = Arc::new(Mutex::new(MetricsSink::new()));
+        let n = 4;
+        let actors: Vec<Box<dyn Actor<Message>>> = (0..n)
+            .map(|i| {
+                let node = NodeId::from_index(i);
+                if i == 3 {
+                    Box::new(EquivocatingActor::new(node, n)) as Box<dyn Actor<Message>>
+                } else {
+                    let cfg = NodeConfig::simulated(node, n, SimDuration::from_millis(50));
+                    Box::new(ProtocolActor::new(
+                        node,
+                        Box::new(PipelinedMoonshot::new(cfg)),
+                        metrics.clone(),
+                    )) as Box<dyn Actor<Message>>
+                }
+            })
+            .collect();
+        let config = NetworkConfig::new(
+            Box::new(UniformLatency::new(SimDuration::from_millis(5), SimDuration::ZERO)),
+            NicModel::unbounded(n),
+        );
+        let mut sim = Simulation::new(actors, config);
+        sim.run_until(SimTime(3_000_000));
+        // Quorum here is 3 = the three honest nodes: progress must continue.
+        let m = metrics.lock().summarise(3, SimDuration::from_secs(3));
+        assert!(m.committed_blocks >= 3, "committed {}", m.committed_blocks);
+    }
+
+    #[test]
+    fn silent_actor_emits_nothing() {
+        let metrics = Arc::new(Mutex::new(MetricsSink::new()));
+        let n = 4;
+        let actors: Vec<Box<dyn Actor<Message>>> = (0..n)
+            .map(|i| {
+                let node = NodeId::from_index(i);
+                if i == 0 {
+                    Box::new(SilentActor) as Box<dyn Actor<Message>>
+                } else {
+                    let cfg = NodeConfig::simulated(node, n, SimDuration::from_millis(50));
+                    Box::new(ProtocolActor::new(
+                        node,
+                        Box::new(PipelinedMoonshot::new(cfg)),
+                        metrics.clone(),
+                    )) as Box<dyn Actor<Message>>
+                }
+            })
+            .collect();
+        let config = NetworkConfig::new(
+            Box::new(UniformLatency::new(SimDuration::from_millis(5), SimDuration::ZERO)),
+            NicModel::unbounded(n),
+        );
+        let mut sim = Simulation::new(actors, config);
+        sim.run_until(SimTime(3_000_000));
+        let m = metrics.lock().summarise(3, SimDuration::from_secs(3));
+        // Node 0 leads view 1: its silence forces a timeout, then progress.
+        assert!(m.committed_blocks >= 3, "committed {}", m.committed_blocks);
+        assert_eq!(metrics.lock().commits_of(NodeId(0)), 0);
+    }
+}

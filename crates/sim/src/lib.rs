@@ -1,0 +1,36 @@
+//! Simulation harness for the Moonshot reproduction: runs the protocols of
+//! `moonshot-consensus` over the `moonshot-net` discrete-event WAN and
+//! reproduces the paper's evaluation (§VI).
+//!
+//! * [`runner`] — single-run configuration and execution;
+//! * [`experiment`] — the paper's experiment grids (Fig. 6–9, Table III);
+//! * [`metrics`] — throughput / latency / transfer-rate accounting;
+//! * [`byzantine`] — silent and equivocating faulty nodes;
+//! * [`adapter`] — bridges sans-IO protocols onto the simulator.
+//!
+//! # Examples
+//!
+//! Reproduce one cell of the paper's happy-path comparison:
+//!
+//! ```
+//! use moonshot_sim::runner::{run, ProtocolKind, RunConfig};
+//! use moonshot_types::time::SimDuration;
+//!
+//! let cfg = RunConfig::happy_path(ProtocolKind::CommitMoonshot, 10, 1_800)
+//!     .with_duration(SimDuration::from_secs(5));
+//! let report = run(&cfg);
+//! assert!(report.metrics.committed_blocks > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adapter;
+pub mod byzantine;
+pub mod experiment;
+pub mod metrics;
+pub mod runner;
+
+pub use adapter::ProtocolActor;
+pub use metrics::{MetricsSink, RunMetrics};
+pub use runner::{run, run_averaged, ProtocolKind, RunConfig, RunReport, Schedule};

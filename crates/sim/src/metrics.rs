@@ -1,0 +1,261 @@
+//! Run metrics, matching §VI of the paper.
+//!
+//! * **Throughput** — the number of blocks committed by at least `2f + 1`
+//!   nodes during a run.
+//! * **Transfer rate** — bytes of payload from committed blocks per second.
+//! * **Latency** — the average time between the *creation* of a block (its
+//!   first proposal multicast) and its commit by the `(2f+1)`-th node.
+
+use std::collections::HashMap;
+
+use moonshot_types::time::{SimDuration, SimTime};
+use moonshot_types::{BlockId, Height, NodeId, View};
+
+/// Per-block bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct BlockRecord {
+    created_at: Option<SimTime>,
+    payload_bytes: u64,
+    view: View,
+    height: Height,
+    commit_times: Vec<(NodeId, SimTime)>,
+}
+
+/// Collects per-block creation and commit events across all nodes of a run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSink {
+    blocks: HashMap<BlockId, BlockRecord>,
+    /// Blocks committed per node (for per-node progress checks).
+    per_node_commits: HashMap<NodeId, u64>,
+    /// Highest view observed per node.
+    views: HashMap<NodeId, View>,
+}
+
+impl MetricsSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a block's creation (first proposal multicast). Later calls
+    /// for the same block are ignored.
+    pub fn record_created(
+        &mut self,
+        block: BlockId,
+        view: View,
+        height: Height,
+        payload_bytes: u64,
+        now: SimTime,
+    ) {
+        let rec = self.blocks.entry(block).or_default();
+        if rec.created_at.is_none() {
+            rec.created_at = Some(now);
+            rec.payload_bytes = payload_bytes;
+            rec.view = view;
+            rec.height = height;
+        }
+    }
+
+    /// Records `node` committing `block` at `now`.
+    pub fn record_commit(&mut self, node: NodeId, block: BlockId, now: SimTime) {
+        let rec = self.blocks.entry(block).or_default();
+        if rec.commit_times.iter().all(|(n, _)| *n != node) {
+            rec.commit_times.push((node, now));
+            *self.per_node_commits.entry(node).or_default() += 1;
+        }
+    }
+
+    /// Records a node's current view (called at run end).
+    pub fn record_view(&mut self, node: NodeId, view: View) {
+        self.views.insert(node, view);
+    }
+
+    /// Number of blocks committed by `node`.
+    pub fn commits_of(&self, node: NodeId) -> u64 {
+        self.per_node_commits.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The highest view any node reached.
+    pub fn max_view(&self) -> View {
+        self.views.values().copied().max().unwrap_or(View::GENESIS)
+    }
+
+    /// Debug helper: per-block `(view, created_at, sorted commit times)`.
+    pub fn block_timelines(&self) -> Vec<(View, Option<SimTime>, Vec<SimTime>)> {
+        let mut rows: Vec<_> = self
+            .blocks
+            .values()
+            .map(|r| {
+                let mut times: Vec<SimTime> = r.commit_times.iter().map(|(_, t)| *t).collect();
+                times.sort();
+                (r.view, r.created_at, times)
+            })
+            .collect();
+        rows.sort_by_key(|(v, _, _)| *v);
+        rows
+    }
+
+    /// Summarises the run. `quorum` is `2f + 1`; `duration` the wall-clock
+    /// length of the run in simulated time.
+    pub fn summarise(&self, quorum: usize, duration: SimDuration) -> RunMetrics {
+        let mut committed_blocks = 0u64;
+        let mut committed_payload = 0u64;
+        let mut latencies = Vec::new();
+        for rec in self.blocks.values() {
+            if rec.commit_times.len() < quorum {
+                continue;
+            }
+            committed_blocks += 1;
+            committed_payload += rec.payload_bytes;
+            if let Some(created) = rec.created_at {
+                let mut times: Vec<SimTime> =
+                    rec.commit_times.iter().map(|(_, t)| *t).collect();
+                times.sort();
+                let quorum_commit = times[quorum - 1];
+                latencies.push(quorum_commit.since(created));
+            }
+        }
+        latencies.sort();
+        let avg_latency = if latencies.is_empty() {
+            None
+        } else {
+            let sum: u64 = latencies.iter().map(|d| d.as_micros()).sum();
+            Some(SimDuration(sum / latencies.len() as u64))
+        };
+        let p50 = latencies.get(latencies.len() / 2).copied();
+        let p99 = latencies.get(latencies.len().saturating_sub(1).min(
+            (latencies.len() as f64 * 0.99) as usize,
+        )).copied();
+        RunMetrics {
+            committed_blocks,
+            committed_payload_bytes: committed_payload,
+            duration,
+            avg_latency,
+            p50_latency: p50,
+            p99_latency: p99,
+            max_view: self.max_view(),
+        }
+    }
+}
+
+/// Summary of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMetrics {
+    /// Blocks committed by at least `2f + 1` nodes.
+    pub committed_blocks: u64,
+    /// Total payload bytes across those blocks.
+    pub committed_payload_bytes: u64,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// Mean creation→(2f+1)-th-commit latency.
+    pub avg_latency: Option<SimDuration>,
+    /// Median latency.
+    pub p50_latency: Option<SimDuration>,
+    /// 99th-percentile latency.
+    pub p99_latency: Option<SimDuration>,
+    /// Highest view reached by any node.
+    pub max_view: View,
+}
+
+impl RunMetrics {
+    /// Blocks committed per second.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.duration == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.committed_blocks as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Payload bytes transferred per second (the paper's *transfer rate*).
+    pub fn transfer_rate_bytes_per_sec(&self) -> f64 {
+        if self.duration == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.committed_payload_bytes as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Mean latency in milliseconds (`f64::NAN` when nothing committed).
+    pub fn avg_latency_ms(&self) -> f64 {
+        self.avg_latency.map_or(f64::NAN, |d| d.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moonshot_crypto::Digest;
+
+    fn bid(i: u8) -> BlockId {
+        Digest::hash(&[i])
+    }
+
+    #[test]
+    fn quorum_commit_counted() {
+        let mut sink = MetricsSink::new();
+        sink.record_created(bid(1), View(1), Height(1), 180, SimTime(1_000));
+        for i in 0..3u16 {
+            sink.record_commit(NodeId(i), bid(1), SimTime(31_000 + i as u64));
+        }
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        assert_eq!(m.committed_blocks, 1);
+        assert_eq!(m.committed_payload_bytes, 180);
+        // Latency to the 3rd committer: 31_002 - 1_000.
+        assert_eq!(m.avg_latency, Some(SimDuration(30_002)));
+        assert!((m.throughput_bps() - 1.0).abs() < 1e-9);
+        assert!((m.transfer_rate_bytes_per_sec() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_quorum_not_counted() {
+        let mut sink = MetricsSink::new();
+        sink.record_created(bid(1), View(1), Height(1), 0, SimTime::ZERO);
+        sink.record_commit(NodeId(0), bid(1), SimTime(10));
+        sink.record_commit(NodeId(1), bid(1), SimTime(20));
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        assert_eq!(m.committed_blocks, 0);
+        assert!(m.avg_latency.is_none());
+    }
+
+    #[test]
+    fn duplicate_commits_by_same_node_ignored() {
+        let mut sink = MetricsSink::new();
+        sink.record_created(bid(1), View(1), Height(1), 0, SimTime::ZERO);
+        sink.record_commit(NodeId(0), bid(1), SimTime(10));
+        sink.record_commit(NodeId(0), bid(1), SimTime(20));
+        assert_eq!(sink.commits_of(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn creation_recorded_once() {
+        let mut sink = MetricsSink::new();
+        sink.record_created(bid(1), View(1), Height(1), 10, SimTime(5));
+        sink.record_created(bid(1), View(1), Height(1), 99, SimTime(50));
+        for i in 0..3u16 {
+            sink.record_commit(NodeId(i), bid(1), SimTime(100));
+        }
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        assert_eq!(m.committed_payload_bytes, 10);
+        assert_eq!(m.avg_latency, Some(SimDuration(95)));
+    }
+
+    #[test]
+    fn max_view_tracked() {
+        let mut sink = MetricsSink::new();
+        sink.record_view(NodeId(0), View(10));
+        sink.record_view(NodeId(1), View(12));
+        assert_eq!(sink.max_view(), View(12));
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut sink = MetricsSink::new();
+        for b in 0..100u8 {
+            sink.record_created(bid(b), View(b as u64), Height(b as u64), 0, SimTime::ZERO);
+            for i in 0..3u16 {
+                sink.record_commit(NodeId(i), bid(b), SimTime(1_000 * (b as u64 + 1)));
+            }
+        }
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        assert!(m.p50_latency.unwrap() <= m.p99_latency.unwrap());
+    }
+}

@@ -1,0 +1,220 @@
+//! Strongly typed identifiers: views, heights and node ids.
+//!
+//! The paper's protocols progress through numbered *views* (§II.B), each
+//! block has a *height* (number of ancestors), and nodes are `P_1 … P_n`.
+//! Newtypes keep these from being confused (C-NEWTYPE).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A view number. Views start at 1; view 0 is reserved for the genesis block.
+///
+/// # Examples
+///
+/// ```
+/// use moonshot_types::View;
+/// let v = View(3);
+/// assert_eq!(v.next(), View(4));
+/// assert_eq!(v.prev(), Some(View(2)));
+/// assert!(View::GENESIS.prev().is_none());
+/// ```
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct View(pub u64);
+
+impl View {
+    /// The view of the genesis block.
+    pub const GENESIS: View = View(0);
+    /// The first operational view; all nodes start here.
+    pub const FIRST: View = View(1);
+
+    /// The next view.
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+
+    /// The previous view, or `None` at genesis.
+    pub fn prev(self) -> Option<View> {
+        self.0.checked_sub(1).map(View)
+    }
+
+    /// Whether `self` immediately follows `other`.
+    pub fn is_successor_of(self, other: View) -> bool {
+        other.0 + 1 == self.0
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "View({})", self.0)
+    }
+}
+
+impl Add<u64> for View {
+    type Output = View;
+    fn add(self, rhs: u64) -> View {
+        View(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for View {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<View> for View {
+    type Output = u64;
+    fn sub(self, rhs: View) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A block height: the number of ancestors of a block. Genesis is height 0.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Height(pub u64);
+
+impl Height {
+    /// Height of the genesis block.
+    pub const GENESIS: Height = Height(0);
+
+    /// The height of a direct child.
+    pub fn child(self) -> Height {
+        Height(self.0 + 1)
+    }
+
+    /// The height of the parent, or `None` at genesis.
+    pub fn parent(self) -> Option<Height> {
+        self.0.checked_sub(1).map(Height)
+    }
+}
+
+impl fmt::Display for Height {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Debug for Height {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Height({})", self.0)
+    }
+}
+
+impl Add<u64> for Height {
+    type Output = Height;
+    fn add(self, rhs: u64) -> Height {
+        Height(self.0 + rhs)
+    }
+}
+
+/// Identifier of a node `P_i` in the validator set. Doubles as the signer
+/// index in the PKI keyring.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The signer index for the crypto layer.
+    pub fn signer_index(self) -> moonshot_crypto::SignerIndex {
+        self.0
+    }
+
+    /// Convenience constructor from a usize (panics on overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX`.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u16::try_from(index).expect("node index fits in u16"))
+    }
+
+    /// This node's position as a usize, for indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_successor_relation() {
+        assert!(View(5).is_successor_of(View(4)));
+        assert!(!View(5).is_successor_of(View(3)));
+        assert!(!View(4).is_successor_of(View(5)));
+    }
+
+    #[test]
+    fn view_arithmetic() {
+        assert_eq!(View(1) + 3, View(4));
+        assert_eq!(View(7) - View(3), 4);
+        let mut v = View(0);
+        v += 2;
+        assert_eq!(v, View(2));
+    }
+
+    #[test]
+    fn genesis_has_no_prev() {
+        assert_eq!(View::GENESIS.prev(), None);
+        assert_eq!(Height::GENESIS.parent(), None);
+    }
+
+    #[test]
+    fn height_child_parent_inverse() {
+        let h = Height(9);
+        assert_eq!(h.child().parent(), Some(h));
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(id.signer_index(), 42);
+        assert_eq!(id.to_string(), "P42");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index fits in u16")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(100_000);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(View(2) < View(10));
+        assert!(Height(2) < Height(10));
+        assert!(NodeId(2) < NodeId(10));
+    }
+}

@@ -1,0 +1,162 @@
+//! Block payloads.
+//!
+//! The paper's evaluation replaced the mempool by having leaders "create
+//! parametrically sized payloads during the block creation process, with
+//! individual payload items being 180 bytes in size" (§VI). A payload here is
+//! either real bytes (for small tests and examples) or a *synthetic* payload
+//! that records only its size and a content digest — so that simulating a
+//! 9 MB block does not allocate 9 MB, while the bandwidth model still charges
+//! for every byte.
+
+use std::fmt;
+
+use moonshot_crypto::Digest;
+use serde::{Deserialize, Serialize};
+
+use crate::wire::WireSize;
+
+/// Size of one payload item in bytes, as in the paper's evaluation.
+pub const PAYLOAD_ITEM_BYTES: u64 = 180;
+
+/// The transactions carried by a block (`b_v` in the paper).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Payload {
+    /// Real transaction bytes.
+    Data(Vec<u8>),
+    /// A stand-in for `size` bytes of transactions with the given digest.
+    Synthetic {
+        /// Total payload size in bytes.
+        size: u64,
+        /// Digest standing in for the payload contents.
+        digest: Digest,
+    },
+}
+
+impl Payload {
+    /// The empty payload.
+    pub fn empty() -> Self {
+        Payload::Data(Vec::new())
+    }
+
+    /// A synthetic payload of `items` × 180-byte items, deterministically
+    /// keyed by `(view_seed)` so equal parameters produce equal payloads.
+    pub fn synthetic_items(items: u64, view_seed: u64) -> Self {
+        let size = items * PAYLOAD_ITEM_BYTES;
+        Payload::Synthetic {
+            size,
+            digest: Digest::hash_parts(&[
+                b"moonshot-synthetic-payload",
+                &items.to_le_bytes(),
+                &view_seed.to_le_bytes(),
+            ]),
+        }
+    }
+
+    /// A synthetic payload of approximately `bytes` bytes (rounded down to a
+    /// whole number of 180-byte items).
+    pub fn synthetic_bytes(bytes: u64, view_seed: u64) -> Self {
+        Payload::synthetic_items(bytes / PAYLOAD_ITEM_BYTES, view_seed)
+    }
+
+    /// Payload size in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Payload::Data(d) => d.len() as u64,
+            Payload::Synthetic { size, .. } => *size,
+        }
+    }
+
+    /// Number of 180-byte items this payload represents.
+    pub fn item_count(&self) -> u64 {
+        self.size() / PAYLOAD_ITEM_BYTES
+    }
+
+    /// Digest of the payload contents, used inside the block id.
+    pub fn digest(&self) -> Digest {
+        match self {
+            Payload::Data(d) => Digest::hash_parts(&[b"moonshot-data-payload", d]),
+            Payload::Synthetic { digest, .. } => *digest,
+        }
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl WireSize for Payload {
+    fn wire_size(&self) -> usize {
+        // The digest/len metadata is negligible; payloads cost their bytes.
+        self.size() as usize
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Data(d) => write!(f, "Payload::Data({} bytes)", d.len()),
+            Payload::Synthetic { size, digest } => {
+                write!(f, "Payload::Synthetic({size} bytes, {})", digest.short())
+            }
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload::Data(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload_is_zero_sized() {
+        assert_eq!(Payload::empty().size(), 0);
+        assert_eq!(Payload::empty().wire_size(), 0);
+        assert_eq!(Payload::empty().item_count(), 0);
+    }
+
+    #[test]
+    fn synthetic_size_is_items_times_180() {
+        let p = Payload::synthetic_items(10, 0);
+        assert_eq!(p.size(), 1800);
+        assert_eq!(p.item_count(), 10);
+    }
+
+    #[test]
+    fn synthetic_bytes_rounds_down_to_items() {
+        let p = Payload::synthetic_bytes(1_000, 0);
+        assert_eq!(p.size(), 5 * PAYLOAD_ITEM_BYTES); // 900
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_per_seed() {
+        assert_eq!(Payload::synthetic_items(5, 7), Payload::synthetic_items(5, 7));
+        assert_ne!(
+            Payload::synthetic_items(5, 7).digest(),
+            Payload::synthetic_items(5, 8).digest()
+        );
+    }
+
+    #[test]
+    fn data_digest_depends_on_contents() {
+        assert_ne!(
+            Payload::from(vec![1, 2, 3]).digest(),
+            Payload::from(vec![1, 2, 4]).digest()
+        );
+    }
+
+    #[test]
+    fn paper_payload_sizes_representable() {
+        // The paper sweeps empty → 1.8 kB → 18 kB → 180 kB → 1.8 MB → 9 MB.
+        for &bytes in &[0u64, 1_800, 18_000, 180_000, 1_800_000, 9_000_000] {
+            let p = Payload::synthetic_bytes(bytes, 0);
+            assert_eq!(p.size(), bytes);
+        }
+    }
+}

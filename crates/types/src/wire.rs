@@ -1,0 +1,60 @@
+//! Wire-size accounting.
+//!
+//! The simulator's bandwidth model and the paper's modified partially
+//! synchronous model (§V) distinguish *small* messages (votes, ρ) from
+//! *large* messages (block proposals, β). Every protocol message reports its
+//! approximate serialized size through [`WireSize`]; delivery latency then
+//! grows with size exactly as it would on a real link.
+
+/// Approximate serialized size of a message in bytes.
+pub trait WireSize {
+    /// Serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Size of a digest reference on the wire.
+pub const DIGEST_WIRE: usize = 32;
+/// Size of a signature on the wire.
+pub const SIGNATURE_WIRE: usize = 64;
+/// Size of a view number / height on the wire.
+pub const U64_WIRE: usize = 8;
+/// Size of a node / signer index on the wire.
+pub const INDEX_WIRE: usize = 2;
+/// Fixed per-message envelope overhead (type tag, lengths, framing).
+pub const ENVELOPE_WIRE: usize = 16;
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl WireSize for Fixed {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn option_adds_tag_byte() {
+        assert_eq!(None::<Fixed>.wire_size(), 1);
+        assert_eq!(Some(Fixed(10)).wire_size(), 11);
+    }
+
+    #[test]
+    fn vec_adds_length_prefix() {
+        assert_eq!(Vec::<Fixed>::new().wire_size(), 4);
+        assert_eq!(vec![Fixed(3), Fixed(4)].wire_size(), 11);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the block/certificate data model.
+
+use moonshot_crypto::{KeyPair, Keyring};
+use moonshot_types::{
+    Block, NodeId, Payload, QuorumCertificate, SignedTimeout, SignedVote, TimeoutCertificate,
+    View, Vote, VoteKind, WireSize,
+};
+use proptest::prelude::*;
+
+fn chain(views: &[u64]) -> Vec<Block> {
+    let mut blocks = vec![Block::genesis()];
+    for (i, &v) in views.iter().enumerate() {
+        let parent = blocks.last().unwrap();
+        blocks.push(Block::build(
+            View(parent.view().0 + 1 + v),
+            NodeId((i % 7) as u16),
+            parent,
+            Payload::synthetic_items((i % 5) as u64, v),
+        ));
+    }
+    blocks
+}
+
+fn votes_for(block: &Block, kind: VoteKind, voters: impl Iterator<Item = u16>) -> Vec<SignedVote> {
+    voters
+        .map(|i| {
+            SignedVote::sign(
+                Vote {
+                    kind,
+                    block_id: block.id(),
+                    block_height: block.height(),
+                    view: block.view(),
+                },
+                NodeId(i),
+                &KeyPair::from_seed(i as u64),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Block identity is a pure function of content: rebuilt blocks have
+    /// equal ids, and any view/payload perturbation changes the id.
+    #[test]
+    fn block_id_is_content_addressed(view in 1u64..1_000, items in 0u64..50, seed in 0u64..100) {
+        let g = Block::genesis();
+        let a = Block::build(View(view), NodeId(0), &g, Payload::synthetic_items(items, seed));
+        let b = Block::build(View(view), NodeId(0), &g, Payload::synthetic_items(items, seed));
+        prop_assert_eq!(a.id(), b.id());
+        let c = Block::build(View(view + 1), NodeId(0), &g, Payload::synthetic_items(items, seed));
+        prop_assert_ne!(a.id(), c.id());
+    }
+
+    /// Heights along any constructed chain increase by exactly one and every
+    /// block directly extends its predecessor.
+    #[test]
+    fn chains_are_well_formed(gaps in proptest::collection::vec(0u64..3, 1..20)) {
+        let blocks = chain(&gaps);
+        for w in blocks.windows(2) {
+            prop_assert!(w[1].directly_extends(&w[0]));
+            prop_assert_eq!(w[1].height().0, w[0].height().0 + 1);
+            prop_assert!(w[1].view() > w[0].view());
+            prop_assert!(w[1].header_is_valid());
+        }
+    }
+
+    /// Any quorum-sized subset of honest voters certifies; any sub-quorum
+    /// subset does not.
+    #[test]
+    fn qc_assembly_threshold(n in 4usize..30, kind_idx in 0usize..3, deficit in 0usize..2) {
+        let ring = Keyring::simulated(n);
+        let kind = [VoteKind::Optimistic, VoteKind::Normal, VoteKind::Fallback][kind_idx];
+        let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::empty());
+        let count = ring.quorum_threshold() - deficit;
+        let votes = votes_for(&block, kind, (0..count as u16).collect::<Vec<_>>().into_iter());
+        let result = QuorumCertificate::from_votes(&votes, &ring);
+        prop_assert_eq!(result.is_ok(), deficit == 0);
+        if let Ok(qc) = result {
+            prop_assert_eq!(qc.kind(), kind);
+            prop_assert!(qc.certifies(&block));
+            prop_assert!(qc.verify(&ring).is_ok());
+        }
+    }
+
+    /// The TC's high-QC equals the maximum lock among its timeouts,
+    /// regardless of submission order.
+    #[test]
+    fn tc_extracts_max_lock(order in proptest::collection::vec(0usize..3, 3..=3)) {
+        let ring = Keyring::simulated(4);
+        let blocks = chain(&[0, 0, 0]);
+        let qcs: Vec<QuorumCertificate> = blocks[1..]
+            .iter()
+            .map(|b| {
+                QuorumCertificate::from_votes(
+                    &votes_for(b, VoteKind::Normal, 0..3u16),
+                    &ring,
+                )
+                .unwrap()
+            })
+            .collect();
+        let timeouts: Vec<SignedTimeout> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &qi)| {
+                SignedTimeout::sign(
+                    View(9),
+                    Some(qcs[qi].clone()),
+                    NodeId(i as u16),
+                    &KeyPair::from_seed(i as u64),
+                )
+            })
+            .collect();
+        let tc = TimeoutCertificate::from_timeouts(&timeouts, &ring).unwrap();
+        let max_view = order.iter().map(|&qi| qcs[qi].view()).max().unwrap();
+        prop_assert_eq!(tc.high_qc().unwrap().view(), max_view);
+        prop_assert!(tc.verify(&ring).is_ok());
+    }
+
+    /// Wire sizes: payload dominates proposals; votes are constant-size.
+    #[test]
+    fn wire_size_monotone_in_payload(a in 0u64..1_000, b in 0u64..1_000) {
+        let g = Block::genesis();
+        let small = Block::build(View(1), NodeId(0), &g, Payload::synthetic_items(a.min(b), 0));
+        let large = Block::build(View(1), NodeId(0), &g, Payload::synthetic_items(a.max(b), 0));
+        prop_assert!(small.wire_size() <= large.wire_size());
+    }
+
+    /// Equivocation is symmetric, irreflexive and implies equal views.
+    #[test]
+    fn equivocation_relation(v in 1u64..100, pa in 0u64..5, pb in 0u64..5) {
+        let g = Block::genesis();
+        let a = Block::build(View(v), NodeId(0), &g, Payload::synthetic_items(pa, 1));
+        let b = Block::build(View(v), NodeId(0), &g, Payload::synthetic_items(pb, 2));
+        prop_assert!(!a.equivocates(&a));
+        prop_assert_eq!(a.equivocates(&b), b.equivocates(&a));
+        if a.equivocates(&b) {
+            prop_assert_eq!(a.view(), b.view());
+        }
+    }
+}

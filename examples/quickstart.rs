@@ -1,0 +1,33 @@
+//! Quickstart: run each of the four protocols on a small simulated WAN and
+//! print their headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use moonshot::sim::runner::{run, ProtocolKind, RunConfig};
+use moonshot::types::time::SimDuration;
+
+fn main() {
+    println!("Moonshot quickstart: 10 nodes, 5-region WAN (Table II), 1.8 kB blocks, 15 s\n");
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>14}",
+        "protocol", "blocks", "blocks/s", "avg latency", "transfer rate"
+    );
+    for protocol in ProtocolKind::evaluated() {
+        let config = RunConfig::happy_path(protocol, 10, 1_800)
+            .with_duration(SimDuration::from_secs(15));
+        let report = run(&config);
+        let m = report.metrics;
+        println!(
+            "{:<22} {:>8} {:>12.2} {:>11.0} ms {:>12.1} kB/s",
+            protocol.label(),
+            m.committed_blocks,
+            m.throughput_bps(),
+            m.avg_latency_ms(),
+            m.transfer_rate_bytes_per_sec() / 1_000.0,
+        );
+    }
+    println!("\nMoonshot protocols commit ~1.4-1.5x as many blocks as Jolteon at lower latency,");
+    println!("thanks to the δ block period (optimistic proposals + vote multicasting).");
+}

@@ -1,0 +1,57 @@
+//! # Moonshot
+//!
+//! A from-scratch Rust reproduction of **"Moonshot: Optimizing Block Period
+//! and Commit Latency in Chain-Based Rotating Leader BFT"** (DSN 2024): the
+//! first chain-based rotating-leader BFT SMR protocols for partial synchrony
+//! with a block period of δ and a commit latency of 3δ.
+//!
+//! The workspace provides:
+//!
+//! * [`consensus`] — Simple, Pipelined and Commit Moonshot plus the Jolteon
+//!   baseline, as deterministic sans-IO state machines;
+//! * [`types`] — blocks, votes, block/timeout certificates with full quorum
+//!   validation;
+//! * [`crypto`] — SHA-256 (from scratch, NIST-tested), a simulated
+//!   ED25519-sized signature scheme, PKI and multi-signatures;
+//! * [`net`] — a deterministic discrete-event WAN simulator with the paper's
+//!   Table II latency matrix, a fair-share NIC bandwidth model and partial
+//!   synchrony (GST);
+//! * [`sim`] — the experiment harness reproducing the paper's evaluation
+//!   (§VI): happy-path grids, transfer-rate frontiers and the three
+//!   adversarial leader schedules.
+//!
+//! # Quickstart
+//!
+//! Run four Commit Moonshot nodes over a simulated 5-region WAN:
+//!
+//! ```
+//! use moonshot::sim::runner::{run, ProtocolKind, RunConfig};
+//! use moonshot::types::time::SimDuration;
+//!
+//! let config = RunConfig::happy_path(ProtocolKind::CommitMoonshot, 4, 1_800)
+//!     .with_duration(SimDuration::from_secs(5));
+//! let report = run(&config);
+//! assert!(report.metrics.committed_blocks > 0);
+//! println!(
+//!     "committed {} blocks at {:.0} ms average latency",
+//!     report.metrics.committed_blocks,
+//!     report.metrics.avg_latency_ms(),
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use moonshot_consensus as consensus;
+pub use moonshot_crypto as crypto;
+pub use moonshot_net as net;
+pub use moonshot_sim as sim;
+pub use moonshot_types as types;
+
+pub use moonshot_consensus::{
+    CommitMoonshot, ConsensusProtocol, Jolteon, NodeConfig, PipelinedMoonshot, SimpleMoonshot,
+};
+pub use moonshot_sim::{run, ProtocolKind, RunConfig};

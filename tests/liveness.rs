@@ -1,0 +1,127 @@
+//! Liveness: after GST, every protocol keeps committing client requests —
+//! including with crash faults at the `f` boundary and late GST.
+
+use moonshot::consensus::harness::LocalNet;
+use moonshot::consensus::{
+    CommitMoonshot, ConsensusProtocol, Jolteon, Message, NodeConfig, PipelinedMoonshot,
+    SimpleMoonshot,
+};
+use moonshot::types::time::{SimDuration, SimTime};
+use moonshot::types::NodeId;
+
+type Maker = fn(NodeConfig) -> Box<dyn ConsensusProtocol>;
+
+fn all_protocols() -> [(&'static str, Maker); 4] {
+    [
+        ("simple", |cfg| Box::new(SimpleMoonshot::new(cfg))),
+        ("pipelined", |cfg| Box::new(PipelinedMoonshot::new(cfg))),
+        ("commit", |cfg| Box::new(CommitMoonshot::new(cfg))),
+        ("jolteon", |cfg| Box::new(Jolteon::new(cfg))),
+    ]
+}
+
+fn nodes_of(make: Maker, n: usize, delta_ms: u64) -> Vec<Box<dyn ConsensusProtocol>> {
+    (0..n)
+        .map(|i| {
+            make(NodeConfig::simulated(
+                NodeId::from_index(i),
+                n,
+                SimDuration::from_millis(delta_ms),
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn all_protocols_commit_steadily_in_synchrony() {
+    for (name, make) in all_protocols() {
+        let mut net =
+            LocalNet::with_uniform_latency(nodes_of(make, 4, 100), SimDuration::from_millis(10));
+        net.run_for(SimDuration::from_secs(5));
+        let committed = net.committed(NodeId(0)).len();
+        assert!(committed >= 30, "{name}: only {committed} commits in 5s");
+    }
+}
+
+#[test]
+fn progress_resumes_after_late_gst() {
+    // Total message loss until GST at 3s, then a clean network: every
+    // protocol must recover and commit.
+    for (name, make) in all_protocols() {
+        let policy = Box::new(|_f: NodeId, _t: NodeId, _m: &Message, now: SimTime| {
+            if now < SimTime(3_000_000) {
+                None
+            } else {
+                Some(SimDuration::from_millis(15))
+            }
+        });
+        let mut net = LocalNet::with_policy(nodes_of(make, 4, 100), policy);
+        net.run_for(SimDuration::from_secs(10));
+        let committed = net.committed(NodeId(1)).len();
+        assert!(committed >= 5, "{name}: only {committed} commits after GST");
+    }
+}
+
+#[test]
+fn exactly_f_crashes_are_tolerated() {
+    for (name, make) in all_protocols() {
+        let n = 10; // f = 3
+        let mut net =
+            LocalNet::with_uniform_latency(nodes_of(make, n, 80), SimDuration::from_millis(8));
+        net.crash(NodeId(1));
+        net.crash(NodeId(4));
+        net.crash(NodeId(7));
+        net.run_for(SimDuration::from_secs(10));
+        for i in [0u16, 2, 3, 5, 6, 8, 9] {
+            let committed = net.committed(NodeId(i)).len();
+            assert!(committed >= 5, "{name}: node {i} committed only {committed}");
+        }
+    }
+}
+
+#[test]
+fn lagging_node_catches_up() {
+    // One node is partitioned for 4 s, then heals: it must catch up to
+    // within a few views of the rest and adopt the same chain.
+    for (name, make) in all_protocols() {
+        let policy = Box::new(|_f: NodeId, to: NodeId, _m: &Message, now: SimTime| {
+            if to == NodeId(3) && now < SimTime(4_000_000) {
+                None
+            } else {
+                Some(SimDuration::from_millis(10))
+            }
+        });
+        let mut net = LocalNet::with_policy(nodes_of(make, 4, 100), policy);
+        net.run_for(SimDuration::from_secs(10));
+        let lead = net.view_of(NodeId(0));
+        let lag = net.view_of(NodeId(3));
+        assert!(
+            lead.0.saturating_sub(lag.0) <= 6,
+            "{name}: node 3 stuck at {lag} vs {lead}"
+        );
+        // Prefix consistency with the healthy majority.
+        let healthy: Vec<_> = net.committed(NodeId(0)).iter().map(|c| c.block.id()).collect();
+        let late: Vec<_> = net.committed(NodeId(3)).iter().map(|c| c.block.id()).collect();
+        for (pos, id) in late.iter().enumerate().take(healthy.len()) {
+            assert_eq!(*id, healthy[pos], "{name}: divergence at {pos}");
+        }
+    }
+}
+
+#[test]
+fn view_timers_drive_progress_through_silent_leader_runs() {
+    // Three consecutive crashed leaders (positions 1, 2, 3 in round-robin):
+    // the remaining nodes must chain timeouts across the dead run.
+    for (name, make) in all_protocols() {
+        let n = 10;
+        let mut net =
+            LocalNet::with_uniform_latency(nodes_of(make, n, 60), SimDuration::from_millis(6));
+        net.crash(NodeId(1));
+        net.crash(NodeId(2));
+        net.crash(NodeId(3));
+        net.run_for(SimDuration::from_secs(12));
+        let committed = net.committed(NodeId(0)).len();
+        assert!(committed >= 3, "{name}: {committed} commits");
+        assert!(net.view_of(NodeId(0)).0 > 10, "{name}: views stalled");
+    }
+}

@@ -1,0 +1,124 @@
+//! Reorg resilience (Definition 5): when an honest leader proposes after
+//! GST, one of its proposals becomes certified and extended by every
+//! subsequently certified proposal.
+//!
+//! The Moonshot protocols guarantee this; Jolteon provably does not (its
+//! vote aggregator for round `r` is the leader of `r+1`, which can swallow
+//! the votes). Both directions are tested.
+
+use moonshot::consensus::harness::LocalNet;
+use moonshot::consensus::{
+    CommitMoonshot, ConsensusProtocol, Jolteon, NodeConfig, PipelinedMoonshot, SimpleMoonshot,
+};
+use moonshot::types::time::SimDuration;
+use moonshot::types::{NodeId, View};
+use std::collections::HashSet;
+
+type Maker = fn(NodeConfig) -> Box<dyn ConsensusProtocol>;
+
+fn nodes_of(make: Maker, n: usize, delta_ms: u64) -> Vec<Box<dyn ConsensusProtocol>> {
+    (0..n)
+        .map(|i| {
+            make(NodeConfig::simulated(
+                NodeId::from_index(i),
+                n,
+                SimDuration::from_millis(delta_ms),
+            ))
+        })
+        .collect()
+}
+
+/// With node `crashed` crashed in a round-robin schedule, returns the views
+/// (up to `horizon`) led by honest nodes whose *successor* is the crashed
+/// node — the exact views a non-reorg-resilient protocol loses.
+fn honest_views_with_byzantine_successor(n: usize, crashed: u16, horizon: u64) -> Vec<View> {
+    (1..horizon)
+        .filter(|v| {
+            let leader = ((v - 1) % n as u64) as u16;
+            let next = (v % n as u64) as u16;
+            leader != crashed && next == crashed
+        })
+        .map(View)
+        .collect()
+}
+
+#[test]
+fn moonshot_commits_every_honest_block_despite_byzantine_successors() {
+    let moonshots: [(&str, Maker); 3] = [
+        ("simple", |cfg| Box::new(SimpleMoonshot::new(cfg))),
+        ("pipelined", |cfg| Box::new(PipelinedMoonshot::new(cfg))),
+        ("commit", |cfg| Box::new(CommitMoonshot::new(cfg))),
+    ];
+    for (name, make) in moonshots {
+        let n = 4;
+        let crashed = NodeId(1);
+        let mut net =
+            LocalNet::with_uniform_latency(nodes_of(make, n, 60), SimDuration::from_millis(6));
+        net.crash(crashed);
+        net.run_for(SimDuration::from_secs(12));
+
+        let committed_views: HashSet<View> =
+            net.committed(NodeId(0)).iter().map(|c| c.block.view()).collect();
+        let max_committed = committed_views.iter().map(|v| v.0).max().unwrap_or(0);
+        // Every view led by an honest node right before the crashed leader
+        // (safely below the committed frontier) must appear in the chain.
+        let at_risk = honest_views_with_byzantine_successor(n, crashed.0, max_committed.saturating_sub(2));
+        assert!(!at_risk.is_empty(), "{name}: test vacuous");
+        for view in at_risk {
+            assert!(
+                committed_views.contains(&view),
+                "{name}: honest block of {view} was reorged out (views committed: {:?})",
+                {
+                    let mut v: Vec<u64> = committed_views.iter().map(|v| v.0).collect();
+                    v.sort();
+                    v
+                }
+            );
+        }
+    }
+}
+
+#[test]
+fn jolteon_loses_honest_blocks_with_byzantine_successors() {
+    let n = 4;
+    let crashed = NodeId(1);
+    let mut net = LocalNet::with_uniform_latency(
+        nodes_of(|cfg| Box::new(Jolteon::new(cfg)), n, 60),
+        SimDuration::from_millis(6),
+    );
+    net.crash(crashed);
+    net.run_for(SimDuration::from_secs(12));
+
+    let committed_views: HashSet<View> =
+        net.committed(NodeId(0)).iter().map(|c| c.block.view()).collect();
+    let max_committed = committed_views.iter().map(|v| v.0).max().unwrap_or(0);
+    let at_risk = honest_views_with_byzantine_successor(n, crashed.0, max_committed.saturating_sub(2));
+    assert!(!at_risk.is_empty(), "test vacuous");
+    // Jolteon must lose *all* of these blocks: the crashed successor held
+    // the only copies of their votes.
+    for view in &at_risk {
+        assert!(
+            !committed_views.contains(view),
+            "jolteon unexpectedly committed the at-risk block of {view}"
+        );
+    }
+}
+
+#[test]
+fn moonshot_throughput_dominates_jolteon_under_interleaved_failures() {
+    // The quantitative counterpart: same crash pattern, compare committed
+    // blocks. Moonshot keeps the at-risk blocks, Jolteon drops them.
+    let run = |make: Maker| {
+        let mut net =
+            LocalNet::with_uniform_latency(nodes_of(make, 4, 60), SimDuration::from_millis(6));
+        net.crash(NodeId(1));
+        net.run_for(SimDuration::from_secs(12));
+        net.committed(NodeId(0)).len()
+    };
+    let pm = run(|cfg| Box::new(PipelinedMoonshot::new(cfg)));
+    let j = run(|cfg| Box::new(Jolteon::new(cfg)));
+    assert!(
+        pm as f64 >= 1.2 * j as f64,
+        "expected Moonshot to keep at-risk blocks: PM {pm} vs J {j}"
+    );
+}

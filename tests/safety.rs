@@ -1,0 +1,167 @@
+//! Safety: honest nodes never commit different blocks at the same log
+//! position, under adversarial message schedules, crashes and equivocators.
+
+use moonshot::consensus::harness::LocalNet;
+use moonshot::consensus::{
+    CommitMoonshot, ConsensusProtocol, Jolteon, Message, NodeConfig, PipelinedMoonshot,
+    SimpleMoonshot,
+};
+use moonshot::types::time::{SimDuration, SimTime};
+use moonshot::types::NodeId;
+use proptest::prelude::*;
+
+type Maker = fn(NodeConfig) -> Box<dyn ConsensusProtocol>;
+
+fn make_simple(cfg: NodeConfig) -> Box<dyn ConsensusProtocol> {
+    Box::new(SimpleMoonshot::new(cfg))
+}
+fn make_pipelined(cfg: NodeConfig) -> Box<dyn ConsensusProtocol> {
+    Box::new(PipelinedMoonshot::new(cfg))
+}
+fn make_commit(cfg: NodeConfig) -> Box<dyn ConsensusProtocol> {
+    Box::new(CommitMoonshot::new(cfg))
+}
+fn make_jolteon(cfg: NodeConfig) -> Box<dyn ConsensusProtocol> {
+    Box::new(Jolteon::new(cfg))
+}
+
+const PROTOCOLS: [(&str, Maker); 4] = [
+    ("simple", make_simple),
+    ("pipelined", make_pipelined),
+    ("commit", make_commit),
+    ("jolteon", make_jolteon),
+];
+
+fn nodes_of(make: Maker, n: usize, delta_ms: u64) -> Vec<Box<dyn ConsensusProtocol>> {
+    (0..n)
+        .map(|i| make(NodeConfig::simulated(NodeId::from_index(i), n, SimDuration::from_millis(delta_ms))))
+        .collect()
+}
+
+/// Asserts all committed logs are pairwise prefix-consistent.
+fn assert_prefix_consistent(net: &LocalNet, n: usize, context: &str) {
+    let chains: Vec<Vec<_>> = (0..n)
+        .map(|i| {
+            net.committed(NodeId::from_index(i))
+                .iter()
+                .map(|c| c.block.id())
+                .collect()
+        })
+        .collect();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let common = chains[a].len().min(chains[b].len());
+            #[allow(clippy::needless_range_loop)] // indexing two slices in lockstep
+            for pos in 0..common {
+                assert_eq!(
+                    chains[a][pos], chains[b][pos],
+                    "{context}: nodes {a} and {b} diverge at log position {pos}"
+                );
+            }
+        }
+    }
+}
+
+/// Heights in each node's log must be strictly increasing (a linearizable
+/// log has one block per height).
+fn assert_heights_strictly_increase(net: &LocalNet, n: usize, context: &str) {
+    for i in 0..n {
+        let log = net.committed(NodeId::from_index(i));
+        for w in log.windows(2) {
+            assert!(
+                w[1].block.height() > w[0].block.height(),
+                "{context}: node {i} committed non-increasing heights"
+            );
+        }
+    }
+}
+
+#[test]
+fn safety_under_random_link_chaos() {
+    // Per-link pseudo-random delays (1..=600 ms) and 20% pre-GST drops —
+    // an adversarial but eventually-synchronous network.
+    for (name, make) in PROTOCOLS {
+        let n = 4;
+        let policy = Box::new(move |from: NodeId, to: NodeId, m: &Message, now: SimTime| {
+            // Deterministic hash-based "randomness" per (link, tag, time).
+            let h = (from.0 as u64)
+                .wrapping_mul(31)
+                .wrapping_add(to.0 as u64)
+                .wrapping_mul(131)
+                .wrapping_add(m.tag().len() as u64)
+                .wrapping_mul(1_000_003)
+                .wrapping_add(now.0 / 1_000);
+            if now < SimTime(2_000_000) && h.is_multiple_of(5) {
+                return None; // pre-GST drop
+            }
+            Some(SimDuration::from_millis(1 + h % 600))
+        });
+        let mut net = LocalNet::with_policy(nodes_of(make, n, 700), policy);
+        net.run_for(SimDuration::from_secs(20));
+        assert_prefix_consistent(&net, n, name);
+        assert_heights_strictly_increase(&net, n, name);
+    }
+}
+
+#[test]
+fn safety_with_f_crashes_and_slow_links() {
+    for (name, make) in PROTOCOLS {
+        let n = 7;
+        let mut net = LocalNet::with_uniform_latency(
+            nodes_of(make, n, 200),
+            SimDuration::from_millis(40),
+        );
+        net.crash(NodeId(2));
+        net.crash(NodeId(4));
+        net.run_for(SimDuration::from_secs(15));
+        assert_prefix_consistent(&net, n, name);
+        assert_heights_strictly_increase(&net, n, name);
+        // And liveness: the 5 honest nodes still committed something.
+        assert!(
+            !net.committed(NodeId(0)).is_empty(),
+            "{name}: nothing committed despite only f crashes"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Randomised schedules: random base latency, random pre-GST drop rate,
+    /// random crash of at most f nodes, random protocol. Safety must hold in
+    /// every execution; consistency is checked across all honest pairs.
+    #[test]
+    fn prop_no_divergence_under_random_schedules(
+        protocol_idx in 0usize..4,
+        base_ms in 5u64..120,
+        spread_ms in 0u64..300,
+        drop_mod in 2u64..9,
+        gst_ms in 0u64..3_000,
+        crash in 0usize..5,
+    ) {
+        let (name, make) = PROTOCOLS[protocol_idx];
+        let n = 4;
+        let policy = Box::new(move |from: NodeId, to: NodeId, m: &Message, now: SimTime| {
+            let h = (from.0 as u64 + 7)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(to.0 as u64)
+                .rotate_left(13)
+                .wrapping_add(m.tag().as_bytes()[0] as u64)
+                .wrapping_add(now.0);
+            if now < SimTime(gst_ms * 1_000) && h.is_multiple_of(drop_mod) {
+                return None;
+            }
+            Some(SimDuration::from_millis(base_ms + h % (spread_ms + 1)))
+        });
+        let mut net = LocalNet::with_policy(nodes_of(make, n, base_ms + spread_ms + 100), policy);
+        if crash < n {
+            net.crash(NodeId::from_index(crash)); // at most f = 1 crash
+        }
+        net.run_for(SimDuration::from_secs(12));
+        assert_prefix_consistent(&net, n, name);
+        assert_heights_strictly_increase(&net, n, name);
+    }
+}

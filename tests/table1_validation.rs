@@ -1,0 +1,84 @@
+//! Validates the implementations against Table I's theoretical hop counts:
+//! on a uniform-latency network, measured commit latency λ and block period
+//! ω must match the paper's claimed message-hop counts within tolerance.
+
+use moonshot::sim::runner::{run, LatencyKind, ProtocolKind, RunConfig};
+use moonshot::types::time::SimDuration;
+
+/// Measures (λ, ω) in δ units for a protocol on a uniform-δ network.
+fn measure(kind: ProtocolKind) -> (f64, f64) {
+    let delta_ms = 40u64;
+    let duration = SimDuration::from_secs(20);
+    let mut cfg = RunConfig::happy_path(kind, 10, 0).with_duration(duration);
+    cfg.latency = LatencyKind::Uniform { ms: delta_ms, jitter_ms: 0 };
+    let m = run(&cfg).metrics;
+    assert!(m.committed_blocks > 10, "{}: too few commits", kind.label());
+    let period_ms = duration.as_millis_f64() / m.max_view.0.max(1) as f64;
+    (m.avg_latency_ms() / delta_ms as f64, period_ms / delta_ms as f64)
+}
+
+fn assert_close(measured: f64, theory: f64, what: &str) {
+    assert!(
+        (measured - theory).abs() / theory < 0.15,
+        "{what}: measured {measured:.2}δ vs theory {theory}δ"
+    );
+}
+
+#[test]
+fn moonshot_protocols_hit_3_delta_commit_and_1_delta_period() {
+    for kind in [
+        ProtocolKind::SimpleMoonshot,
+        ProtocolKind::PipelinedMoonshot,
+        ProtocolKind::CommitMoonshot,
+    ] {
+        let (lambda, omega) = measure(kind);
+        assert_close(lambda, 3.0, &format!("{} λ", kind.label()));
+        assert_close(omega, 1.0, &format!("{} ω", kind.label()));
+    }
+}
+
+#[test]
+fn jolteon_hits_5_delta_commit_and_2_delta_period() {
+    let (lambda, omega) = measure(ProtocolKind::Jolteon);
+    assert_close(lambda, 5.0, "J λ");
+    assert_close(omega, 2.0, "J ω");
+}
+
+#[test]
+fn hotstuff_hits_7_delta_commit_and_2_delta_period() {
+    let (lambda, omega) = measure(ProtocolKind::HotStuff);
+    assert_close(lambda, 7.0, "HS λ");
+    assert_close(omega, 2.0, "HS ω");
+}
+
+#[test]
+fn commit_latency_strictly_ordered_moonshot_jolteon_hotstuff() {
+    let (m, _) = measure(ProtocolKind::PipelinedMoonshot);
+    let (j, _) = measure(ProtocolKind::Jolteon);
+    let (h, _) = measure(ProtocolKind::HotStuff);
+    assert!(m < j && j < h, "λ ordering violated: {m:.2} {j:.2} {h:.2}");
+}
+
+#[test]
+fn communication_complexity_shapes_match_table_i() {
+    // Messages per view per node: flat for the aggregator design, linear in
+    // n for vote multicasting.
+    let per_node = |kind: ProtocolKind, n: usize| -> f64 {
+        let mut cfg = RunConfig::happy_path(kind, n, 0)
+            .with_duration(SimDuration::from_secs(8));
+        cfg.latency = LatencyKind::Uniform { ms: 20, jitter_ms: 0 };
+        let report = run(&cfg);
+        report.network.delivered as f64 / report.metrics.max_view.0.max(1) as f64 / n as f64
+    };
+    // Jolteon: ~2 messages per node per view regardless of n.
+    let j10 = per_node(ProtocolKind::Jolteon, 10);
+    let j40 = per_node(ProtocolKind::Jolteon, 40);
+    assert!(j10 < 4.0 && j40 < 4.0, "Jolteon per-node load must be constant: {j10} {j40}");
+    // Moonshot: grows ~linearly with n (quadratic total).
+    let m10 = per_node(ProtocolKind::PipelinedMoonshot, 10);
+    let m40 = per_node(ProtocolKind::PipelinedMoonshot, 40);
+    assert!(
+        m40 / m10 > 3.0,
+        "Moonshot per-node load must scale ~linearly: {m10} → {m40}"
+    );
+}
