@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the consensus machinery: block-tree operations, vote
 //! aggregation and full state-machine message handling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moonshot_bench::timing::bench;
 use moonshot_consensus::aggregator::VoteAggregator;
 use moonshot_consensus::blocktree::BlockTree;
 use moonshot_consensus::{
@@ -11,18 +11,16 @@ use moonshot_crypto::{KeyPair, Keyring};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{Block, NodeId, Payload, SignedVote, View, Vote, VoteKind};
 
-fn bench_blocktree(c: &mut Criterion) {
-    c.bench_function("blocktree/insert_chain_of_1000", |b| {
-        b.iter(|| {
-            let mut tree = BlockTree::new();
-            let mut parent = tree.genesis().clone();
-            for v in 1..=1000u64 {
-                let block = Block::build(View(v), NodeId(0), &parent, Payload::empty());
-                tree.insert(block.clone());
-                parent = block;
-            }
-            tree
-        });
+fn bench_blocktree() {
+    bench("blocktree/insert_chain_of_1000", || {
+        let mut tree = BlockTree::new();
+        let mut parent = tree.genesis().clone();
+        for v in 1..=1000u64 {
+            let block = Block::build(View(v), NodeId(0), &parent, Payload::empty());
+            tree.insert(block.clone());
+            parent = block;
+        }
+        tree
     });
 
     // Ancestry query on a deep chain.
@@ -38,13 +36,10 @@ fn bench_blocktree(c: &mut Criterion) {
         parent = block;
     }
     let tip = parent.id();
-    c.bench_function("blocktree/extends_depth_500", |b| {
-        b.iter(|| assert!(tree.extends(tip, mid)));
-    });
+    bench("blocktree/extends_depth_500", || assert!(tree.extends(tip, mid)));
 }
 
-fn bench_vote_aggregation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vote_aggregation");
+fn bench_vote_aggregation() {
     for n in [4usize, 50, 200] {
         let ring = Keyring::simulated(n);
         let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::empty());
@@ -62,77 +57,67 @@ fn bench_vote_aggregation(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &votes, |b, votes| {
-            b.iter(|| {
-                let mut agg = VoteAggregator::new();
-                let mut qc = None;
-                for v in votes {
-                    qc = agg.add(v.clone(), &ring);
-                }
-                qc.expect("quorum")
-            });
+        bench(&format!("vote_aggregation/{n}"), || {
+            let mut agg = VoteAggregator::new();
+            let mut qc = None;
+            for v in &votes {
+                qc = agg.add(v.clone(), &ring);
+            }
+            qc.expect("quorum")
         });
     }
-    group.finish();
 }
 
 /// Drives one node through a full happy-path view worth of messages.
-fn bench_state_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("state_machine_view");
+fn bench_state_machine() {
     for name in ["simple", "pipelined"] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let n = 4;
-                    let mk = |i: usize| -> Box<dyn ConsensusProtocol> {
-                        let cfg = NodeConfig::simulated(
-                            NodeId::from_index(i),
-                            n,
-                            SimDuration::from_millis(100),
-                        );
-                        if name == "simple" {
-                            Box::new(SimpleMoonshot::new(cfg))
-                        } else {
-                            Box::new(PipelinedMoonshot::new(cfg))
-                        }
-                    };
-                    (0..n).map(mk).collect::<Vec<_>>()
-                },
-                |mut nodes| {
-                    // Leader proposes; everyone votes; deliver all votes to
-                    // node 0 until it advances a view.
-                    let t = SimTime(0);
-                    let outs = nodes[0].start(t);
-                    let proposal = outs.iter().find_map(|o| match o {
-                        moonshot_consensus::Output::Multicast(m @ Message::Propose { .. }) => {
-                            Some(m.clone())
-                        }
-                        _ => None,
-                    });
-                    let proposal = proposal.expect("leader proposes at start");
-                    let mut votes = Vec::new();
-                    #[allow(clippy::needless_range_loop)] // `i` is also the node id
-                    for i in 1..4 {
-                        nodes[i].start(t);
-                        for o in nodes[i].handle_message(NodeId(0), proposal.clone(), t) {
-                            if let moonshot_consensus::Output::Multicast(m @ Message::Vote(_)) = o
-                            {
-                                votes.push((NodeId(i as u16), m));
-                            }
-                        }
+        bench(&format!("state_machine_view/{name}"), || {
+            let n = 4;
+            let mk = |i: usize| -> Box<dyn ConsensusProtocol> {
+                let cfg = NodeConfig::simulated(
+                    NodeId::from_index(i),
+                    n,
+                    SimDuration::from_millis(100),
+                );
+                if name == "simple" {
+                    Box::new(SimpleMoonshot::new(cfg))
+                } else {
+                    Box::new(PipelinedMoonshot::new(cfg))
+                }
+            };
+            let mut nodes: Vec<Box<dyn ConsensusProtocol>> = (0..n).map(mk).collect();
+            // Leader proposes; everyone votes; deliver all votes to node 0
+            // until it advances a view.
+            let t = SimTime(0);
+            let outs = nodes[0].start(t);
+            let proposal = outs.iter().find_map(|o| match o {
+                moonshot_consensus::Output::Multicast(m @ Message::Propose { .. }) => {
+                    Some(m.clone())
+                }
+                _ => None,
+            });
+            let proposal = proposal.expect("leader proposes at start");
+            let mut votes = Vec::new();
+            #[allow(clippy::needless_range_loop)] // `i` is also the node id
+            for i in 1..4 {
+                nodes[i].start(t);
+                for o in nodes[i].handle_message(NodeId(0), proposal.clone(), t) {
+                    if let moonshot_consensus::Output::Multicast(m @ Message::Vote(_)) = o {
+                        votes.push((NodeId(i as u16), m));
                     }
-                    for (from, vote) in votes {
-                        nodes[0].handle_message(from, vote, t);
-                    }
-                    assert!(nodes[0].current_view() >= View(1));
-                    nodes
-                },
-                criterion::BatchSize::SmallInput,
-            );
+                }
+            }
+            for (from, vote) in votes {
+                nodes[0].handle_message(from, vote, t);
+            }
+            assert!(nodes[0].current_view() >= View(1));
+            nodes
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_blocktree, bench_vote_aggregation, bench_state_machine);
-criterion_main!(benches);
+fn main() {
+    bench_blocktree();
+    bench_vote_aggregation();
+    bench_state_machine();
+}

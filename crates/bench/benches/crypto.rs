@@ -2,41 +2,32 @@
 //! verification and certificate assembly — the per-message costs that the
 //! paper's latency model treats as negligible relative to WAN delays.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moonshot_bench::timing::{bench, bench_throughput};
 use moonshot_crypto::{Digest, KeyPair, Keyring, MultiSig, Sha256};
 use moonshot_types::{Block, NodeId, Payload, QuorumCertificate, SignedVote, View, Vote, VoteKind};
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256() {
     for size in [64usize, 1_024, 65_536, 1_048_576] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| Digest::hash(data));
-        });
+        bench_throughput(&format!("sha256/{size}"), size as u64, || Digest::hash(&data));
     }
-    group.finish();
 
-    c.bench_function("sha256/incremental_1MiB_in_4KiB_chunks", |b| {
+    bench("sha256/incremental_1MiB_in_4KiB_chunks", || {
         let chunk = vec![0u8; 4096];
-        b.iter(|| {
-            let mut h = Sha256::new();
-            for _ in 0..256 {
-                h.update(&chunk);
-            }
-            h.finalize()
-        });
+        let mut h = Sha256::new();
+        for _ in 0..256 {
+            h.update(&chunk);
+        }
+        h.finalize()
     });
 }
 
-fn bench_signatures(c: &mut Criterion) {
+fn bench_signatures() {
     let kp = KeyPair::from_seed(1);
     let msg = b"vote, H(B_k), view 42";
     let sig = kp.sign(msg);
-    c.bench_function("signature/sign", |b| b.iter(|| kp.sign(msg)));
-    c.bench_function("signature/verify", |b| {
-        b.iter(|| assert!(kp.public().verify(msg, &sig)))
-    });
+    bench("signature/sign", || kp.sign(msg));
+    bench("signature/verify", || assert!(kp.public().verify(msg, &sig)));
 }
 
 fn vote_for(block: &Block, i: u16) -> SignedVote {
@@ -52,47 +43,38 @@ fn vote_for(block: &Block, i: u16) -> SignedVote {
     )
 }
 
-fn bench_certificates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("certificate");
+fn bench_certificates() {
     for n in [4usize, 50, 100, 200] {
         let ring = Keyring::simulated(n);
         let quorum = ring.quorum_threshold();
         let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::empty());
-        let votes: Vec<SignedVote> =
-            (0..quorum as u16).map(|i| vote_for(&block, i)).collect();
-        group.bench_with_input(BenchmarkId::new("assemble", n), &votes, |b, votes| {
-            b.iter(|| QuorumCertificate::from_votes(votes, &ring).unwrap());
+        let votes: Vec<SignedVote> = (0..quorum as u16).map(|i| vote_for(&block, i)).collect();
+        bench(&format!("certificate/assemble/{n}"), || {
+            QuorumCertificate::from_votes(&votes, &ring).unwrap()
         });
         let qc = QuorumCertificate::from_votes(&votes, &ring).unwrap();
-        group.bench_with_input(BenchmarkId::new("verify", n), &qc, |b, qc| {
-            b.iter(|| qc.verify(&ring).unwrap());
-        });
+        bench(&format!("certificate/verify/{n}"), || qc.verify(&ring).unwrap());
     }
-    group.finish();
 }
 
-fn bench_multisig(c: &mut Criterion) {
+fn bench_multisig() {
     let ring = Keyring::simulated(100);
     let msg = b"shared message";
-    c.bench_function("multisig/add_67", |b| {
-        let sigs: Vec<_> = (0..67u16)
-            .map(|i| (i, KeyPair::from_seed(i as u64).sign(msg)))
-            .collect();
-        b.iter(|| {
-            let mut agg = MultiSig::new();
-            for (i, sig) in &sigs {
-                agg.add(*i, *sig).unwrap();
-            }
-            agg
-        });
+    let sigs: Vec<_> = (0..67u16).map(|i| (i, KeyPair::from_seed(i as u64).sign(msg))).collect();
+    bench("multisig/add_67", || {
+        let mut agg = MultiSig::new();
+        for (i, sig) in &sigs {
+            agg.add(*i, *sig).unwrap();
+        }
+        agg
     });
-    let agg: MultiSig = (0..67u16)
-        .map(|i| (i, KeyPair::from_seed(i as u64).sign(msg)))
-        .collect();
-    c.bench_function("multisig/verify_quorum_67_of_100", |b| {
-        b.iter(|| agg.verify_quorum(&ring, msg).unwrap());
-    });
+    let agg: MultiSig = sigs.iter().copied().collect();
+    bench("multisig/verify_quorum_67_of_100", || agg.verify_quorum(&ring, msg).unwrap());
 }
 
-criterion_group!(benches, bench_sha256, bench_signatures, bench_certificates, bench_multisig);
-criterion_main!(benches);
+fn main() {
+    bench_sha256();
+    bench_signatures();
+    bench_certificates();
+    bench_multisig();
+}

@@ -1,79 +1,55 @@
 //! End-to-end simulation benches: one representative cell per paper
-//! experiment, small enough for criterion yet exercising the full stack
+//! experiment, small enough for a quick run yet exercising the full stack
 //! (crypto, certificates, WAN latency, NIC model).
 //!
 //! These complement the experiment binaries (`fig6` … `fig9`), which
 //! regenerate the complete tables and figures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moonshot_bench::timing::bench;
 use moonshot_sim::runner::{run, ProtocolKind, RunConfig, Schedule};
 use moonshot_types::time::SimDuration;
 
 /// A Fig. 6 cell: happy path, 10 nodes, small payloads, all protocols.
-fn bench_happy_path_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_cell_n10_p1800");
-    group.sample_size(10);
+fn bench_happy_path_cell() {
     for protocol in ProtocolKind::evaluated() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol.label()),
-            &protocol,
-            |b, &p| {
-                b.iter(|| {
-                    let cfg = RunConfig::happy_path(p, 10, 1_800)
-                        .with_duration(SimDuration::from_secs(5));
-                    let report = run(&cfg);
-                    assert!(report.metrics.committed_blocks > 0);
-                    report.metrics.committed_blocks
-                });
-            },
-        );
+        bench(&format!("fig6_cell_n10_p1800/{}", protocol.label()), || {
+            let cfg = RunConfig::happy_path(protocol, 10, 1_800)
+                .with_duration(SimDuration::from_secs(5));
+            let report = run(&cfg);
+            assert!(report.metrics.committed_blocks > 0);
+            report.metrics.committed_blocks
+        });
     }
-    group.finish();
 }
 
 /// A Fig. 9 cell: failures under the worst-for-Jolteon schedule, scaled to
 /// bench size.
-fn bench_failure_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_cell_wj_n10_f3");
-    group.sample_size(10);
+fn bench_failure_cell() {
     for protocol in [ProtocolKind::CommitMoonshot, ProtocolKind::Jolteon] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol.label()),
-            &protocol,
-            |b, &p| {
-                b.iter(|| {
-                    let mut cfg = RunConfig::failures(p, Schedule::WorstJolteon);
-                    cfg.n = 10;
-                    cfg.f_prime = 3;
-                    cfg.duration = SimDuration::from_secs(10);
-                    run(&cfg).metrics.committed_blocks
-                });
-            },
-        );
+        bench(&format!("fig9_cell_wj_n10_f3/{}", protocol.label()), || {
+            let mut cfg = RunConfig::failures(protocol, Schedule::WorstJolteon);
+            cfg.n = 10;
+            cfg.f_prime = 3;
+            cfg.duration = SimDuration::from_secs(10);
+            run(&cfg).metrics.committed_blocks
+        });
     }
-    group.finish();
 }
 
 /// A Fig. 8 point: large payloads through the NIC model.
-fn bench_transfer_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_cell_n20_p1800000");
-    group.sample_size(10);
+fn bench_transfer_cell() {
     for protocol in [ProtocolKind::CommitMoonshot, ProtocolKind::Jolteon] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol.label()),
-            &protocol,
-            |b, &p| {
-                b.iter(|| {
-                    let mut cfg = RunConfig::happy_path(p, 20, 1_800_000)
-                        .with_duration(SimDuration::from_secs(10));
-                    cfg.nic_gbps = 10.0;
-                    run(&cfg).metrics.committed_blocks
-                });
-            },
-        );
+        bench(&format!("fig8_cell_n20_p1800000/{}", protocol.label()), || {
+            let mut cfg = RunConfig::happy_path(protocol, 20, 1_800_000)
+                .with_duration(SimDuration::from_secs(10));
+            cfg.nic_gbps = 10.0;
+            run(&cfg).metrics.committed_blocks
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_happy_path_cell, bench_failure_cell, bench_transfer_cell);
-criterion_main!(benches);
+fn main() {
+    bench_happy_path_cell();
+    bench_failure_cell();
+    bench_transfer_cell();
+}

@@ -6,10 +6,15 @@
 //! MOONSHOT_SCALE=quick cargo run --release -p moonshot-bench --bin fig6
 //! ```
 //!
-//! Writes `fig6.csv` next to the textual report.
+//! Writes `results/fig6.csv` and `results/fig6_summary.json` (per-cell
+//! figures plus latency / block-period distributions) next to the textual
+//! report, and a traced pipelined-Moonshot deep dive: the full JSONL event
+//! stream in `results/fig6_trace.jsonl` and its one-run summary (percentiles,
+//! per-message-type traffic, invariant status) in `results/fig6_deep_dive.json`.
 
-use moonshot_bench::scale_from_env;
-use moonshot_sim::experiment::{grid_to_csv, happy_path_grid};
+use moonshot_bench::{results_path, scale_from_env, write_results};
+use moonshot_sim::experiment::{grid_to_csv, grid_to_json, happy_path_grid};
+use moonshot_sim::runner::{run_traced, ProtocolKind, RunConfig, TraceOptions};
 
 fn main() {
     let scale = scale_from_env();
@@ -43,9 +48,31 @@ fn main() {
         }
         println!();
     }
-    let csv = grid_to_csv(&cells);
-    std::fs::write("fig6.csv", &csv).expect("write fig6.csv");
-    eprintln!("wrote fig6.csv ({} rows)", cells.len());
+    write_results("fig6.csv", &grid_to_csv(&cells));
+    write_results("fig6_summary.json", &grid_to_json("fig6", &cells));
+
+    // Deep dive: one traced pipelined-Moonshot run at a representative cell,
+    // streaming every protocol event to JSONL alongside the summary.
+    let n = scale.sizes.first().copied().unwrap_or(10);
+    let payload = scale.payloads.last().copied().unwrap_or(1_800);
+    eprintln!("fig6: tracing one PM run (n = {n}, payload = {payload} B) …");
+    let cfg = RunConfig::happy_path(ProtocolKind::PipelinedMoonshot, n, payload)
+        .with_duration(scale.duration);
+    let opts = TraceOptions {
+        jsonl_path: Some(results_path("fig6_trace.jsonl")),
+        ..TraceOptions::default()
+    };
+    let traced = run_traced(&cfg, &opts);
+    write_results("fig6_deep_dive.json", &traced.summary_json(&cfg));
+    let m = traced.report.metrics;
+    println!(
+        "Deep dive (PM, n = {n}, p = {payload} B): commit latency p50 {:.1} ms / p99 {:.1} ms, \
+         block period p50 {:.1} ms; {} trace events, invariants OK.",
+        m.commit_latency.p50 as f64 / 1_000.0,
+        m.commit_latency.p99 as f64 / 1_000.0,
+        m.block_period.p50 as f64 / 1_000.0,
+        traced.trace.len() as u64 + traced.trace_evicted,
+    );
 }
 
 fn human_bytes(b: u64) -> String {

@@ -5,9 +5,12 @@
 //! ```sh
 //! MOONSHOT_SCALE=quick cargo run --release -p moonshot-bench --bin fig7
 //! ```
+//!
+//! Writes `results/fig7_summary.json` with every cell's figures and
+//! distributions alongside the printed ratio table.
 
-use moonshot_bench::scale_from_env;
-use moonshot_sim::experiment::happy_path_grid;
+use moonshot_bench::{scale_from_env, write_results};
+use moonshot_sim::experiment::{grid_to_json, happy_path_grid};
 use moonshot_sim::runner::ProtocolKind;
 
 fn main() {
@@ -56,4 +59,5 @@ fn main() {
     println!("\nPaper reference: ≈1.5x throughput, 0.5-0.6x latency on average; larger gaps as");
     println!("n and payload grow. Throughput ratios > 1 and latency ratios < 1 reproduce the");
     println!("paper's ordering in every cell.");
+    write_results("fig7_summary.json", &grid_to_json("fig7", &cells));
 }

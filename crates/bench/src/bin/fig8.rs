@@ -5,10 +5,10 @@
 //! MOONSHOT_SCALE=quick MOONSHOT_N=50 cargo run --release -p moonshot-bench --bin fig8
 //! ```
 //!
-//! Writes `fig8.csv`.
+//! Writes `results/fig8.csv` and `results/fig8_summary.json`.
 
-use moonshot_bench::scale_from_env;
-use moonshot_sim::experiment::{grid_to_csv, transfer_frontier};
+use moonshot_bench::{scale_from_env, write_results};
+use moonshot_sim::experiment::{grid_to_csv, grid_to_json, transfer_frontier};
 
 fn main() {
     let scale = scale_from_env();
@@ -54,8 +54,8 @@ fn main() {
             );
         }
     }
-    std::fs::write("fig8.csv", grid_to_csv(&cells)).expect("write fig8.csv");
-    eprintln!("wrote fig8.csv");
+    write_results("fig8.csv", &grid_to_csv(&cells));
+    write_results("fig8_summary.json", &grid_to_json("fig8", &cells));
     println!("\nPaper reference: all three Moonshot protocols reach a higher maximum transfer");
     println!("rate at lower latency than Jolteon, with Commit Moonshot the best of the four.");
 }

@@ -7,10 +7,10 @@
 //!     cargo run --release -p moonshot-bench --bin fig9
 //! ```
 //!
-//! Writes `fig9.csv`.
+//! Writes `results/fig9.csv` and `results/fig9_summary.json`.
 
-use moonshot_bench::scale_from_env;
-use moonshot_sim::experiment::{failure_matrix, failures_to_csv};
+use moonshot_bench::{scale_from_env, write_results};
+use moonshot_sim::experiment::{failure_matrix, failures_to_csv, failures_to_json};
 use moonshot_sim::Schedule;
 
 fn main() {
@@ -48,8 +48,8 @@ fn main() {
         }
         println!();
     }
-    std::fs::write("fig9.csv", failures_to_csv(&cells)).expect("write fig9.csv");
-    eprintln!("wrote fig9.csv");
+    write_results("fig9.csv", &failures_to_csv(&cells));
+    write_results("fig9_summary.json", &failures_to_json("fig9", &cells));
     println!("Paper reference shapes: Jolteon ~7x lower throughput and ~50x higher latency");
     println!("under WJ than under B; SM worst Moonshot variant under failures (5Δ views, 2Δ");
     println!("wait); CM consistent across all schedules, ~8x Jolteon's throughput and >100x");

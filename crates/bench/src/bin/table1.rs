@@ -4,8 +4,12 @@
 //! ```sh
 //! cargo run -p moonshot-bench --bin table1
 //! ```
+//!
+//! Writes `results/table1.json` alongside the printed table.
 
+use moonshot_bench::write_results;
 use moonshot_consensus::properties::{Responsiveness, TABLE_I};
+use moonshot_telemetry::json::{array, JsonObject};
 
 fn main() {
     println!("TABLE I — Theoretical comparison of chain-based rotating leader BFT SMR protocols\n");
@@ -45,4 +49,31 @@ fn main() {
     }
     println!("\n(*) this work — the Moonshot family: the only partially synchronous protocols");
     println!("with both a δ block period and a constant (3δ) commit latency.");
+
+    let rows = TABLE_I.iter().map(|p| {
+        let mut o = JsonObject::new();
+        o.field_str("protocol", p.name)
+            .field_bool("this_work", p.this_work)
+            .field_str("model", &p.model.to_string())
+            .field_str("commit_latency", p.commit_latency)
+            .field_u64("block_period_hops", p.block_period_hops as u64)
+            .field_bool("reorg_resilient", p.reorg_resilient)
+            .field_u64("view_length_delta", p.view_length_delta as u64)
+            .field_bool("pipelined", p.pipelined)
+            .field_str("steady_state", p.steady_state)
+            .field_str("view_change", p.view_change)
+            .field_str(
+                "responsiveness",
+                match p.responsiveness {
+                    Responsiveness::None => "none",
+                    Responsiveness::Standard => "standard",
+                    Responsiveness::ConsecutiveHonest => "consecutive-honest",
+                    Responsiveness::AllHonest => "all-honest",
+                },
+            );
+        o.finish()
+    });
+    let mut doc = JsonObject::new();
+    doc.field_str("experiment", "table1").field_raw("rows", &array(rows));
+    write_results("table1.json", &doc.finish());
 }

@@ -17,7 +17,7 @@ use moonshot_net::{Actor, Context, NetworkConfig, NicModel, Simulation, TimerId,
 use moonshot_sim::{MetricsSink, ProtocolActor};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::NodeId;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 type Trace = Arc<Mutex<Vec<(SimTime, NodeId, NodeId, &'static str)>>>;
 
@@ -31,7 +31,7 @@ impl Actor<Message> for Tracer {
         self.inner.on_start(ctx)
     }
     fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<Message>) {
-        self.trace.lock().push((ctx.now(), from, ctx.node(), msg.tag()));
+        self.trace.lock().unwrap().push((ctx.now(), from, ctx.node(), msg.tag()));
         self.inner.on_message(from, msg, ctx)
     }
     fn on_timer(&mut self, t: TimerId, ctx: &mut Context<Message>) {
@@ -67,7 +67,7 @@ fn trace_protocol(
 
     println!("── {title} (n = 4, δ = 10 ms, node P0's inbox, {}–{} ms) ──", window.0, window.1);
     let mut summary: HashMap<(&'static str, u64), u64> = HashMap::new();
-    for (at, from, to, tag) in trace.lock().iter() {
+    for (at, from, to, tag) in trace.lock().unwrap().iter() {
         let ms = at.0 / 1_000;
         if *to == NodeId(0) && ms >= window.0 && ms < window.1 {
             if matches!(*tag, "vote" | "certificate" | "commit-vote") {

@@ -1,0 +1,102 @@
+//! A minimal benchmarking harness replacing `criterion` (unavailable in the
+//! offline build environment).
+//!
+//! Each benchmark target is a plain `harness = false` binary whose `main`
+//! calls [`bench`] per case: the closure is warmed up, then run for a fixed
+//! measurement budget, and the mean/median wall-clock per iteration is
+//! printed in a `name ... time:  [median]  (n iters)` line loosely matching
+//! criterion's output shape so existing tooling keeps grepping fine.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement budget per benchmark case.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget per benchmark case.
+const WARMUP: Duration = Duration::from_millis(60);
+
+/// Formats a duration in adaptive units, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs `f` repeatedly and prints per-iteration timing for `name`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up: also calibrates a first per-iteration estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    // Measure in batches so Instant overhead is amortised for fast cases.
+    let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 10_000);
+    let mut samples = Vec::new();
+    let run_start = Instant::now();
+    let mut total_iters = 0u64;
+    while run_start.elapsed() < BUDGET || samples.is_empty() {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        total_iters += batch;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2] * 1e9;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64 * 1e9;
+    println!(
+        "{name:<50} time: [{} median, {} mean]  ({total_iters} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+/// Like [`bench`], but reports throughput for `bytes` of input per
+/// iteration in addition to the timing line.
+pub fn bench_throughput<R>(name: &str, bytes: u64, mut f: impl FnMut() -> R) {
+    let t = Instant::now();
+    let mut iters = 0u64;
+    while t.elapsed() < BUDGET || iters == 0 {
+        black_box(f());
+        iters += 1;
+    }
+    let per_iter = t.elapsed().as_secs_f64() / iters as f64;
+    let rate = bytes as f64 / per_iter;
+    println!(
+        "{name:<50} time: [{} mean]  thrpt: {:.1} MiB/s  ({iters} iters)",
+        fmt_ns(per_iter * 1e9),
+        rate / (1024.0 * 1024.0),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_does_not_panic() {
+        bench("noop", || 1 + 1);
+        bench_throughput("bytes", 64, || [0u8; 64]);
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -9,10 +9,12 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+use moonshot_telemetry::TraceSink;
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{NodeId, View};
 
 use crate::message::Message;
+use crate::observer::ProtocolObserver;
 use crate::protocol::{CommittedBlock, ConsensusProtocol, Output, TimerToken};
 
 /// Decides the fate of each message: `None` = drop, `Some(delay)` = deliver
@@ -35,9 +37,15 @@ pub struct LocalNet {
     deliveries: Vec<Option<(NodeId, NodeId, Message)>>,
     timers: Vec<Option<(NodeId, TimerToken)>>,
     policy: LinkPolicy,
+    tracer: Option<Tracer>,
     now: SimTime,
     seq: u64,
     started: bool,
+}
+
+struct Tracer {
+    observers: Vec<ProtocolObserver>,
+    sink: Box<dyn TraceSink>,
 }
 
 impl std::fmt::Debug for LocalNet {
@@ -70,10 +78,20 @@ impl LocalNet {
             deliveries: Vec::new(),
             timers: Vec::new(),
             policy,
+            tracer: None,
             now: SimTime::ZERO,
             seq: 0,
             started: false,
         }
+    }
+
+    /// Traces every node's protocol actions into `sink` (see
+    /// [`ProtocolObserver`] for the event taxonomy). Share the sink — e.g.
+    /// an `Rc<RefCell<RingBufferSink>>` — to inspect the trace afterwards.
+    pub fn trace_into(&mut self, sink: Box<dyn TraceSink>) {
+        let observers =
+            (0..self.nodes.len()).map(|i| ProtocolObserver::new(NodeId::from_index(i))).collect();
+        self.tracer = Some(Tracer { observers, sink });
     }
 
     /// Number of nodes.
@@ -121,6 +139,15 @@ impl LocalNet {
     }
 
     fn apply(&mut self, node: NodeId, outputs: Vec<Output>) {
+        if let Some(tracer) = &mut self.tracer {
+            let view = self.nodes[node.as_usize()].current_view();
+            tracer.observers[node.as_usize()].on_outputs(
+                &outputs,
+                view,
+                self.now,
+                &mut tracer.sink,
+            );
+        }
         for out in outputs {
             match out {
                 Output::Send(to, msg) => {
@@ -171,6 +198,14 @@ impl LocalNet {
                 PendingKind::Deliver => {
                     if let Some((from, to, msg)) = self.deliveries[idx].take() {
                         if !self.crashed.contains(&to) {
+                            if let Some(tracer) = &mut self.tracer {
+                                tracer.observers[to.as_usize()].on_message_received(
+                                    from,
+                                    &msg,
+                                    at,
+                                    &mut tracer.sink,
+                                );
+                            }
                             let outs = self.nodes[to.as_usize()].handle_message(from, msg, at);
                             self.apply(to, outs);
                         }
@@ -179,6 +214,13 @@ impl LocalNet {
                 PendingKind::Timer => {
                     if let Some((node, token)) = self.timers[idx].take() {
                         if !self.crashed.contains(&node) {
+                            if let Some(tracer) = &mut self.tracer {
+                                tracer.observers[node.as_usize()].on_timer_fired(
+                                    token,
+                                    at,
+                                    &mut tracer.sink,
+                                );
+                            }
                             let outs = self.nodes[node.as_usize()].handle_timer(token, at);
                             self.apply(node, outs);
                         }

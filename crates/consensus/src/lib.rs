@@ -52,6 +52,7 @@ pub mod harness;
 pub mod jolteon;
 pub mod leader;
 pub mod message;
+pub mod observer;
 pub mod pipelined;
 pub mod properties;
 pub mod protocol;
@@ -61,6 +62,7 @@ pub mod sync;
 pub use jolteon::Jolteon;
 pub use leader::{LeaderElection, RoundRobin, ScheduleElection};
 pub use message::Message;
+pub use observer::ProtocolObserver;
 pub use pipelined::{CommitMoonshot, PipelinedMoonshot};
 pub use properties::{ProtocolProperties, TABLE_I};
 pub use protocol::{

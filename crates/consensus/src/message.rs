@@ -12,10 +12,9 @@ use moonshot_types::{
     Block, QuorumCertificate, SignedCommitVote, SignedTimeout, SignedVote, TimeoutCertificate,
     View, WireSize,
 };
-use serde::{Deserialize, Serialize};
 
 /// A consensus protocol message.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Message {
     /// `⟨opt-propose, B_k, v⟩` — optimistic proposal: extends a block the
     /// leader just voted for, without waiting for its certificate.

@@ -1,14 +1,18 @@
-//! Property-based tests of the consensus data structures: block tree,
-//! chain state and aggregators under arbitrary arrival orders.
+//! Randomized (seeded, deterministic) tests of the consensus data
+//! structures: block tree, chain state and aggregators under arbitrary
+//! arrival orders. Formerly `proptest`-based; cases now come from the
+//! workspace [`DetRng`].
 
 use moonshot_consensus::aggregator::{TimeoutAggregator, VoteAggregator};
 use moonshot_consensus::blocktree::BlockTree;
 use moonshot_consensus::chainstate::ChainState;
 use moonshot_crypto::{KeyPair, Keyring};
+use moonshot_rng::DetRng;
 use moonshot_types::{
     Block, NodeId, Payload, QuorumCertificate, SignedTimeout, SignedVote, View, Vote, VoteKind,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 fn chain_blocks(len: usize) -> Vec<Block> {
     let mut blocks = vec![Block::genesis()];
@@ -37,64 +41,63 @@ fn qc_for(block: &Block, kind: VoteKind, ring: &Keyring) -> QuorumCertificate {
     QuorumCertificate::from_votes(&votes, ring).unwrap()
 }
 
-proptest! {
-    /// Inserting a chain in ANY order yields the same connected tree, with
-    /// full ancestry.
-    #[test]
-    fn blocktree_insertion_order_irrelevant(order in proptest::collection::vec(0usize..12, 12..=12)) {
+/// Inserting a chain in ANY order yields the same connected tree, with full
+/// ancestry.
+#[test]
+fn blocktree_insertion_order_irrelevant() {
+    let mut rng = DetRng::seed_from_u64(0x7EE);
+    for _ in 0..CASES {
         let blocks = chain_blocks(12);
+        let mut order: Vec<usize> = (1..=12).collect();
+        rng.shuffle(&mut order);
         let mut tree = BlockTree::new();
-        // `order` is a pseudo-permutation: apply each index once, then any
-        // stragglers in natural order.
-        let mut inserted = [false; 13];
-        inserted[0] = true; // genesis
-        for &i in &order {
-            let idx = 1 + (i % 12);
-            if !inserted[idx] {
-                inserted[idx] = true;
-                tree.insert(blocks[idx].clone());
-            }
+        for &idx in &order {
+            tree.insert(blocks[idx].clone());
         }
-        for (idx, done) in inserted.iter().enumerate() {
-            if !done {
-                tree.insert(blocks[idx].clone());
-            }
-        }
-        prop_assert_eq!(tree.len(), 13);
-        prop_assert_eq!(tree.orphan_count(), 0);
+        assert_eq!(tree.len(), 13);
+        assert_eq!(tree.orphan_count(), 0);
         let tip = blocks.last().unwrap().id();
         for b in &blocks {
-            prop_assert!(tree.extends(tip, b.id()));
+            assert!(tree.extends(tip, b.id()));
         }
     }
+}
 
-    /// `extends` is a partial order along the chain: transitive and
-    /// antisymmetric.
-    #[test]
-    fn blocktree_extends_partial_order(a in 0usize..10, b in 0usize..10, c in 0usize..10) {
-        let blocks = chain_blocks(10);
-        let mut tree = BlockTree::new();
-        for blk in &blocks[1..] {
-            tree.insert(blk.clone());
-        }
+/// `extends` is a partial order along the chain: transitive and
+/// antisymmetric.
+#[test]
+fn blocktree_extends_partial_order() {
+    let mut rng = DetRng::seed_from_u64(0xEA7);
+    let blocks = chain_blocks(10);
+    let mut tree = BlockTree::new();
+    for blk in &blocks[1..] {
+        tree.insert(blk.clone());
+    }
+    for _ in 0..CASES {
+        let a = rng.gen_below(10) as usize;
+        let b = rng.gen_below(10) as usize;
+        let c = rng.gen_below(10) as usize;
         let (x, y, z) = (blocks[a].id(), blocks[b].id(), blocks[c].id());
         // transitivity
         if tree.extends(x, y) && tree.extends(y, z) {
-            prop_assert!(tree.extends(x, z));
+            assert!(tree.extends(x, z));
         }
         // antisymmetry
         if tree.extends(x, y) && tree.extends(y, x) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
         }
         // along a single chain, extends matches height ordering
-        prop_assert_eq!(tree.extends(x, y), a >= b);
+        assert_eq!(tree.extends(x, y), a >= b);
     }
+}
 
-    /// ChainState commits exactly the blocks certified in consecutive views
-    /// with parent/child links — regardless of QC registration order — and
-    /// the committed log is the chain prefix.
-    #[test]
-    fn chainstate_commits_are_order_independent(order in proptest::collection::vec(0usize..8, 8..=8)) {
+/// ChainState commits exactly the blocks certified in consecutive views
+/// with parent/child links — regardless of QC registration order — and the
+/// committed log is the chain prefix.
+#[test]
+fn chainstate_commits_are_order_independent() {
+    let mut rng = DetRng::seed_from_u64(0xC5);
+    for _ in 0..CASES {
         let ring = Keyring::simulated(4);
         let blocks = chain_blocks(8);
         let qcs: Vec<QuorumCertificate> =
@@ -104,32 +107,27 @@ proptest! {
         for b in &blocks[1..] {
             cs.insert_block(b.clone());
         }
+        let mut order: Vec<usize> = (0..8).collect();
+        rng.shuffle(&mut order);
         let mut committed = Vec::new();
-        let mut seen = [false; 8];
-        for &i in &order {
-            let idx = i % 8;
-            if !seen[idx] {
-                seen[idx] = true;
-                committed.extend(cs.register_qc(&qcs[idx]).committed);
-            }
-        }
-        for (idx, s) in seen.iter().enumerate() {
-            if !s {
-                committed.extend(cs.register_qc(&qcs[idx]).committed);
-            }
+        for &idx in &order {
+            committed.extend(cs.register_qc(&qcs[idx]).committed);
         }
         // All 8 views certified consecutively ⇒ blocks 1..=7 commit (the
         // tip, view 8, lacks a certified child).
         let mut got: Vec<u64> = committed.iter().map(|c| c.block.height().0).collect();
         got.sort_unstable();
-        prop_assert_eq!(got, (1..=7u64).collect::<Vec<_>>());
-        prop_assert_eq!(cs.tree.committed_count(), 7);
+        assert_eq!(got, (1..=7u64).collect::<Vec<_>>());
+        assert_eq!(cs.tree.committed_count(), 7);
     }
+}
 
-    /// The vote aggregator yields exactly one certificate per certified
-    /// (view, block, kind), no matter how votes are ordered or duplicated.
-    #[test]
-    fn vote_aggregator_emits_once(perm in proptest::collection::vec(0usize..8, 0..30)) {
+/// The vote aggregator yields exactly one certificate per certified
+/// (view, block, kind), no matter how votes are ordered or duplicated.
+#[test]
+fn vote_aggregator_emits_once() {
+    let mut rng = DetRng::seed_from_u64(0x1A66);
+    for _ in 0..CASES {
         let ring = Keyring::simulated(4);
         let block = chain_blocks(1)[1].clone();
         let votes: Vec<SignedVote> = (0..4u16)
@@ -149,8 +147,10 @@ proptest! {
         let mut agg = VoteAggregator::new();
         let mut emitted = 0;
         // Random stream with duplicates.
-        for &i in &perm {
-            if agg.add(votes[i % 4].clone(), &ring).is_some() {
+        let stream_len = rng.gen_below(30) as usize;
+        for _ in 0..stream_len {
+            let i = rng.gen_below(4) as usize;
+            if agg.add(votes[i].clone(), &ring).is_some() {
                 emitted += 1;
             }
         }
@@ -160,13 +160,16 @@ proptest! {
                 emitted += 1;
             }
         }
-        prop_assert_eq!(emitted, 1);
+        assert_eq!(emitted, 1);
     }
+}
 
-    /// The timeout aggregator amplifies exactly once and certifies exactly
-    /// once per view under arbitrary duplication.
-    #[test]
-    fn timeout_aggregator_thresholds(perm in proptest::collection::vec(0usize..4, 0..24)) {
+/// The timeout aggregator amplifies exactly once and certifies exactly once
+/// per view under arbitrary duplication.
+#[test]
+fn timeout_aggregator_thresholds() {
+    let mut rng = DetRng::seed_from_u64(0x70);
+    for _ in 0..CASES {
         let ring = Keyring::simulated(4);
         let timeouts: Vec<SignedTimeout> = (0..4u16)
             .map(|i| SignedTimeout::sign(View(3), None, NodeId(i), &KeyPair::from_seed(i as u64)))
@@ -174,8 +177,10 @@ proptest! {
         let mut agg = TimeoutAggregator::new();
         let mut amplified = 0;
         let mut certified = 0;
-        for &i in &perm {
-            let p = agg.add(timeouts[i % 4].clone(), &ring);
+        let stream_len = rng.gen_below(24) as usize;
+        for _ in 0..stream_len {
+            let i = rng.gen_below(4) as usize;
+            let p = agg.add(timeouts[i].clone(), &ring);
             amplified += p.amplify as u32;
             certified += p.certificate.is_some() as u32;
         }
@@ -184,7 +189,7 @@ proptest! {
             amplified += p.amplify as u32;
             certified += p.certificate.is_some() as u32;
         }
-        prop_assert_eq!(amplified, 1);
-        prop_assert_eq!(certified, 1);
+        assert_eq!(amplified, 1);
+        assert_eq!(certified, 1);
     }
 }

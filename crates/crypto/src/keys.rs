@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::sha256::Digest;
 use crate::signature::Signature;
@@ -18,7 +17,7 @@ use crate::signature::Signature;
 pub type SignerIndex = u16;
 
 /// A 32-byte public key identifying a signer.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PublicKey(pub [u8; 32]);
 
 impl fmt::Debug for PublicKey {

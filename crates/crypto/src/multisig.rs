@@ -10,7 +10,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::keys::{Keyring, SignerIndex};
 use crate::signature::{Signature, SIGNATURE_LEN};
@@ -66,7 +65,7 @@ impl std::error::Error for MultiSigError {}
 /// ```
 /// Cloning is O(1): certificates are multicast to every node, so the
 /// signature array is shared behind an [`Arc`] (copy-on-write on `add`).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MultiSig {
     /// Sorted by signer index; no duplicates.
     entries: Arc<Vec<(SignerIndex, Signature)>>,

@@ -19,7 +19,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::keys::{PublicKey, SecretKey};
 use crate::sha256::Digest;
@@ -28,7 +27,7 @@ use crate::sha256::Digest;
 pub const SIGNATURE_LEN: usize = 64;
 
 /// A 64-byte signature.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     inner: [u8; 32],
     binder: [u8; 32],

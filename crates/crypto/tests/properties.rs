@@ -1,15 +1,23 @@
-//! Property-based tests of the cryptographic substrate.
+//! Randomized (seeded, deterministic) tests of the cryptographic substrate.
+//! Formerly `proptest`-based; cases now come from the workspace [`DetRng`]
+//! so the suite needs no external dependencies.
 
 use moonshot_crypto::{Digest, KeyPair, Keyring, MultiSig, Sha256};
-use proptest::prelude::*;
+use moonshot_rng::DetRng;
 
-proptest! {
-    /// Incremental hashing over arbitrary chunkings equals one-shot hashing.
-    #[test]
-    fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096),
-                                  splits in proptest::collection::vec(0usize..4096, 0..8)) {
+const CASES: u64 = 48;
+
+/// Incremental hashing over arbitrary chunkings equals one-shot hashing.
+#[test]
+fn incremental_equals_oneshot() {
+    let mut rng = DetRng::seed_from_u64(0x5AA5);
+    for _ in 0..CASES {
+        let len = rng.gen_below(4096) as usize;
+        let data = rng.gen_bytes(len);
         let oneshot = Digest::hash(&data);
-        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        let mut cuts: Vec<usize> = (0..rng.gen_below(8))
+            .map(|_| rng.gen_below(data.len() as u64 + 1) as usize)
+            .collect();
         cuts.sort_unstable();
         cuts.dedup();
         let mut h = Sha256::new();
@@ -19,38 +27,56 @@ proptest! {
             prev = cut;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), oneshot);
+        assert_eq!(h.finalize(), oneshot);
     }
+}
 
-    /// Signatures verify for the signed message and signer only.
-    #[test]
-    fn signature_binds_message_and_signer(seed_a in 0u64..1000, seed_b in 0u64..1000,
-                                          msg in proptest::collection::vec(any::<u8>(), 0..256),
-                                          other in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Signatures verify for the signed message and signer only.
+#[test]
+fn signature_binds_message_and_signer() {
+    let mut rng = DetRng::seed_from_u64(0x516);
+    for _ in 0..CASES {
+        let seed_a = rng.gen_below(1_000);
+        let seed_b = rng.gen_below(1_000);
+        let msg_len = rng.gen_below(256) as usize;
+        let msg = rng.gen_bytes(msg_len);
+        let other_len = rng.gen_below(256) as usize;
+        let other = rng.gen_bytes(other_len);
         let a = KeyPair::from_seed(seed_a);
         let b = KeyPair::from_seed(seed_b);
         let sig = a.sign(&msg);
-        prop_assert!(a.public().verify(&msg, &sig));
+        assert!(a.public().verify(&msg, &sig));
         if msg != other {
-            prop_assert!(!a.public().verify(&other, &sig));
+            assert!(!a.public().verify(&other, &sig));
         }
         if seed_a != seed_b {
-            prop_assert!(!b.public().verify(&msg, &sig));
+            assert!(!b.public().verify(&msg, &sig));
         }
     }
+}
 
-    /// Signature wire format round-trips.
-    #[test]
-    fn signature_wire_roundtrip(seed in 0u64..1000, msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Signature wire format round-trips.
+#[test]
+fn signature_wire_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0x817);
+    for _ in 0..CASES {
+        let seed = rng.gen_below(1_000);
+        let msg_len = rng.gen_below(64) as usize;
+        let msg = rng.gen_bytes(msg_len);
         let sig = KeyPair::from_seed(seed).sign(&msg);
         let restored = moonshot_crypto::Signature::from_bytes(sig.to_bytes());
-        prop_assert_eq!(restored, sig);
+        assert_eq!(restored, sig);
     }
+}
 
-    /// A multi-signature passes the quorum check iff it carries at least a
-    /// quorum of distinct valid signatures.
-    #[test]
-    fn multisig_threshold_behaviour(n in 4usize..40, extra in 0usize..10) {
+/// A multi-signature passes the quorum check iff it carries at least a
+/// quorum of distinct valid signatures.
+#[test]
+fn multisig_threshold_behaviour() {
+    let mut rng = DetRng::seed_from_u64(0x3516);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(4, 39) as usize;
+        let extra = rng.gen_below(10) as usize;
         let ring = Keyring::simulated(n);
         let quorum = ring.quorum_threshold();
         let msg = b"property";
@@ -58,18 +84,20 @@ proptest! {
         let agg: MultiSig = (0..signers as u16)
             .map(|i| (i, KeyPair::from_seed(i as u64).sign(msg)))
             .collect();
-        prop_assert_eq!(agg.verify_quorum(&ring, msg).is_ok(), signers >= quorum);
+        assert_eq!(agg.verify_quorum(&ring, msg).is_ok(), signers >= quorum);
     }
+}
 
-    /// Quorum arithmetic: any two quorums intersect in ≥ f + 1 nodes, so at
-    /// least one honest node is in every pairwise intersection.
-    #[test]
-    fn quorums_intersect_in_an_honest_node(n in 1usize..500) {
+/// Quorum arithmetic: any two quorums intersect in ≥ f + 1 nodes, so at
+/// least one honest node is in every pairwise intersection.
+#[test]
+fn quorums_intersect_in_an_honest_node() {
+    for n in 1usize..500 {
         let ring = Keyring::simulated(n);
         let q = ring.quorum_threshold();
         let f = ring.max_faults();
-        prop_assert!(q <= n, "quorum must be satisfiable");
+        assert!(q <= n, "quorum must be satisfiable");
         // |A ∩ B| ≥ 2q − n ≥ f + 1.
-        prop_assert!(2 * q > n + f, "n={n} q={q} f={f}");
+        assert!(2 * q > n + f, "n={n} q={q} f={f}");
     }
 }

@@ -8,11 +8,10 @@
 //! fully reproducible.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
+use moonshot_types::rng::DetRng;
 use moonshot_types::{NodeId, WireSize};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::bandwidth::NicModel;
 use crate::latency::LatencyModel;
@@ -222,6 +221,55 @@ pub struct NetworkStats {
     pub timers_fired: u64,
 }
 
+/// Count and byte totals for one message type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TypeTraffic {
+    /// Copies routed (each multicast counts once per destination).
+    pub count: u64,
+    /// Wire bytes across those copies.
+    pub bytes: u64,
+}
+
+/// Per-message-type communication accounting.
+///
+/// Populated only when a classifier is installed via
+/// [`Simulation::classify_with`]; totals then match
+/// [`NetworkStats::bytes_sent`] exactly, split by type. This is the measured
+/// side of Table I: vote traffic growing with O(n²) for Moonshot versus
+/// O(n) for Jolteon falls straight out of these rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    rows: BTreeMap<&'static str, TypeTraffic>,
+}
+
+impl TrafficStats {
+    /// Traffic for one message type (zero if never seen).
+    pub fn get(&self, label: &str) -> TypeTraffic {
+        self.rows.get(label).copied().unwrap_or_default()
+    }
+
+    /// All `(label, traffic)` rows, sorted by label.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, TypeTraffic)> + '_ {
+        self.rows.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Sum over all types.
+    pub fn total(&self) -> TypeTraffic {
+        let mut t = TypeTraffic::default();
+        for v in self.rows.values() {
+            t.count += v.count;
+            t.bytes += v.bytes;
+        }
+        t
+    }
+
+    fn add(&mut self, label: &'static str, bytes: u64) {
+        let row = self.rows.entry(label).or_default();
+        row.count += 1;
+        row.bytes += bytes;
+    }
+}
+
 /// The discrete-event simulator.
 ///
 /// # Examples
@@ -233,12 +281,14 @@ pub struct Simulation<M> {
     cancelled: HashSet<TimerId>,
     crashed: Vec<bool>,
     config: NetworkConfig,
-    rng: StdRng,
+    rng: DetRng,
     now: SimTime,
     seq: u64,
     next_timer: u64,
     started: bool,
     stats: NetworkStats,
+    classifier: Option<fn(&M) -> &'static str>,
+    traffic: TrafficStats,
 }
 
 impl<M> std::fmt::Debug for Simulation<M> {
@@ -256,7 +306,7 @@ impl<M: WireSize + Clone> Simulation<M> {
     /// Creates a simulation over the given actors.
     pub fn new(actors: Vec<Box<dyn Actor<M>>>, config: NetworkConfig) -> Self {
         let n = actors.len();
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = DetRng::seed_from_u64(config.seed);
         Simulation {
             actors,
             queue: BinaryHeap::new(),
@@ -269,7 +319,20 @@ impl<M: WireSize + Clone> Simulation<M> {
             next_timer: 0,
             started: false,
             stats: NetworkStats::default(),
+            classifier: None,
+            traffic: TrafficStats::default(),
         }
+    }
+
+    /// Installs a message classifier; every routed copy is then accounted
+    /// per type in [`Simulation::traffic`] (count and wire bytes).
+    pub fn classify_with(&mut self, classifier: fn(&M) -> &'static str) {
+        self.classifier = Some(classifier);
+    }
+
+    /// Per-message-type traffic totals (empty without a classifier).
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
     }
 
     /// Number of nodes.
@@ -414,6 +477,9 @@ impl<M: WireSize + Clone> Simulation<M> {
     fn route_at(&mut self, src: NodeId, dst: NodeId, msg: M, departure: SimTime) {
         let size = msg.wire_size();
         self.stats.bytes_sent += size as u64;
+        if let Some(classify) = self.classifier {
+            self.traffic.add(classify(&msg), size as u64);
+        }
         // Pre-GST adversary may drop or delay arbitrarily (bounded here).
         let pre_gst = self.now < self.config.gst;
         if pre_gst && self.rng.gen_bool(self.config.adversary.drop_probability) {
@@ -423,7 +489,7 @@ impl<M: WireSize + Clone> Simulation<M> {
         let propagation = self.config.latency.propagation(src, dst, &mut self.rng);
         let mut arrival = departure + propagation;
         if pre_gst && self.config.adversary.extra_delay > SimDuration::ZERO {
-            arrival += SimDuration(self.rng.gen_range(0..=self.config.adversary.extra_delay.0));
+            arrival += SimDuration(self.rng.gen_range_inclusive(0, self.config.adversary.extra_delay.0));
         }
         let delivered = self.config.nic.receive(dst, arrival, size);
         self.stats.delivered += 1;
@@ -620,5 +686,28 @@ mod tests {
         // Multicast routes one 100 B copy to node 1, whose echo routes 100 B
         // back; the loopback self-copy bypasses `route`.
         assert_eq!(sim.stats().bytes_sent, 200);
+    }
+
+    #[test]
+    fn traffic_split_by_type_matches_byte_total() {
+        let (actors, _log) = echo_net(3);
+        let mut sim = Simulation::new(actors, config(1));
+        sim.classify_with(|p: &Ping| if p.0 == 1 { "ping" } else { "echo" });
+        sim.run_until(SimTime(1_000_000));
+        let traffic = sim.traffic();
+        // Two routed multicast copies, two unicast echoes.
+        assert_eq!(traffic.get("ping"), TypeTraffic { count: 2, bytes: 200 });
+        assert_eq!(traffic.get("echo"), TypeTraffic { count: 2, bytes: 200 });
+        assert_eq!(traffic.get("unknown"), TypeTraffic::default());
+        assert_eq!(traffic.total().bytes, sim.stats().bytes_sent);
+        assert_eq!(traffic.rows().count(), 2);
+    }
+
+    #[test]
+    fn traffic_empty_without_classifier() {
+        let (actors, _log) = echo_net(3);
+        let mut sim = Simulation::new(actors, config(1));
+        sim.run_until(SimTime(1_000_000));
+        assert_eq!(sim.traffic().total(), TypeTraffic::default());
     }
 }

@@ -6,15 +6,15 @@
 //! realise the paper's modified partially synchronous model where small
 //! messages (votes) arrive within ρ and large messages (proposals) within β.
 
+use moonshot_types::rng::DetRng;
 use moonshot_types::NodeId;
-use rand::Rng;
 
 use moonshot_types::time::SimDuration;
 
 /// A one-way propagation delay model between node pairs.
 pub trait LatencyModel: Send + Sync {
     /// Propagation delay from `src` to `dst`. `rng` supplies jitter.
-    fn propagation(&self, src: NodeId, dst: NodeId, rng: &mut dyn rand::RngCore) -> SimDuration;
+    fn propagation(&self, src: NodeId, dst: NodeId, rng: &mut DetRng) -> SimDuration;
 
     /// An upper bound on propagation delay after GST, if known. Used by
     /// experiments to pick Δ.
@@ -29,10 +29,10 @@ pub trait LatencyModel: Send + Sync {
 /// use moonshot_net::latency::{LatencyModel, UniformLatency};
 /// use moonshot_net::time::SimDuration;
 /// use moonshot_types::NodeId;
-/// use rand::SeedableRng;
+/// use moonshot_types::rng::DetRng;
 ///
 /// let model = UniformLatency::new(SimDuration::from_millis(50), SimDuration::ZERO);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = DetRng::seed_from_u64(1);
 /// assert_eq!(
 ///     model.propagation(NodeId(0), NodeId(1), &mut rng),
 ///     SimDuration::from_millis(50)
@@ -53,11 +53,11 @@ impl UniformLatency {
 }
 
 impl LatencyModel for UniformLatency {
-    fn propagation(&self, _src: NodeId, _dst: NodeId, rng: &mut dyn rand::RngCore) -> SimDuration {
+    fn propagation(&self, _src: NodeId, _dst: NodeId, rng: &mut DetRng) -> SimDuration {
         if self.jitter == SimDuration::ZERO {
             self.base
         } else {
-            self.base + SimDuration(rng.gen_range(0..=self.jitter.0))
+            self.base + SimDuration(rng.gen_range_inclusive(0, self.jitter.0))
         }
     }
 
@@ -115,12 +115,12 @@ impl MatrixLatency {
 }
 
 impl LatencyModel for MatrixLatency {
-    fn propagation(&self, src: NodeId, dst: NodeId, rng: &mut dyn rand::RngCore) -> SimDuration {
+    fn propagation(&self, src: NodeId, dst: NodeId, rng: &mut DetRng) -> SimDuration {
         let base = self.matrix[self.region_of(src)][self.region_of(dst)];
         if self.jitter_pct == 0 {
             base
         } else {
-            let extra = rng.gen_range(0..=self.jitter_pct);
+            let extra = rng.gen_range_inclusive(0, self.jitter_pct);
             SimDuration(base.0 + base.0 * extra / 100)
         }
     }
@@ -180,13 +180,11 @@ pub mod aws {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_no_jitter_is_constant() {
         let m = UniformLatency::new(SimDuration::from_millis(10), SimDuration::ZERO);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         for _ in 0..10 {
             assert_eq!(
                 m.propagation(NodeId(0), NodeId(1), &mut rng),
@@ -199,7 +197,7 @@ mod tests {
     #[test]
     fn uniform_jitter_bounded() {
         let m = UniformLatency::new(SimDuration::from_millis(10), SimDuration::from_millis(5));
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         for _ in 0..100 {
             let d = m.propagation(NodeId(0), NodeId(1), &mut rng);
             assert!(d >= SimDuration::from_millis(10));
@@ -229,7 +227,7 @@ mod tests {
     #[test]
     fn matrix_propagation_uses_regions() {
         let wan = aws::wan(10, 0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         // Nodes 0 and 5 are both us-east-1 under round-robin of 10 across 5.
         let same = wan.propagation(NodeId(0), NodeId(5), &mut rng);
         // Node 2 is eu-north-1, node 4 is ap-southeast-2: slowest pair.
@@ -241,7 +239,7 @@ mod tests {
     #[test]
     fn matrix_max_propagation_covers_all_pairs() {
         let wan = aws::wan(10, 0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let max = wan.max_propagation();
         for a in 0..10u16 {
             for b in 0..10u16 {
@@ -253,7 +251,7 @@ mod tests {
     #[test]
     fn matrix_jitter_multiplicative() {
         let wan = aws::wan(5, 10);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let base = aws::one_way_matrix()[2][4];
         for _ in 0..100 {
             let d = wan.propagation(NodeId(2), NodeId(4), &mut rng);

@@ -69,6 +69,7 @@ pub mod time {
 pub use bandwidth::NicModel;
 pub use engine::{
     Actor, Context, NetworkConfig, NetworkStats, PreGstAdversary, Simulation, TimerId,
+    TrafficStats, TypeTraffic,
 };
 pub use latency::{LatencyModel, MatrixLatency, UniformLatency};
 pub use time::{SimDuration, SimTime};

@@ -4,10 +4,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use moonshot_consensus::{ConsensusProtocol, Message, Output, TimerToken};
+use moonshot_consensus::{ConsensusProtocol, Message, Output, ProtocolObserver, TimerToken};
 use moonshot_net::{Actor, Context, TimerId};
+use moonshot_telemetry::TraceSink;
 use moonshot_types::{Block, NodeId};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::metrics::MetricsSink;
 
@@ -17,6 +18,8 @@ pub struct ProtocolActor {
     protocol: Box<dyn ConsensusProtocol>,
     metrics: Arc<Mutex<MetricsSink>>,
     timers: HashMap<TimerId, TimerToken>,
+    observer: ProtocolObserver,
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for ProtocolActor {
@@ -35,7 +38,21 @@ impl ProtocolActor {
         protocol: Box<dyn ConsensusProtocol>,
         metrics: Arc<Mutex<MetricsSink>>,
     ) -> Self {
-        ProtocolActor { node, protocol, metrics, timers: HashMap::new() }
+        ProtocolActor {
+            node,
+            protocol,
+            metrics,
+            timers: HashMap::new(),
+            observer: ProtocolObserver::new(node),
+            trace: None,
+        }
+    }
+
+    /// Additionally records every protocol action into `sink` (typically a
+    /// shared ring buffer or JSONL writer — see `moonshot-telemetry`).
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     fn note_proposal(&self, msg: &Message, now: moonshot_types::time::SimTime) {
@@ -45,7 +62,7 @@ impl ProtocolActor {
             | Message::FbPropose { block, .. } => block,
             _ => return,
         };
-        self.metrics.lock().record_created(
+        self.metrics.lock().unwrap().record_created(
             block.id(),
             block.view(),
             block.height(),
@@ -55,6 +72,9 @@ impl ProtocolActor {
     }
 
     fn apply(&mut self, outputs: Vec<Output>, ctx: &mut Context<Message>) {
+        if let Some(sink) = &mut self.trace {
+            self.observer.on_outputs(&outputs, self.protocol.current_view(), ctx.now(), sink);
+        }
         for out in outputs {
             match out {
                 Output::Send(to, msg) => ctx.send(to, msg),
@@ -67,9 +87,9 @@ impl ProtocolActor {
                     self.timers.insert(id, token);
                 }
                 Output::Commit(c) => {
-                    let mut m = self.metrics.lock();
+                    let mut m = self.metrics.lock().unwrap();
                     m.record_commit(self.node, c.block.id(), ctx.now());
-                    m.record_view(self.node, self.protocol.current_view());
+                    m.record_view(self.node, self.protocol.current_view(), ctx.now());
                 }
             }
         }
@@ -80,18 +100,38 @@ impl Actor<Message> for ProtocolActor {
     fn on_start(&mut self, ctx: &mut Context<Message>) {
         let outs = self.protocol.start(ctx.now());
         self.apply(outs, ctx);
+        self.metrics.lock().unwrap().record_view(
+            self.node,
+            self.protocol.current_view(),
+            ctx.now(),
+        );
     }
 
     fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<Message>) {
+        if let Some(sink) = &mut self.trace {
+            self.observer.on_message_received(from, &msg, ctx.now(), sink);
+        }
         let outs = self.protocol.handle_message(from, msg, ctx.now());
         self.apply(outs, ctx);
-        self.metrics.lock().record_view(self.node, self.protocol.current_view());
+        self.metrics.lock().unwrap().record_view(
+            self.node,
+            self.protocol.current_view(),
+            ctx.now(),
+        );
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<Message>) {
         if let Some(token) = self.timers.remove(&timer) {
+            if let Some(sink) = &mut self.trace {
+                self.observer.on_timer_fired(token, ctx.now(), sink);
+            }
             let outs = self.protocol.handle_timer(token, ctx.now());
             self.apply(outs, ctx);
+            self.metrics.lock().unwrap().record_view(
+                self.node,
+                self.protocol.current_view(),
+                ctx.now(),
+            );
         }
     }
 }
@@ -124,7 +164,7 @@ mod tests {
         );
         let mut sim = Simulation::new(actors, config);
         sim.run_until(SimTime(2_000_000));
-        let m = metrics.lock().summarise(3, SimDuration::from_secs(2));
+        let m = metrics.lock().unwrap().summarise(3, SimDuration::from_secs(2));
         assert!(m.committed_blocks >= 10, "committed {}", m.committed_blocks);
         assert!(m.avg_latency_ms() > 0.0);
         // 3δ ≈ 30ms plus loopback/aggregation slack.

@@ -12,7 +12,7 @@ use moonshot_consensus::Message;
 use moonshot_crypto::KeyPair;
 use moonshot_net::{Actor, Context, TimerId};
 use moonshot_types::{Block, NodeId, Payload, SignedVote, View, Vote, VoteKind};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A Byzantine node that does nothing at all: never proposes, votes or
 /// times out. This is the behaviour the paper's leader schedules assume for
@@ -37,7 +37,7 @@ pub struct ObservingSilentActor {
 impl Actor<Message> for ObservingSilentActor {
     fn on_start(&mut self, _ctx: &mut Context<Message>) {}
     fn on_message(&mut self, _from: NodeId, _msg: Message, _ctx: &mut Context<Message>) {
-        *self.seen.lock() += 1;
+        *self.seen.lock().unwrap() += 1;
     }
     fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<Message>) {}
 }
@@ -156,7 +156,7 @@ mod tests {
         let mut sim = Simulation::new(actors, config);
         sim.run_until(SimTime(3_000_000));
         // Quorum here is 3 = the three honest nodes: progress must continue.
-        let m = metrics.lock().summarise(3, SimDuration::from_secs(3));
+        let m = metrics.lock().unwrap().summarise(3, SimDuration::from_secs(3));
         assert!(m.committed_blocks >= 3, "committed {}", m.committed_blocks);
     }
 
@@ -185,9 +185,9 @@ mod tests {
         );
         let mut sim = Simulation::new(actors, config);
         sim.run_until(SimTime(3_000_000));
-        let m = metrics.lock().summarise(3, SimDuration::from_secs(3));
+        let m = metrics.lock().unwrap().summarise(3, SimDuration::from_secs(3));
         // Node 0 leads view 1: its silence forces a timeout, then progress.
         assert!(m.committed_blocks >= 3, "committed {}", m.committed_blocks);
-        assert_eq!(metrics.lock().commits_of(NodeId(0)), 0);
+        assert_eq!(metrics.lock().unwrap().commits_of(NodeId(0)), 0);
     }
 }

@@ -8,6 +8,7 @@
 //! * [`failure_matrix`] — Fig. 9: `n = 100`, `f′ = 33`, Δ = 500 ms under
 //!   the three leader schedules.
 
+use moonshot_telemetry::json::{array, JsonObject};
 use moonshot_types::time::SimDuration;
 
 use crate::runner::{run_averaged, AveragedReport, ProtocolKind, RunConfig, Schedule};
@@ -233,6 +234,47 @@ pub fn grid_to_csv(cells: &[GridCell]) -> String {
         ));
     }
     out
+}
+
+fn cell_json(c: &GridCell) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("protocol", c.protocol.label())
+        .field_u64("n", c.n as u64)
+        .field_u64("payload_bytes", c.payload)
+        .field_f64("committed_blocks", c.report.committed_blocks)
+        .field_f64("throughput_bps", c.report.throughput_bps)
+        .field_f64("avg_latency_ms", c.report.avg_latency_ms)
+        .field_f64("transfer_rate_bytes_per_sec", c.report.transfer_rate)
+        .field_raw("sample", &c.report.sample.to_json());
+    o.finish()
+}
+
+/// Serialises the happy-path grid as a JSON document: averaged figures per
+/// cell plus one representative run's full metrics (commit-latency,
+/// block-period and view-duration distributions) under `"sample"`.
+pub fn grid_to_json(experiment: &str, cells: &[GridCell]) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("experiment", experiment)
+        .field_raw("cells", &array(cells.iter().map(cell_json)));
+    o.finish()
+}
+
+/// Serialises the failure matrix as a JSON document (same shape as
+/// [`grid_to_json`], with the leader schedule in place of `n`/`payload`).
+pub fn failures_to_json(experiment: &str, cells: &[FailureCell]) -> String {
+    let rows = cells.iter().map(|c| {
+        let mut o = JsonObject::new();
+        o.field_str("protocol", c.protocol.label())
+            .field_str("schedule", &format!("{:?}", c.schedule))
+            .field_f64("committed_blocks", c.report.committed_blocks)
+            .field_f64("throughput_bps", c.report.throughput_bps)
+            .field_f64("avg_latency_ms", c.report.avg_latency_ms)
+            .field_raw("sample", &c.report.sample.to_json());
+        o.finish()
+    });
+    let mut o = JsonObject::new();
+    o.field_str("experiment", experiment).field_raw("cells", &array(rows));
+    o.finish()
 }
 
 /// Formats the failure matrix as CSV.

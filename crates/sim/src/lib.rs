@@ -33,4 +33,7 @@ pub mod runner;
 
 pub use adapter::ProtocolActor;
 pub use metrics::{MetricsSink, RunMetrics};
-pub use runner::{run, run_averaged, ProtocolKind, RunConfig, RunReport, Schedule};
+pub use runner::{
+    run, run_averaged, run_traced, ProtocolKind, RunConfig, RunReport, Schedule, TraceOptions,
+    TracedRunReport,
+};

@@ -3,11 +3,17 @@
 //! * **Throughput** — the number of blocks committed by at least `2f + 1`
 //!   nodes during a run.
 //! * **Transfer rate** — bytes of payload from committed blocks per second.
-//! * **Latency** — the average time between the *creation* of a block (its
-//!   first proposal multicast) and its commit by the `(2f+1)`-th node.
+//! * **Latency** — the time between the *creation* of a block (its first
+//!   proposal multicast) and its commit by the `(2f+1)`-th node, reported
+//!   both as the paper's average and as a full distribution.
+//! * **Block period** — the time between consecutive block creations (the
+//!   paper's ω), as a distribution.
+//! * **View duration** — how long nodes spend in each view, as a
+//!   distribution (τ-timeout views show up as the tail).
 
 use std::collections::HashMap;
 
+use moonshot_telemetry::{Histogram, HistogramSummary};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{BlockId, Height, NodeId, View};
 
@@ -27,8 +33,10 @@ pub struct MetricsSink {
     blocks: HashMap<BlockId, BlockRecord>,
     /// Blocks committed per node (for per-node progress checks).
     per_node_commits: HashMap<NodeId, u64>,
-    /// Highest view observed per node.
-    views: HashMap<NodeId, View>,
+    /// Highest view observed per node, with when it was entered.
+    views: HashMap<NodeId, (View, SimTime)>,
+    /// Completed per-node view durations, in microseconds.
+    view_durations_us: Vec<u64>,
 }
 
 impl MetricsSink {
@@ -65,9 +73,21 @@ impl MetricsSink {
         }
     }
 
-    /// Records a node's current view (called at run end).
-    pub fn record_view(&mut self, node: NodeId, view: View) {
-        self.views.insert(node, view);
+    /// Records `node` being in `view` at `now`. On a view *change* the time
+    /// spent in the previous view is added to the view-duration
+    /// distribution; repeated calls within one view are cheap no-ops.
+    pub fn record_view(&mut self, node: NodeId, view: View, now: SimTime) {
+        match self.views.get_mut(&node) {
+            None => {
+                self.views.insert(node, (view, now));
+            }
+            Some((current, entered_at)) if view > *current => {
+                self.view_durations_us.push(now.since(*entered_at).as_micros());
+                *current = view;
+                *entered_at = now;
+            }
+            Some(_) => {}
+        }
     }
 
     /// Number of blocks committed by `node`.
@@ -77,7 +97,7 @@ impl MetricsSink {
 
     /// The highest view any node reached.
     pub fn max_view(&self) -> View {
-        self.views.values().copied().max().unwrap_or(View::GENESIS)
+        self.views.values().map(|(v, _)| *v).max().unwrap_or(View::GENESIS)
     }
 
     /// Debug helper: per-block `(view, created_at, sorted commit times)`.
@@ -126,6 +146,23 @@ impl MetricsSink {
         let p99 = latencies.get(latencies.len().saturating_sub(1).min(
             (latencies.len() as f64 * 0.99) as usize,
         )).copied();
+
+        let mut commit_hist = Histogram::for_latency_us();
+        for d in &latencies {
+            commit_hist.record(d.as_micros());
+        }
+        let mut period_hist = Histogram::for_latency_us();
+        let mut created: Vec<SimTime> =
+            self.blocks.values().filter_map(|r| r.created_at).collect();
+        created.sort();
+        for pair in created.windows(2) {
+            period_hist.record(pair[1].since(pair[0]).as_micros());
+        }
+        let mut view_hist = Histogram::for_latency_us();
+        for &d in &self.view_durations_us {
+            view_hist.record(d);
+        }
+
         RunMetrics {
             committed_blocks,
             committed_payload_bytes: committed_payload,
@@ -134,6 +171,9 @@ impl MetricsSink {
             p50_latency: p50,
             p99_latency: p99,
             max_view: self.max_view(),
+            commit_latency: commit_hist.summary(),
+            block_period: period_hist.summary(),
+            view_duration: view_hist.summary(),
         }
     }
 }
@@ -155,6 +195,13 @@ pub struct RunMetrics {
     pub p99_latency: Option<SimDuration>,
     /// Highest view reached by any node.
     pub max_view: View,
+    /// Distribution of creation→quorum-commit latencies (µs).
+    pub commit_latency: HistogramSummary,
+    /// Distribution of gaps between consecutive block creations (µs) — the
+    /// measured block period ω.
+    pub block_period: HistogramSummary,
+    /// Distribution of per-node view durations (µs).
+    pub view_duration: HistogramSummary,
 }
 
 impl RunMetrics {
@@ -177,6 +224,23 @@ impl RunMetrics {
     /// Mean latency in milliseconds (`f64::NAN` when nothing committed).
     pub fn avg_latency_ms(&self) -> f64 {
         self.avg_latency.map_or(f64::NAN, |d| d.as_millis_f64())
+    }
+
+    /// Serialises the metrics (including all three distributions) as one
+    /// JSON object for summary files.
+    pub fn to_json(&self) -> String {
+        let mut o = moonshot_telemetry::json::JsonObject::new();
+        o.field_u64("committed_blocks", self.committed_blocks);
+        o.field_u64("committed_payload_bytes", self.committed_payload_bytes);
+        o.field_f64("duration_s", self.duration.as_secs_f64());
+        o.field_f64("throughput_bps", self.throughput_bps());
+        o.field_f64("transfer_rate_bytes_per_sec", self.transfer_rate_bytes_per_sec());
+        o.field_f64("avg_latency_ms", self.avg_latency_ms());
+        o.field_u64("max_view", self.max_view.0);
+        o.field_raw("commit_latency", &self.commit_latency.to_json_ms());
+        o.field_raw("block_period", &self.block_period.to_json_ms());
+        o.field_raw("view_duration", &self.view_duration.to_json_ms());
+        o.finish()
     }
 }
 
@@ -241,9 +305,69 @@ mod tests {
     #[test]
     fn max_view_tracked() {
         let mut sink = MetricsSink::new();
-        sink.record_view(NodeId(0), View(10));
-        sink.record_view(NodeId(1), View(12));
+        sink.record_view(NodeId(0), View(10), SimTime(100));
+        sink.record_view(NodeId(1), View(12), SimTime(100));
         assert_eq!(sink.max_view(), View(12));
+    }
+
+    #[test]
+    fn view_durations_measured_per_node() {
+        let mut sink = MetricsSink::new();
+        // Node 0: view 1 for 100 µs, view 2 for 200 µs, then still in 3.
+        sink.record_view(NodeId(0), View(1), SimTime(0));
+        sink.record_view(NodeId(0), View(1), SimTime(50)); // same view: no-op
+        sink.record_view(NodeId(0), View(2), SimTime(100));
+        sink.record_view(NodeId(0), View(3), SimTime(300));
+        // Node 1: one completed view of 500 µs.
+        sink.record_view(NodeId(1), View(1), SimTime(0));
+        sink.record_view(NodeId(1), View(2), SimTime(500));
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        let vd = m.view_duration;
+        assert_eq!(vd.count, 3);
+        assert_eq!(vd.min, 100);
+        assert_eq!(vd.max, 500);
+    }
+
+    #[test]
+    fn summary_histograms_match_latencies() {
+        let mut sink = MetricsSink::new();
+        // Three blocks created 10 ms apart, each committed by a quorum of 3
+        // with 31 ms latency.
+        for b in 0..3u8 {
+            let t0 = SimTime(10_000 * b as u64);
+            sink.record_created(bid(b), View(b as u64 + 1), Height(b as u64 + 1), 0, t0);
+            for i in 0..3u16 {
+                sink.record_commit(NodeId(i), bid(b), t0 + SimDuration(31_000));
+            }
+        }
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        assert_eq!(m.commit_latency.count, 3);
+        assert_eq!(m.commit_latency.min, 31_000);
+        assert_eq!(m.commit_latency.max, 31_000);
+        // p50 answers to 1 ms bucket resolution.
+        assert!(m.commit_latency.p50 >= 31_000 && m.commit_latency.p50 <= 32_000);
+        assert_eq!(m.block_period.count, 2);
+        assert_eq!(m.block_period.min, 10_000);
+        let json = m.to_json();
+        assert!(json.contains("\"commit_latency\":{\"count\":3"));
+        assert!(json.contains("\"block_period\""));
+        assert!(json.contains("\"view_duration\""));
+    }
+
+    #[test]
+    fn duplicate_commits_do_not_skew_latency() {
+        // Regression guard: a node re-committing the same block later must
+        // not move the quorum-commit time.
+        let mut sink = MetricsSink::new();
+        sink.record_created(bid(1), View(1), Height(1), 0, SimTime::ZERO);
+        for i in 0..3u16 {
+            sink.record_commit(NodeId(i), bid(1), SimTime(100));
+        }
+        sink.record_commit(NodeId(0), bid(1), SimTime(9_999));
+        let m = sink.summarise(3, SimDuration::from_secs(1));
+        assert_eq!(m.committed_blocks, 1);
+        assert_eq!(m.avg_latency, Some(SimDuration(100)));
+        assert_eq!(sink.commits_of(NodeId(0)), 1);
     }
 
     #[test]

@@ -13,11 +13,17 @@ use moonshot_consensus::pipelined::MoonshotOptions;
 use moonshot_crypto::Keyring;
 use moonshot_net::latency::aws;
 use moonshot_net::{
-    Actor, LatencyModel, NetworkConfig, NetworkStats, NicModel, Simulation, UniformLatency,
+    Actor, LatencyModel, NetworkConfig, NetworkStats, NicModel, Simulation, TrafficStats,
+    UniformLatency,
+};
+use moonshot_telemetry::json::JsonObject;
+use moonshot_telemetry::{
+    InvariantSummary, JsonlSink, RingBufferSink, TeeSink, TraceRecord, TraceSink,
 };
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::NodeId;
-use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 use crate::adapter::ProtocolActor;
 use crate::byzantine::SilentActor;
@@ -253,18 +259,105 @@ impl RunConfig {
 }
 
 /// The result of one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Consensus metrics (throughput, latency, transfer rate).
     pub metrics: RunMetrics,
     /// Network-level statistics.
     pub network: NetworkStats,
+    /// Per-message-type communication accounting.
+    pub traffic: TrafficStats,
 }
 
-/// Executes one simulated run.
+/// How a run's protocol trace is captured.
+#[derive(Clone, Debug)]
+pub struct TraceOptions {
+    /// Capacity of the in-memory ring buffer the invariant checker reads
+    /// (oldest events evict first; the checks are suffix-safe).
+    pub ring_capacity: usize,
+    /// When set, additionally stream every event as JSON Lines to this file
+    /// (parent directories are created).
+    pub jsonl_path: Option<PathBuf>,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { ring_capacity: 1 << 16, jsonl_path: None }
+    }
+}
+
+/// The result of one traced run.
+#[derive(Clone, Debug)]
+pub struct TracedRunReport {
+    /// The run's metrics, network statistics and traffic accounting.
+    pub report: RunReport,
+    /// The (possibly truncated) event trace, oldest first.
+    pub trace: Vec<TraceRecord>,
+    /// Events evicted from the ring buffer before the run ended.
+    pub trace_evicted: u64,
+    /// What the post-run invariant checker verified.
+    pub invariants: InvariantSummary,
+}
+
+impl TracedRunReport {
+    /// Serialises config + metrics + per-type traffic + invariant coverage
+    /// as one JSON object — the per-cell record of the experiment summary
+    /// files.
+    pub fn summary_json(&self, config: &RunConfig) -> String {
+        let mut traffic = JsonObject::new();
+        for (label, t) in self.report.traffic.rows() {
+            let mut row = JsonObject::new();
+            row.field_u64("count", t.count);
+            row.field_u64("bytes", t.bytes);
+            traffic.field_raw(label, &row.finish());
+        }
+        let mut inv = JsonObject::new();
+        inv.field_u64("records", self.invariants.records);
+        inv.field_u64("commits", self.invariants.commits);
+        inv.field_u64("view_entries", self.invariants.view_entries);
+        inv.field_bool("ok", true);
+
+        let mut o = JsonObject::new();
+        o.field_str("protocol", config.protocol.label());
+        o.field_u64("n", config.n as u64);
+        o.field_u64("f_prime", config.f_prime as u64);
+        o.field_u64("payload_bytes", config.payload_bytes);
+        o.field_u64("seed", config.seed);
+        o.field_raw("metrics", &self.report.metrics.to_json());
+        o.field_u64("messages_delivered", self.report.network.delivered);
+        o.field_u64("bytes_sent", self.report.network.bytes_sent);
+        o.field_raw("traffic", &traffic.finish());
+        o.field_raw("invariants", &inv.finish());
+        o.finish()
+    }
+}
+
+/// Executes one simulated run with default tracing: events go to a bounded
+/// ring buffer and the invariant checker validates the trace afterwards.
 pub fn run(config: &RunConfig) -> RunReport {
+    run_traced(config, &TraceOptions::default()).report
+}
+
+/// Executes one simulated run, capturing the protocol trace.
+///
+/// Every honest node is observed through the `ConsensusProtocol` hook; the
+/// events land in a ring buffer (and, optionally, a JSONL file). After the
+/// run the trace is checked against the safety invariants — agreement,
+/// monotone views, ordered commits.
+///
+/// # Panics
+///
+/// Panics if the trace violates an invariant (a correctness bug, not an
+/// experiment outcome) or if the JSONL file cannot be created.
+pub fn run_traced(config: &RunConfig, opts: &TraceOptions) -> TracedRunReport {
     assert!(config.f_prime * 3 < config.n, "f' must satisfy n > 3f'");
     let metrics = Arc::new(Mutex::new(MetricsSink::new()));
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(opts.ring_capacity)));
+    let jsonl = opts.jsonl_path.as_ref().map(|path| {
+        Arc::new(Mutex::new(
+            JsonlSink::create(path).expect("create JSONL trace file"),
+        ))
+    });
     let byzantine_from = config.n - config.f_prime;
     let actors: Vec<Box<dyn Actor<Message>>> = (0..config.n)
         .map(|i| {
@@ -272,8 +365,14 @@ pub fn run(config: &RunConfig) -> RunReport {
             if i >= byzantine_from {
                 Box::new(SilentActor) as Box<dyn Actor<Message>>
             } else {
-                Box::new(ProtocolActor::new(node, config.build_protocol(node), metrics.clone()))
-                    as Box<dyn Actor<Message>>
+                let sink: Box<dyn TraceSink> = match &jsonl {
+                    Some(j) => Box::new(TeeSink::new(ring.clone(), j.clone())),
+                    None => Box::new(ring.clone()),
+                };
+                Box::new(
+                    ProtocolActor::new(node, config.build_protocol(node), metrics.clone())
+                        .with_trace(sink),
+                ) as Box<dyn Actor<Message>>
             }
         })
         .collect();
@@ -283,9 +382,40 @@ pub fn run(config: &RunConfig) -> RunReport {
     )
     .with_seed(config.seed);
     let mut sim = Simulation::new(actors, net_config);
+    sim.classify_with(|m: &Message| m.tag());
     sim.run_until(SimTime::ZERO + config.duration);
-    let m = metrics.lock().summarise(config.quorum(), config.duration);
-    RunReport { metrics: m, network: sim.stats() }
+    let m = metrics.lock().unwrap().summarise(config.quorum(), config.duration);
+    let network = sim.stats();
+    let traffic = sim.traffic().clone();
+    drop(sim); // releases the actors' clones of the trace sinks
+    if let Some(j) = &jsonl {
+        j.lock().unwrap().flush();
+    }
+    let ring = Arc::try_unwrap(ring)
+        .expect("all trace sink clones released")
+        .into_inner()
+        .unwrap();
+    let trace_evicted = ring.evicted();
+    let trace = ring.into_vec();
+    let invariants = match moonshot_telemetry::check_invariants(trace.iter().copied()) {
+        Ok(summary) => summary,
+        Err(violations) => {
+            let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "run violated {} trace invariant(s) ({} {:?}):\n  {}",
+                violations.len(),
+                config.protocol.label(),
+                config.seed,
+                lines.join("\n  ")
+            );
+        }
+    };
+    TracedRunReport {
+        report: RunReport { metrics: m, network, traffic },
+        trace,
+        trace_evicted,
+        invariants,
+    }
 }
 
 /// Runs `samples` seeds and averages throughput / latency / transfer rate.
@@ -299,15 +429,21 @@ pub struct AveragedReport {
     pub avg_latency_ms: f64,
     /// Mean transfer rate in bytes per second.
     pub transfer_rate: f64,
+    /// Full metrics (including latency / block-period / view-duration
+    /// distributions) from the last sampled seed — one representative run's
+    /// histograms rather than a cross-seed average of percentiles.
+    pub sample: RunMetrics,
 }
 
 /// Runs the configuration with seeds `1..=samples` and averages the results,
 /// mirroring the paper's "average of three five-minute runs".
 pub fn run_averaged(config: &RunConfig, samples: u64) -> AveragedReport {
+    assert!(samples >= 1, "need at least one sample");
     let mut blocks = 0.0;
     let mut bps = 0.0;
     let mut lat = Vec::new();
     let mut rate = 0.0;
+    let mut sample = None;
     for seed in 1..=samples {
         let report = run(&config.clone().with_seed(seed));
         blocks += report.metrics.committed_blocks as f64;
@@ -317,6 +453,7 @@ pub fn run_averaged(config: &RunConfig, samples: u64) -> AveragedReport {
         if l.is_finite() {
             lat.push(l);
         }
+        sample = Some(report.metrics);
     }
     let s = samples as f64;
     AveragedReport {
@@ -328,6 +465,7 @@ pub fn run_averaged(config: &RunConfig, samples: u64) -> AveragedReport {
             lat.iter().sum::<f64>() / lat.len() as f64
         },
         transfer_rate: rate / s,
+        sample: sample.expect("samples >= 1"),
     }
 }
 
@@ -407,5 +545,55 @@ mod tests {
         let mut cfg = RunConfig::happy_path(ProtocolKind::Jolteon, 9, 0);
         cfg.f_prime = 3;
         run(&cfg);
+    }
+
+    #[test]
+    fn traced_run_captures_events_and_invariants() {
+        let cfg = quick(ProtocolKind::PipelinedMoonshot, 4);
+        let traced = run_traced(&cfg, &TraceOptions::default());
+        assert!(traced.report.metrics.committed_blocks > 0);
+        assert!(traced.invariants.commits > 0);
+        assert!(traced.invariants.view_entries >= 4, "each node enters view 1");
+        let kinds: std::collections::HashSet<&str> =
+            traced.trace.iter().map(|r| r.event.kind()).collect();
+        for expected in ["proposal-sent", "proposal-received", "vote-cast", "qc-formed", "view-entered", "block-committed"]
+        {
+            assert!(kinds.contains(expected), "missing {expected} in {kinds:?}");
+        }
+        // Traffic accounting is on and consistent with the byte totals.
+        assert!(traced.report.traffic.get("vote").count > 0);
+        assert_eq!(traced.report.traffic.total().bytes, traced.report.network.bytes_sent);
+        // The summary JSON carries the new distributions.
+        let json = traced.summary_json(&cfg);
+        assert!(json.contains("\"commit_latency\""));
+        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"traffic\""));
+        assert!(json.contains("\"invariants\""));
+    }
+
+    #[test]
+    fn traced_run_streams_jsonl() {
+        let dir = std::env::temp_dir().join("moonshot-trace-test");
+        let path = dir.join("pm_n4.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cfg = quick(ProtocolKind::PipelinedMoonshot, 4)
+            .with_duration(SimDuration::from_secs(2));
+        let opts = TraceOptions { ring_capacity: 1 << 14, jsonl_path: Some(path.clone()) };
+        let traced = run_traced(&cfg, &opts);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len() as u64, traced.trace.len() as u64 + traced.trace_evicted);
+        assert!(lines[0].starts_with('{') && lines[0].contains("\"kind\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_suffix() {
+        let cfg = quick(ProtocolKind::CommitMoonshot, 4);
+        let opts = TraceOptions { ring_capacity: 64, jsonl_path: None };
+        let traced = run_traced(&cfg, &opts);
+        assert!(traced.trace_evicted > 0);
+        assert_eq!(traced.trace.len(), 64);
+        // Invariant checks are suffix-safe, so this still passed (no panic).
     }
 }

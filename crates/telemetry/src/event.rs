@@ -1,0 +1,267 @@
+//! The structured trace-event taxonomy.
+//!
+//! One [`TraceEvent`] per observable protocol action, covering everything the
+//! paper's timing diagrams (Figs. 2–5) talk about: proposals, votes,
+//! certificate formation, view entry, timeouts and commits. Events are plain
+//! `Copy` structs of ids and integers — recording one into a ring buffer
+//! allocates nothing, so tracing can stay on in every simulation run.
+
+use moonshot_types::time::SimTime;
+use moonshot_types::{BlockId, Height, NodeId, View};
+
+/// A single observable protocol action, without its timestamp.
+///
+/// The `node` field is always the node the event happened *at*: the sender
+/// for `ProposalSent`/`VoteCast`, the receiver for `ProposalReceived`, the
+/// local observer for certificate formation and commits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A leader multicast a full proposal for `block`.
+    ProposalSent {
+        /// The proposing leader.
+        node: NodeId,
+        /// The view proposed for.
+        view: View,
+        /// The proposed block.
+        block: BlockId,
+        /// Its chain height.
+        height: Height,
+    },
+    /// A node received a proposal (any of the four proposal message types).
+    ProposalReceived {
+        /// The receiving node.
+        node: NodeId,
+        /// The proposing leader it came from.
+        from: NodeId,
+        /// The view proposed for.
+        view: View,
+        /// The proposed block.
+        block: BlockId,
+    },
+    /// A node cast (multicast or sent) a block or commit vote.
+    VoteCast {
+        /// The voting node.
+        node: NodeId,
+        /// The vote's view.
+        view: View,
+        /// The block voted for.
+        block: BlockId,
+        /// `true` for Commit Moonshot's explicit commit votes.
+        commit_vote: bool,
+    },
+    /// A node first advertised a quorum certificate for `view` — in
+    /// Moonshot every node aggregates votes locally, so each honest node
+    /// emits this once per certified view.
+    QcFormed {
+        /// The node that assembled (or first relayed) the certificate.
+        node: NodeId,
+        /// The certified view.
+        view: View,
+        /// The certified block.
+        block: BlockId,
+    },
+    /// A node first advertised a timeout certificate for `view`.
+    TcFormed {
+        /// The node that assembled (or first relayed) the certificate.
+        node: NodeId,
+        /// The timed-out view.
+        view: View,
+    },
+    /// A node's view-failure timer (τ) expired.
+    TimeoutFired {
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The view that timed out.
+        view: View,
+    },
+    /// A node advanced into `view`.
+    ViewEntered {
+        /// The advancing node.
+        node: NodeId,
+        /// The view entered.
+        view: View,
+    },
+    /// A node committed `block`.
+    BlockCommitted {
+        /// The committing node.
+        node: NodeId,
+        /// The view whose certificate triggered the commit.
+        view: View,
+        /// The committed block.
+        block: BlockId,
+        /// Its chain height.
+        height: Height,
+        /// `true` for a direct commit, `false` for an ancestor swept up
+        /// indirectly.
+        direct: bool,
+    },
+    /// A node asked a peer for a certified-but-missing block.
+    SyncRequested {
+        /// The requesting node.
+        node: NodeId,
+        /// The missing block.
+        block: BlockId,
+    },
+}
+
+impl TraceEvent {
+    /// Short kind tag, stable across versions (used as the JSONL `kind`
+    /// field and in per-kind counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ProposalSent { .. } => "proposal-sent",
+            TraceEvent::ProposalReceived { .. } => "proposal-received",
+            TraceEvent::VoteCast { .. } => "vote-cast",
+            TraceEvent::QcFormed { .. } => "qc-formed",
+            TraceEvent::TcFormed { .. } => "tc-formed",
+            TraceEvent::TimeoutFired { .. } => "timeout-fired",
+            TraceEvent::ViewEntered { .. } => "view-entered",
+            TraceEvent::BlockCommitted { .. } => "block-committed",
+            TraceEvent::SyncRequested { .. } => "sync-requested",
+        }
+    }
+
+    /// The node this event happened at.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            TraceEvent::ProposalSent { node, .. }
+            | TraceEvent::ProposalReceived { node, .. }
+            | TraceEvent::VoteCast { node, .. }
+            | TraceEvent::QcFormed { node, .. }
+            | TraceEvent::TcFormed { node, .. }
+            | TraceEvent::TimeoutFired { node, .. }
+            | TraceEvent::ViewEntered { node, .. }
+            | TraceEvent::BlockCommitted { node, .. }
+            | TraceEvent::SyncRequested { node, .. } => node,
+        }
+    }
+}
+
+/// A timestamped [`TraceEvent`] — what sinks actually store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened, in simulated time.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Serialises the record as one flat JSON object (one JSONL line,
+    /// without the trailing newline).
+    pub fn to_json(&self) -> String {
+        use crate::json::JsonObject;
+        let mut o = JsonObject::new();
+        o.field_u64("at_us", self.at.0);
+        o.field_str("kind", self.event.kind());
+        o.field_u64("node", self.event.node().0 as u64);
+        match self.event {
+            TraceEvent::ProposalSent { view, block, height, .. } => {
+                o.field_u64("view", view.0);
+                o.field_str("block", &block.short());
+                o.field_u64("height", height.0);
+            }
+            TraceEvent::ProposalReceived { from, view, block, .. } => {
+                o.field_u64("from", from.0 as u64);
+                o.field_u64("view", view.0);
+                o.field_str("block", &block.short());
+            }
+            TraceEvent::VoteCast { view, block, commit_vote, .. } => {
+                o.field_u64("view", view.0);
+                o.field_str("block", &block.short());
+                o.field_bool("commit_vote", commit_vote);
+            }
+            TraceEvent::QcFormed { view, block, .. } => {
+                o.field_u64("view", view.0);
+                o.field_str("block", &block.short());
+            }
+            TraceEvent::TcFormed { view, .. } | TraceEvent::TimeoutFired { view, .. } => {
+                o.field_u64("view", view.0);
+            }
+            TraceEvent::ViewEntered { view, .. } => {
+                o.field_u64("view", view.0);
+            }
+            TraceEvent::BlockCommitted { view, block, height, direct, .. } => {
+                o.field_u64("view", view.0);
+                o.field_str("block", &block.short());
+                o.field_u64("height", height.0);
+                o.field_bool("direct", direct);
+            }
+            TraceEvent::SyncRequested { block, .. } => {
+                o.field_str("block", &block.short());
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid() -> BlockId {
+        BlockId::hash(b"x")
+    }
+
+    #[test]
+    fn events_are_copy_and_tagged() {
+        let e = TraceEvent::ViewEntered { node: NodeId(3), view: View(7) };
+        let e2 = e; // Copy
+        assert_eq!(e, e2);
+        assert_eq!(e.kind(), "view-entered");
+        assert_eq!(e.node(), NodeId(3));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            TraceEvent::ProposalSent {
+                node: NodeId(0),
+                view: View(1),
+                block: bid(),
+                height: Height(1),
+            },
+            TraceEvent::ProposalReceived {
+                node: NodeId(1),
+                from: NodeId(0),
+                view: View(1),
+                block: bid(),
+            },
+            TraceEvent::VoteCast { node: NodeId(1), view: View(1), block: bid(), commit_vote: false },
+            TraceEvent::QcFormed { node: NodeId(1), view: View(1), block: bid() },
+            TraceEvent::TcFormed { node: NodeId(1), view: View(1) },
+            TraceEvent::TimeoutFired { node: NodeId(1), view: View(1) },
+            TraceEvent::ViewEntered { node: NodeId(1), view: View(2) },
+            TraceEvent::BlockCommitted {
+                node: NodeId(1),
+                view: View(3),
+                block: bid(),
+                height: Height(1),
+                direct: true,
+            },
+            TraceEvent::SyncRequested { node: NodeId(1), block: bid() },
+        ];
+        let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn json_line_is_flat_and_tagged() {
+        let rec = TraceRecord {
+            at: SimTime(1_234),
+            event: TraceEvent::BlockCommitted {
+                node: NodeId(2),
+                view: View(5),
+                block: bid(),
+                height: Height(4),
+                direct: true,
+            },
+        };
+        let line = rec.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"at_us\":1234"));
+        assert!(line.contains("\"kind\":\"block-committed\""));
+        assert!(line.contains("\"direct\":true"));
+        assert!(!line.contains('\n'));
+    }
+}

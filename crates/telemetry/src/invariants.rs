@@ -1,0 +1,289 @@
+//! Trace-driven safety and sanity invariants.
+//!
+//! After a run, the recorded trace is checked against the properties every
+//! execution — honest or with ≤ f silent Byzantine nodes — must satisfy:
+//!
+//! 1. **Agreement**: no two *different* blocks are committed at the same
+//!    height, by any pair of nodes (Theorems 1/3/5 of the paper).
+//! 2. **View monotonicity**: each node's `ViewEntered` sequence is strictly
+//!    increasing.
+//! 3. **Commit-height monotonicity**: each node's committed heights are
+//!    strictly increasing (commits deliver the chain in order).
+//! 4. **Causal timestamps**: trace time never goes backwards.
+//!
+//! All checks are valid on a trace *suffix*, so they compose with a bounded
+//! [`RingBufferSink`](crate::sink::RingBufferSink) that has evicted early
+//! events.
+
+use std::collections::HashMap;
+
+use moonshot_types::time::SimTime;
+use moonshot_types::{BlockId, Height, NodeId, View};
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// A violated invariant, with enough context to debug it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two different blocks committed at one height.
+    ConflictingCommit {
+        /// The disputed height.
+        height: Height,
+        /// First committed block observed at this height.
+        first: BlockId,
+        /// The node that committed `first`.
+        first_node: NodeId,
+        /// The conflicting block.
+        second: BlockId,
+        /// The node that committed `second`.
+        second_node: NodeId,
+    },
+    /// A node entered a view not above its previous one.
+    NonMonotoneView {
+        /// The offending node.
+        node: NodeId,
+        /// The view it was in.
+        previous: View,
+        /// The view it "entered".
+        entered: View,
+    },
+    /// A node committed a height not above its previous one.
+    NonMonotoneCommit {
+        /// The offending node.
+        node: NodeId,
+        /// Its previously committed height.
+        previous: Height,
+        /// The height it then committed.
+        committed: Height,
+    },
+    /// Trace timestamps went backwards.
+    TimeWentBackwards {
+        /// Timestamp of the earlier record.
+        previous: SimTime,
+        /// The smaller timestamp that followed it.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::ConflictingCommit { height, first, first_node, second, second_node } => {
+                write!(
+                    f,
+                    "conflicting commit at height {}: node {} committed {}, node {} committed {}",
+                    height.0,
+                    first_node.0,
+                    first.short(),
+                    second_node.0,
+                    second.short()
+                )
+            }
+            Violation::NonMonotoneView { node, previous, entered } => write!(
+                f,
+                "node {} entered view {} while already in view {}",
+                node.0, entered.0, previous.0
+            ),
+            Violation::NonMonotoneCommit { node, previous, committed } => write!(
+                f,
+                "node {} committed height {} after height {}",
+                node.0, committed.0, previous.0
+            ),
+            Violation::TimeWentBackwards { previous, at } => {
+                write!(f, "trace time went backwards: {previous} then {at}")
+            }
+        }
+    }
+}
+
+/// What a clean check looked at.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvariantSummary {
+    /// Trace records examined.
+    pub records: u64,
+    /// `BlockCommitted` events examined.
+    pub commits: u64,
+    /// Distinct heights with at least one commit.
+    pub committed_heights: u64,
+    /// `ViewEntered` events examined.
+    pub view_entries: u64,
+}
+
+/// Checks the invariants over `records` (any trace suffix, oldest first).
+///
+/// Returns what was checked, or *all* violations found (not just the first,
+/// so a broken run can be diagnosed in one pass).
+pub fn check(
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> Result<InvariantSummary, Vec<Violation>> {
+    let mut summary = InvariantSummary::default();
+    let mut violations = Vec::new();
+    let mut committed_at: HashMap<Height, (BlockId, NodeId)> = HashMap::new();
+    let mut view_of: HashMap<NodeId, View> = HashMap::new();
+    let mut last_commit: HashMap<NodeId, Height> = HashMap::new();
+    let mut last_at: Option<SimTime> = None;
+
+    for rec in records {
+        summary.records += 1;
+        if let Some(prev) = last_at {
+            if rec.at < prev {
+                violations.push(Violation::TimeWentBackwards { previous: prev, at: rec.at });
+            }
+        }
+        last_at = Some(rec.at);
+
+        match rec.event {
+            TraceEvent::BlockCommitted { node, block, height, .. } => {
+                summary.commits += 1;
+                match committed_at.get(&height) {
+                    None => {
+                        committed_at.insert(height, (block, node));
+                    }
+                    Some(&(first, first_node)) if first != block => {
+                        violations.push(Violation::ConflictingCommit {
+                            height,
+                            first,
+                            first_node,
+                            second: block,
+                            second_node: node,
+                        });
+                    }
+                    Some(_) => {}
+                }
+                if let Some(&prev) = last_commit.get(&node) {
+                    if height <= prev {
+                        violations.push(Violation::NonMonotoneCommit {
+                            node,
+                            previous: prev,
+                            committed: height,
+                        });
+                    }
+                }
+                last_commit.insert(node, height);
+            }
+            TraceEvent::ViewEntered { node, view } => {
+                summary.view_entries += 1;
+                if let Some(&prev) = view_of.get(&node) {
+                    if view <= prev {
+                        violations.push(Violation::NonMonotoneView {
+                            node,
+                            previous: prev,
+                            entered: view,
+                        });
+                    }
+                }
+                view_of.insert(node, view);
+            }
+            _ => {}
+        }
+    }
+    summary.committed_heights = committed_at.len() as u64;
+
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(i: u8) -> BlockId {
+        BlockId::hash(&[i])
+    }
+
+    fn commit(at: u64, node: u16, height: u64, block: BlockId) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(at),
+            event: TraceEvent::BlockCommitted {
+                node: NodeId(node),
+                view: View(height),
+                block,
+                height: Height(height),
+                direct: true,
+            },
+        }
+    }
+
+    fn enter(at: u64, node: u16, view: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(at),
+            event: TraceEvent::ViewEntered { node: NodeId(node), view: View(view) },
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let trace = vec![
+            enter(0, 0, 1),
+            enter(0, 1, 1),
+            commit(10, 0, 1, bid(1)),
+            commit(11, 1, 1, bid(1)),
+            enter(12, 0, 2),
+            commit(20, 0, 2, bid(2)),
+        ];
+        let s = check(trace).unwrap();
+        assert_eq!(s.records, 6);
+        assert_eq!(s.commits, 3);
+        assert_eq!(s.committed_heights, 2);
+        assert_eq!(s.view_entries, 3);
+    }
+
+    #[test]
+    fn conflicting_commits_detected_across_nodes() {
+        let trace = vec![commit(10, 0, 1, bid(1)), commit(11, 1, 1, bid(2))];
+        let errs = check(trace).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            Violation::ConflictingCommit { height: Height(1), .. }
+        ));
+        assert!(errs[0].to_string().contains("height 1"));
+    }
+
+    #[test]
+    fn same_block_at_same_height_is_fine() {
+        let trace = vec![commit(10, 0, 1, bid(1)), commit(11, 1, 1, bid(1))];
+        assert!(check(trace).is_ok());
+    }
+
+    #[test]
+    fn view_regression_detected() {
+        let trace = vec![enter(0, 0, 5), enter(1, 0, 5)];
+        let errs = check(trace).unwrap_err();
+        assert_eq!(
+            errs[0],
+            Violation::NonMonotoneView { node: NodeId(0), previous: View(5), entered: View(5) }
+        );
+    }
+
+    #[test]
+    fn commit_height_regression_detected() {
+        let trace = vec![commit(10, 0, 3, bid(3)), commit(11, 0, 2, bid(2))];
+        let errs = check(trace).unwrap_err();
+        assert!(matches!(errs[0], Violation::NonMonotoneCommit { .. }));
+    }
+
+    #[test]
+    fn time_regression_detected() {
+        let trace = vec![enter(10, 0, 1), enter(5, 1, 1)];
+        let errs = check(trace).unwrap_err();
+        assert!(matches!(errs[0], Violation::TimeWentBackwards { .. }));
+    }
+
+    #[test]
+    fn all_violations_reported() {
+        let trace = vec![
+            commit(10, 0, 1, bid(1)),
+            commit(5, 1, 1, bid(2)), // time regression + conflict
+        ];
+        let errs = check(trace).unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_passes() {
+        assert_eq!(check(Vec::new()).unwrap(), InvariantSummary::default());
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal JSON writer.
+//!
+//! The offline build has no serde, and the telemetry layer only ever
+//! *produces* JSON (JSONL traces, summary files) — it never parses any. A
+//! tiny append-only builder covers that without a dependency.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for use inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity — those
+/// become `null`).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An append-only `{...}` builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::from("{") }
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{value}", escape(key));
+        self
+    }
+
+    /// Adds a float field (`null` for NaN/Infinity).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{value}", escape(key));
+        self
+    }
+
+    /// Adds a pre-serialised JSON value (object, array, …) verbatim.
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{json}", escape(key));
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serialises an iterator of pre-serialised JSON values as a `[...]` array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_roundtrip_shape() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "pm").field_u64("n", 10).field_f64("p50_ms", 31.5);
+        o.field_bool("ok", true).field_raw("arr", "[1,2]");
+        assert_eq!(
+            o.finish(),
+            "{\"name\":\"pm\",\"n\":10,\"p50_ms\":31.5,\"ok\":true,\"arr\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        let mut o = JsonObject::new();
+        o.field_f64("x", f64::NAN);
+        assert_eq!(o.finish(), "{\"x\":null}");
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

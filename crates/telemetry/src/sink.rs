@@ -1,0 +1,310 @@
+//! Pluggable trace sinks.
+//!
+//! Instrumentation code records [`TraceRecord`]s into a `dyn`
+//! [`TraceSink`]; the caller picks where they go:
+//!
+//! * [`RingBufferSink`] — bounded in-memory buffer, oldest-first eviction.
+//!   The default for tests and the post-run invariant checker.
+//! * [`JsonlSink`] — one JSON object per line to any [`io::Write`]
+//!   (typically a file under `results/`). For offline analysis.
+//! * [`TeeSink`] — fan out to two sinks (e.g. ring buffer *and* JSONL).
+//! * [`NullSink`] — discards everything; tracing disabled.
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::TraceRecord;
+
+/// A destination for trace records.
+pub trait TraceSink {
+    /// Records one event. Must not panic on a full / failed sink — tracing
+    /// never takes the protocol down.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// Flushes buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn record(&mut self, rec: TraceRecord) {
+        (**self).record(rec);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
+    fn record(&mut self, rec: TraceRecord) {
+        (**self).record(rec);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// Single-threaded shared sink: a driver and its observers can hold clones.
+impl<T: TraceSink + ?Sized> TraceSink for std::rc::Rc<std::cell::RefCell<T>> {
+    fn record(&mut self, rec: TraceRecord) {
+        self.borrow_mut().record(rec);
+    }
+    fn flush(&mut self) {
+        self.borrow_mut().flush();
+    }
+}
+
+/// Thread-safe shared sink (a poisoned lock drops the record rather than
+/// panicking — tracing never takes the run down).
+impl<T: TraceSink + ?Sized> TraceSink for std::sync::Arc<std::sync::Mutex<T>> {
+    fn record(&mut self, rec: TraceRecord) {
+        if let Ok(mut inner) = self.lock() {
+            inner.record(rec);
+        }
+    }
+    fn flush(&mut self) {
+        if let Ok(mut inner) = self.lock() {
+            inner.flush();
+        }
+    }
+}
+
+/// Discards all records.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// A bounded in-memory buffer keeping the most recent `capacity` records.
+#[derive(Clone, Debug)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` records (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferSink { buf: VecDeque::with_capacity(capacity), capacity, evicted: 0 }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many records were evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drains the ring into a `Vec`, oldest first.
+    pub fn into_vec(self) -> Vec<TraceRecord> {
+        self.buf.into()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, rec: TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+/// Writes records as JSON Lines to an [`io::Write`].
+///
+/// Write errors are counted, not propagated: a full disk degrades the trace,
+/// never the run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+    errors: u64,
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL trace file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(JsonlSink::new(BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, written: 0, errors: 0 }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Write errors swallowed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Unwraps the inner writer (flushing first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: TraceRecord) {
+        let line = rec.to_json();
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.written += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Records into two sinks.
+#[derive(Debug)]
+pub struct TeeSink<A: TraceSink, B: TraceSink> {
+    /// First sink.
+    pub a: A,
+    /// Second sink.
+    pub b: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Fans records out to `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn record(&mut self, rec: TraceRecord) {
+        self.a.record(rec);
+        self.b.record(rec);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use moonshot_types::time::SimTime;
+    use moonshot_types::{NodeId, View};
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(i),
+            event: TraceEvent::ViewEntered { node: NodeId(0), view: View(i) },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.record(rec(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 2);
+        let views: Vec<u64> = ring
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::ViewEntered { view, .. } => view.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(views, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_evicts_nothing() {
+        let mut ring = RingBufferSink::new(8);
+        ring.record(rec(1));
+        ring.record(rec(2));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.evicted(), 0);
+        assert_eq!(ring.into_vec().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingBufferSink::new(0);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(rec(1));
+        sink.record(rec(2));
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"kind\":\"view-entered\""));
+        }
+    }
+
+    /// A writer that always fails, to prove errors are swallowed.
+    struct Broken;
+    impl Write for Broken {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_swallows_write_errors() {
+        let mut sink = JsonlSink::new(Broken);
+        sink.record(rec(1));
+        assert_eq!(sink.written(), 0);
+        assert_eq!(sink.errors(), 1);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut tee = TeeSink::new(RingBufferSink::new(4), JsonlSink::new(Vec::new()));
+        tee.record(rec(1));
+        assert_eq!(tee.a.len(), 1);
+        assert_eq!(tee.b.written(), 1);
+    }
+}

@@ -13,7 +13,6 @@
 use std::fmt;
 
 use moonshot_crypto::Digest;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{Height, NodeId, View};
 use crate::payload::Payload;
@@ -39,7 +38,7 @@ pub type BlockId = Digest;
 /// assert_eq!(child.parent_id(), genesis.id());
 /// assert!(child.directly_extends(&genesis));
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Block {
     view: View,
     height: Height,

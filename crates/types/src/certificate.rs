@@ -14,7 +14,6 @@
 use std::fmt;
 
 use moonshot_crypto::{KeyPair, Keyring, MultiSig, MultiSigError, Signature};
-use serde::{Deserialize, Serialize};
 
 use crate::block::{Block, BlockId};
 use crate::ids::{Height, NodeId, View};
@@ -77,7 +76,7 @@ impl From<MultiSigError> for CertificateError {
 /// # Examples
 ///
 /// Assemble a certificate from votes (see [`QuorumCertificate::from_votes`]).
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct QuorumCertificate {
     kind: VoteKind,
     block_id: BlockId,
@@ -224,7 +223,7 @@ impl fmt::Display for QuorumCertificate {
 
 /// The content of a timeout message `⟨timeout, v, lock⟩` (Pipelined /
 /// Commit Moonshot) or `⟨timeout, v⟩` (Simple Moonshot, `lock_view = ⊥`).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TimeoutContent {
     /// The view being timed out.
     pub view: View,
@@ -252,7 +251,7 @@ impl TimeoutContent {
 
 /// A signed timeout message, optionally carrying the sender's lock
 /// certificate (`lock_i`).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SignedTimeout {
     /// The signed content.
     pub content: TimeoutContent,
@@ -312,7 +311,7 @@ impl WireSize for SignedTimeout {
 }
 
 /// One entry of a timeout certificate: who timed out, with which lock view.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TimeoutEntry {
     /// The timing-out node.
     pub sender: NodeId,
@@ -325,7 +324,7 @@ pub struct TimeoutEntry {
 /// A timeout certificate `TC_v`: a quorum of distinct signed timeouts for
 /// view `v`, plus (for Pipelined/Commit Moonshot) the highest ranked block
 /// certificate among them.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct TimeoutCertificate {
     view: View,
     entries: Vec<TimeoutEntry>,
@@ -469,7 +468,7 @@ impl fmt::Debug for TimeoutCertificate {
 }
 
 /// Either kind of certificate that lets a node enter a new view.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum EntryCertificate {
     /// A block certificate for the previous view.
     Block(QuorumCertificate),

@@ -7,7 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// A view number. Views start at 1; view 0 is reserved for the genesis block.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(View::GENESIS.prev().is_none());
 /// ```
 #[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct View(pub u64);
 
@@ -81,7 +80,7 @@ impl Sub<View> for View {
 
 /// A block height: the number of ancestors of a block. Genesis is height 0.
 #[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Height(pub u64);
 
@@ -122,7 +121,7 @@ impl Add<u64> for Height {
 /// Identifier of a node `P_i` in the validator set. Doubles as the signer
 /// index in the PKI keyring.
 #[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct NodeId(pub u16);
 

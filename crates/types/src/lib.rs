@@ -50,6 +50,9 @@ pub mod time;
 pub mod vote;
 pub mod wire;
 
+/// Deterministic RNG, re-exported from [`moonshot_rng`].
+pub use moonshot_rng as rng;
+
 pub use block::{Block, BlockId};
 pub use certificate::{
     CertificateError, EntryCertificate, QuorumCertificate, SignedTimeout, TimeoutCertificate,
@@ -57,6 +60,8 @@ pub use certificate::{
 };
 pub use ids::{Height, NodeId, View};
 pub use payload::{Payload, PAYLOAD_ITEM_BYTES};
+pub use rng::DetRng;
+
 pub use time::{SimDuration, SimTime};
 pub use vote::{CommitVote, SignedCommitVote, SignedVote, Vote, VoteKind};
 pub use wire::WireSize;

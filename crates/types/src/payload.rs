@@ -11,7 +11,6 @@
 use std::fmt;
 
 use moonshot_crypto::Digest;
-use serde::{Deserialize, Serialize};
 
 use crate::wire::WireSize;
 
@@ -19,7 +18,7 @@ use crate::wire::WireSize;
 pub const PAYLOAD_ITEM_BYTES: u64 = 180;
 
 /// The transactions carried by a block (`b_v` in the paper).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Payload {
     /// Real transaction bytes.
     Data(Vec<u8>),

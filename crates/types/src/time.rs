@@ -7,11 +7,10 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// An instant in simulated time (microseconds since simulation start).
 #[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct SimTime(pub u64);
 
@@ -69,7 +68,7 @@ impl Sub<SimTime> for SimTime {
 
 /// A span of simulated time (microseconds).
 #[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct SimDuration(pub u64);
 

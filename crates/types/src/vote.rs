@@ -8,14 +8,13 @@
 use std::fmt;
 
 use moonshot_crypto::{KeyPair, Keyring, Signature};
-use serde::{Deserialize, Serialize};
 
 use crate::block::BlockId;
 use crate::ids::{Height, NodeId, View};
 use crate::wire::{WireSize, DIGEST_WIRE, ENVELOPE_WIRE, INDEX_WIRE, SIGNATURE_WIRE, U64_WIRE};
 
 /// The type of a vote (and of the certificate it aggregates into).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum VoteKind {
     /// `opt-vote` — response to an optimistic proposal.
     Optimistic,
@@ -48,7 +47,7 @@ impl fmt::Display for VoteKind {
 
 /// The content a voter signs: `⟨kind, H(B_k), v⟩` plus the block height
 /// (carried so certificates are self-describing).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Vote {
     /// Which vote rule produced this vote.
     pub kind: VoteKind,
@@ -73,7 +72,7 @@ impl Vote {
 }
 
 /// A vote together with its author and signature, as multicast on the wire.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SignedVote {
     /// The vote content.
     pub vote: Vote,
@@ -103,7 +102,7 @@ impl WireSize for SignedVote {
 }
 
 /// A Commit Moonshot pre-commit vote: `⟨commit, H(B_k), v⟩` (§V, Fig. 4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CommitVote {
     /// The block whose certificate the sender observed.
     pub block_id: BlockId,
@@ -126,7 +125,7 @@ impl CommitVote {
 }
 
 /// A signed commit vote.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SignedCommitVote {
     /// The pre-commit content.
     pub vote: CommitVote,

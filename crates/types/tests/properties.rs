@@ -1,11 +1,16 @@
-//! Property-based tests of the block/certificate data model.
+//! Randomized (seeded, deterministic) tests of the block/certificate data
+//! model. These previously used `proptest`; they now draw cases from the
+//! workspace's own [`DetRng`] so the suite builds with no external
+//! dependencies and every run explores the identical case set.
 
 use moonshot_crypto::{KeyPair, Keyring};
+use moonshot_rng::DetRng;
 use moonshot_types::{
     Block, NodeId, Payload, QuorumCertificate, SignedTimeout, SignedVote, TimeoutCertificate,
     View, Vote, VoteKind, WireSize,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 fn chain(views: &[u64]) -> Vec<Block> {
     let mut blocks = vec![Block::genesis()];
@@ -38,64 +43,80 @@ fn votes_for(block: &Block, kind: VoteKind, voters: impl Iterator<Item = u16>) -
         .collect()
 }
 
-proptest! {
-    /// Block identity is a pure function of content: rebuilt blocks have
-    /// equal ids, and any view/payload perturbation changes the id.
-    #[test]
-    fn block_id_is_content_addressed(view in 1u64..1_000, items in 0u64..50, seed in 0u64..100) {
+/// Block identity is a pure function of content: rebuilt blocks have equal
+/// ids, and any view perturbation changes the id.
+#[test]
+fn block_id_is_content_addressed() {
+    let mut rng = DetRng::seed_from_u64(0xB10C);
+    for _ in 0..CASES {
+        let view = rng.gen_range_inclusive(1, 999);
+        let items = rng.gen_below(50);
+        let seed = rng.gen_below(100);
         let g = Block::genesis();
         let a = Block::build(View(view), NodeId(0), &g, Payload::synthetic_items(items, seed));
         let b = Block::build(View(view), NodeId(0), &g, Payload::synthetic_items(items, seed));
-        prop_assert_eq!(a.id(), b.id());
+        assert_eq!(a.id(), b.id());
         let c = Block::build(View(view + 1), NodeId(0), &g, Payload::synthetic_items(items, seed));
-        prop_assert_ne!(a.id(), c.id());
+        assert_ne!(a.id(), c.id());
     }
+}
 
-    /// Heights along any constructed chain increase by exactly one and every
-    /// block directly extends its predecessor.
-    #[test]
-    fn chains_are_well_formed(gaps in proptest::collection::vec(0u64..3, 1..20)) {
+/// Heights along any constructed chain increase by exactly one and every
+/// block directly extends its predecessor.
+#[test]
+fn chains_are_well_formed() {
+    let mut rng = DetRng::seed_from_u64(0xC4A1);
+    for _ in 0..CASES {
+        let len = rng.gen_range_inclusive(1, 19) as usize;
+        let gaps: Vec<u64> = (0..len).map(|_| rng.gen_below(3)).collect();
         let blocks = chain(&gaps);
         for w in blocks.windows(2) {
-            prop_assert!(w[1].directly_extends(&w[0]));
-            prop_assert_eq!(w[1].height().0, w[0].height().0 + 1);
-            prop_assert!(w[1].view() > w[0].view());
-            prop_assert!(w[1].header_is_valid());
+            assert!(w[1].directly_extends(&w[0]));
+            assert_eq!(w[1].height().0, w[0].height().0 + 1);
+            assert!(w[1].view() > w[0].view());
+            assert!(w[1].header_is_valid());
         }
     }
+}
 
-    /// Any quorum-sized subset of honest voters certifies; any sub-quorum
-    /// subset does not.
-    #[test]
-    fn qc_assembly_threshold(n in 4usize..30, kind_idx in 0usize..3, deficit in 0usize..2) {
+/// Any quorum-sized subset of honest voters certifies; any sub-quorum subset
+/// does not.
+#[test]
+fn qc_assembly_threshold() {
+    let mut rng = DetRng::seed_from_u64(0x9C);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(4, 29) as usize;
+        let kind = [VoteKind::Optimistic, VoteKind::Normal, VoteKind::Fallback]
+            [rng.gen_below(3) as usize];
+        let deficit = rng.gen_below(2) as usize;
         let ring = Keyring::simulated(n);
-        let kind = [VoteKind::Optimistic, VoteKind::Normal, VoteKind::Fallback][kind_idx];
         let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::empty());
         let count = ring.quorum_threshold() - deficit;
-        let votes = votes_for(&block, kind, (0..count as u16).collect::<Vec<_>>().into_iter());
+        let votes = votes_for(&block, kind, 0..count as u16);
         let result = QuorumCertificate::from_votes(&votes, &ring);
-        prop_assert_eq!(result.is_ok(), deficit == 0);
+        assert_eq!(result.is_ok(), deficit == 0);
         if let Ok(qc) = result {
-            prop_assert_eq!(qc.kind(), kind);
-            prop_assert!(qc.certifies(&block));
-            prop_assert!(qc.verify(&ring).is_ok());
+            assert_eq!(qc.kind(), kind);
+            assert!(qc.certifies(&block));
+            assert!(qc.verify(&ring).is_ok());
         }
     }
+}
 
-    /// The TC's high-QC equals the maximum lock among its timeouts,
-    /// regardless of submission order.
-    #[test]
-    fn tc_extracts_max_lock(order in proptest::collection::vec(0usize..3, 3..=3)) {
+/// The TC's high-QC equals the maximum lock among its timeouts, regardless
+/// of submission order.
+#[test]
+fn tc_extracts_max_lock() {
+    let mut rng = DetRng::seed_from_u64(0x7C);
+    for _ in 0..CASES {
+        let order: Vec<usize> = (0..3).map(|_| rng.gen_below(3) as usize).collect();
         let ring = Keyring::simulated(4);
         let blocks = chain(&[0, 0, 0]);
         let qcs: Vec<QuorumCertificate> = blocks[1..]
             .iter()
             .map(|b| {
-                QuorumCertificate::from_votes(
-                    &votes_for(b, VoteKind::Normal, 0..3u16),
-                    &ring,
-                )
-                .unwrap()
+                QuorumCertificate::from_votes(&votes_for(b, VoteKind::Normal, 0..3u16), &ring)
+                    .unwrap()
             })
             .collect();
         let timeouts: Vec<SignedTimeout> = order
@@ -112,29 +133,40 @@ proptest! {
             .collect();
         let tc = TimeoutCertificate::from_timeouts(&timeouts, &ring).unwrap();
         let max_view = order.iter().map(|&qi| qcs[qi].view()).max().unwrap();
-        prop_assert_eq!(tc.high_qc().unwrap().view(), max_view);
-        prop_assert!(tc.verify(&ring).is_ok());
+        assert_eq!(tc.high_qc().unwrap().view(), max_view);
+        assert!(tc.verify(&ring).is_ok());
     }
+}
 
-    /// Wire sizes: payload dominates proposals; votes are constant-size.
-    #[test]
-    fn wire_size_monotone_in_payload(a in 0u64..1_000, b in 0u64..1_000) {
+/// Wire sizes: payload dominates proposals; more items never shrink a block.
+#[test]
+fn wire_size_monotone_in_payload() {
+    let mut rng = DetRng::seed_from_u64(0x317E);
+    for _ in 0..CASES {
+        let a = rng.gen_below(1_000);
+        let b = rng.gen_below(1_000);
         let g = Block::genesis();
         let small = Block::build(View(1), NodeId(0), &g, Payload::synthetic_items(a.min(b), 0));
         let large = Block::build(View(1), NodeId(0), &g, Payload::synthetic_items(a.max(b), 0));
-        prop_assert!(small.wire_size() <= large.wire_size());
+        assert!(small.wire_size() <= large.wire_size());
     }
+}
 
-    /// Equivocation is symmetric, irreflexive and implies equal views.
-    #[test]
-    fn equivocation_relation(v in 1u64..100, pa in 0u64..5, pb in 0u64..5) {
+/// Equivocation is symmetric, irreflexive and implies equal views.
+#[test]
+fn equivocation_relation() {
+    let mut rng = DetRng::seed_from_u64(0xE9);
+    for _ in 0..CASES {
+        let v = rng.gen_range_inclusive(1, 99);
+        let pa = rng.gen_below(5);
+        let pb = rng.gen_below(5);
         let g = Block::genesis();
         let a = Block::build(View(v), NodeId(0), &g, Payload::synthetic_items(pa, 1));
         let b = Block::build(View(v), NodeId(0), &g, Payload::synthetic_items(pb, 2));
-        prop_assert!(!a.equivocates(&a));
-        prop_assert_eq!(a.equivocates(&b), b.equivocates(&a));
+        assert!(!a.equivocates(&a));
+        assert_eq!(a.equivocates(&b), b.equivocates(&a));
         if a.equivocates(&b) {
-            prop_assert_eq!(a.view(), b.view());
+            assert_eq!(a.view(), b.view());
         }
     }
 }

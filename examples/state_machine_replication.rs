@@ -19,7 +19,7 @@ use moonshot::net::{Actor, NetworkConfig, NicModel, Simulation, UniformLatency};
 use moonshot::sim::{MetricsSink, ProtocolActor};
 use moonshot::types::time::{SimDuration, SimTime};
 use moonshot::types::{NodeId, Payload, View};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A tiny deterministic key-value command language: `SET k v`.
 fn command_batch(view: View) -> Payload {
@@ -66,7 +66,7 @@ fn main() {
             let node = NodeId::from_index(i);
             let logs = logs.clone();
             let commit_hook = move |payload: Vec<u8>| {
-                logs.lock()[node.as_usize()].push(payload);
+                logs.lock().unwrap()[node.as_usize()].push(payload);
             };
             let cfg = NodeConfig {
                 node_id: node,
@@ -130,7 +130,7 @@ fn main() {
     sim.run_until(SimTime(5_000_000));
 
     // Replay every replica's committed log into a fresh store.
-    let logs = logs.lock();
+    let logs = logs.lock().unwrap();
     let mut states = Vec::new();
     for (i, log) in logs.iter().enumerate() {
         let mut store = BTreeMap::new();

@@ -14,7 +14,7 @@ use moonshot::net::{
 use moonshot::sim::{MetricsSink, ProtocolActor};
 use moonshot::types::time::{SimDuration, SimTime};
 use moonshot::types::NodeId;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 type Maker = fn(NodeConfig) -> Box<dyn ConsensusProtocol>;
 
@@ -56,7 +56,7 @@ fn run_with_adversary(
 }
 
 fn assert_healthy(metrics: &Arc<Mutex<MetricsSink>>, n: usize, min_commits: u64, ctx: &str) {
-    let m = metrics.lock();
+    let m = metrics.lock().unwrap();
     for i in 0..n as u16 {
         assert!(
             m.commits_of(NodeId(i)) >= min_commits,
@@ -99,7 +99,7 @@ fn chaos_does_not_violate_quorum_commit_consistency() {
         10_000,
         3,
     );
-    let summary = metrics.lock().summarise(3, SimDuration::from_secs(10));
+    let summary = metrics.lock().unwrap().summarise(3, SimDuration::from_secs(10));
     assert!(summary.committed_blocks > 0);
     assert!(summary.avg_latency_ms() > 0.0);
 }
