@@ -85,6 +85,8 @@ impl Jolteon {
     }
 
     fn with_rule(cfg: NodeConfig, rule: CommitRule) -> Self {
+        let fetcher =
+            BlockFetcher::new(cfg.node_id, cfg.n(), cfg.fetch_retry.resolve(cfg.delta));
         Jolteon {
             cfg,
             chain: ChainState::with_rule(rule),
@@ -96,7 +98,7 @@ impl Jolteon {
             proposed: false,
             payload_cache: HashMap::new(),
             pending: BTreeMap::new(),
-            fetcher: BlockFetcher::new(),
+            fetcher,
         }
     }
 
@@ -133,12 +135,12 @@ impl Jolteon {
     /// Inserts a block, emits resulting commits, and — if the parent is
     /// missing — walks the chain backwards by fetching it from the child's
     /// proposer (backward state sync for nodes recovering from loss).
-    fn store_block(&mut self, block: Block, out: &mut Vec<Output>) {
+    fn store_block(&mut self, block: Block, now: SimTime, out: &mut Vec<Output>) {
         let parent = block.parent_id();
         let proposer = block.proposer();
         out.extend(self.chain.insert_block(block).into_iter().map(Output::Commit));
         if parent != moonshot_crypto::Digest::ZERO && !self.chain.tree.contains(parent) {
-            self.fetcher.request(parent, self.cfg.node_id, [proposer], out);
+            self.fetcher.request(parent, [proposer], now, out);
         }
     }
 
@@ -159,7 +161,7 @@ impl Jolteon {
         out.extend(reg.committed.into_iter().map(Output::Commit));
         if reg.newly_certified && !qc.is_genesis() && !self.chain.tree.contains(qc.block_id()) {
             let proposer = self.cfg.leader(qc.view());
-            self.fetcher.request(qc.block_id(), self.cfg.node_id, [proposer], out);
+            self.fetcher.request(qc.block_id(), [proposer], now, out);
         }
         if qc.view() >= self.round {
             self.enter_round(qc.view().next(), Some(qc.clone()), None, now, out);
@@ -207,7 +209,7 @@ impl Jolteon {
                         self.cfg.node_id,
                         payload,
                     );
-                    self.store_block(block.clone(), out);
+                    self.store_block(block.clone(), now, out);
                     out.push(Output::Multicast(Message::Propose { block, justify: qc, view: r }));
                 }
                 (None, Some(tc)) => {
@@ -221,7 +223,7 @@ impl Jolteon {
                         self.cfg.node_id,
                         payload,
                     );
-                    self.store_block(block.clone(), out);
+                    self.store_block(block.clone(), now, out);
                     out.push(Output::Multicast(Message::FbPropose { block, justify, tc, view: r }));
                 }
                 (None, None) => {
@@ -234,7 +236,7 @@ impl Jolteon {
                         self.cfg.node_id,
                         payload,
                     );
-                    self.store_block(block.clone(), out);
+                    self.store_block(block.clone(), now, out);
                     out.push(Output::Multicast(Message::Propose { block, justify, view: r }));
                 }
             }
@@ -304,7 +306,7 @@ impl Jolteon {
         if !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         if pv < self.round {
             return;
         }
@@ -344,7 +346,7 @@ impl Jolteon {
         if tc.view().next() != pv || !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         if pv < self.round {
             return;
         }
@@ -429,7 +431,7 @@ impl ConsensusProtocol for Jolteon {
             Message::BlockResponse { block } => {
                 if sync::validate_response(&block, |v| self.cfg.leader(v)) {
                     self.fetcher.fulfilled(block.id());
-                    self.store_block(block, &mut out);
+                    self.store_block(block, now, &mut out);
                 }
             }
             // Moonshot-specific messages are ignored.
@@ -441,16 +443,18 @@ impl ConsensusProtocol for Jolteon {
         out
     }
 
-    fn handle_timer(&mut self, token: TimerToken, _now: SimTime) -> Vec<Output> {
+    fn handle_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
-        if let TimerToken::ViewTimer(r) = token {
-            if r == self.round {
+        match token {
+            TimerToken::ViewTimer(r) if r == self.round => {
                 self.send_timeout(r, &mut out);
                 out.push(Output::SetTimer {
                     token: TimerToken::ViewTimer(r),
                     after: self.round_timer(),
                 });
             }
+            TimerToken::FetchTimer => self.fetcher.on_timer(now, &mut out),
+            _ => {}
         }
         out
     }

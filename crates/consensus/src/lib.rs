@@ -69,3 +69,4 @@ pub use protocol::{
     CommittedBlock, ConsensusProtocol, NodeConfig, Output, PayloadSource, TimerToken,
 };
 pub use simple::SimpleMoonshot;
+pub use sync::{BlockFetcher, RetryPolicy};

@@ -113,6 +113,8 @@ impl PipelinedMoonshot {
     /// Creates a node with explicit feature switches (Commit Moonshot,
     /// ablations).
     pub fn with_options(cfg: NodeConfig, opts: MoonshotOptions) -> Self {
+        let fetcher =
+            BlockFetcher::new(cfg.node_id, cfg.n(), cfg.fetch_retry.resolve(cfg.delta));
         PipelinedMoonshot {
             cfg,
             opts,
@@ -131,7 +133,7 @@ impl PipelinedMoonshot {
             pending: BTreeMap::new(),
             opt_blocks: HashMap::new(),
             pending_compact: HashMap::new(),
-            fetcher: BlockFetcher::new(),
+            fetcher,
         }
     }
 
@@ -168,12 +170,12 @@ impl PipelinedMoonshot {
     /// Inserts a block, emits resulting commits, and — if the parent is
     /// missing — walks the chain backwards by fetching it from the child's
     /// proposer (backward state sync for nodes recovering from loss).
-    fn store_block(&mut self, block: Block, out: &mut Vec<Output>) {
+    fn store_block(&mut self, block: Block, now: SimTime, out: &mut Vec<Output>) {
         let parent = block.parent_id();
         let proposer = block.proposer();
         out.extend(self.chain.insert_block(block).into_iter().map(Output::Commit));
         if parent != moonshot_crypto::Digest::ZERO && !self.chain.tree.contains(parent) {
-            self.fetcher.request(parent, self.cfg.node_id, [proposer], out);
+            self.fetcher.request(parent, [proposer], now, out);
         }
     }
 
@@ -196,7 +198,7 @@ impl PipelinedMoonshot {
         if reg.newly_certified && !qc.is_genesis() && !self.chain.tree.contains(qc.block_id()) {
             // Certified but never received: fetch from the proposer.
             let proposer = self.cfg.leader(qc.view());
-            self.fetcher.request(qc.block_id(), self.cfg.node_id, [proposer], out);
+            self.fetcher.request(qc.block_id(), [proposer], now, out);
         }
         if reg.newly_certified && self.opts.explicit_commits {
             self.pre_commit(qc, out);
@@ -273,7 +275,7 @@ impl PipelinedMoonshot {
                 self.cfg.node_id,
                 payload,
             );
-            self.store_block(block.clone(), out);
+            self.store_block(block.clone(), now, out);
             if self.opt_blocks.get(&v) == Some(&block.id()) {
                 out.push(Output::Multicast(Message::CompactPropose {
                     block_id: block.id(),
@@ -311,7 +313,7 @@ impl PipelinedMoonshot {
                 self.cfg.node_id,
                 payload,
             );
-            self.store_block(block.clone(), out);
+            self.store_block(block.clone(), now, out);
             out.push(Output::Multicast(Message::FbPropose { block, justify, tc, view: v }));
         }
         self.replay_pending(now, out);
@@ -353,7 +355,7 @@ impl PipelinedMoonshot {
 
     // === Voting ==========================================================
 
-    fn emit_vote(&mut self, kind: VoteKind, block: &Block, out: &mut Vec<Output>) {
+    fn emit_vote(&mut self, kind: VoteKind, block: &Block, now: SimTime, out: &mut Vec<Output>) {
         let vote = Vote {
             kind,
             block_id: block.id(),
@@ -372,7 +374,7 @@ impl PipelinedMoonshot {
             // normal vote) must not re-multicast the proposal.
             if self.opt_blocks.get(&next) != Some(&child.id()) {
                 self.opt_blocks.insert(next, child.id());
-                self.store_block(child.clone(), out);
+                self.store_block(child.clone(), now, out);
                 out.push(Output::Multicast(Message::OptPropose { block: child, view: next }));
             }
         }
@@ -385,7 +387,14 @@ impl PipelinedMoonshot {
             && block.header_is_valid()
     }
 
-    fn on_opt_propose(&mut self, from: NodeId, block: Block, pv: View, out: &mut Vec<Output>) {
+    fn on_opt_propose(
+        &mut self,
+        from: NodeId,
+        block: Block,
+        pv: View,
+        now: SimTime,
+        out: &mut Vec<Output>,
+    ) {
         if pv > self.view {
             self.buffer(pv, from, Message::OptPropose { block, view: pv });
             return;
@@ -393,12 +402,12 @@ impl PipelinedMoonshot {
         if !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         // A compact (normal) proposal may have arrived before this block.
         if let Some((cfrom, cid, cjustify)) = self.pending_compact.get(&pv).cloned() {
             if cid == block.id() {
                 self.pending_compact.remove(&pv);
-                self.try_normal_vote(cfrom, block.clone(), cjustify, pv, out);
+                self.try_normal_vote(cfrom, block.clone(), cjustify, pv, now, out);
             }
         }
         if pv < self.view {
@@ -416,7 +425,7 @@ impl PipelinedMoonshot {
             && !self.voted_main
         {
             self.voted_opt = Some(block.id());
-            self.emit_vote(VoteKind::Optimistic, &block, out);
+            self.emit_vote(VoteKind::Optimistic, &block, now, out);
         }
     }
 
@@ -438,11 +447,11 @@ impl PipelinedMoonshot {
         if !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         if pv < self.view {
             return;
         }
-        self.try_normal_vote(from, block, justify, pv, out);
+        self.try_normal_vote(from, block, justify, pv, now, out);
     }
 
     /// The Normal Vote rule (Fig. 3, 2b-i): justify must be C_{v−1}; (i)
@@ -454,6 +463,7 @@ impl PipelinedMoonshot {
         block: Block,
         justify: QuorumCertificate,
         pv: View,
+        now: SimTime,
         out: &mut Vec<Output>,
     ) {
         if pv != self.view || !self.valid_proposal_shape(from, &block, pv) {
@@ -469,7 +479,7 @@ impl PipelinedMoonshot {
             && !self.voted_main
         {
             self.voted_main = true;
-            self.emit_vote(VoteKind::Normal, &block, out);
+            self.emit_vote(VoteKind::Normal, &block, now, out);
         }
     }
 
@@ -494,7 +504,7 @@ impl PipelinedMoonshot {
             return;
         }
         match self.chain.tree.get(block_id).cloned() {
-            Some(block) => self.try_normal_vote(from, block, justify, pv, out),
+            Some(block) => self.try_normal_vote(from, block, justify, pv, now, out),
             None => {
                 self.pending_compact.insert(pv, (from, block_id, justify));
             }
@@ -526,7 +536,7 @@ impl PipelinedMoonshot {
         if tc.view().next() != pv || !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         if pv < self.view {
             return;
         }
@@ -539,7 +549,7 @@ impl PipelinedMoonshot {
         if self.timeout_view_below(pv) && direct && justify.view() >= tc_floor && !self.voted_main
         {
             self.voted_main = true;
-            self.emit_vote(VoteKind::Fallback, &block, out);
+            self.emit_vote(VoteKind::Fallback, &block, now, out);
         }
     }
 
@@ -620,7 +630,9 @@ impl ConsensusProtocol for PipelinedMoonshot {
     fn handle_message(&mut self, from: NodeId, message: Message, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
         match message {
-            Message::OptPropose { block, view } => self.on_opt_propose(from, block, view, &mut out),
+            Message::OptPropose { block, view } => {
+                self.on_opt_propose(from, block, view, now, &mut out)
+            }
             Message::Propose { block, justify, view } => {
                 self.on_propose(from, block, justify, view, now, &mut out)
             }
@@ -647,7 +659,7 @@ impl ConsensusProtocol for PipelinedMoonshot {
             Message::BlockResponse { block } => {
                 if sync::validate_response(&block, |v| self.cfg.leader(v)) {
                     self.fetcher.fulfilled(block.id());
-                    self.store_block(block, &mut out);
+                    self.store_block(block, now, &mut out);
                 }
             }
             // Status messages belong to Simple Moonshot; still harvest the
@@ -657,16 +669,18 @@ impl ConsensusProtocol for PipelinedMoonshot {
         out
     }
 
-    fn handle_timer(&mut self, token: TimerToken, _now: SimTime) -> Vec<Output> {
+    fn handle_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
-        if let TimerToken::ViewTimer(v) = token {
-            if v == self.view {
+        match token {
+            TimerToken::ViewTimer(v) if v == self.view => {
                 self.resend_timeout(v, &mut out);
                 out.push(Output::SetTimer {
                     token: TimerToken::ViewTimer(v),
                     after: self.view_timer(),
                 });
             }
+            TimerToken::FetchTimer => self.fetcher.on_timer(now, &mut out),
+            _ => {}
         }
         out
     }

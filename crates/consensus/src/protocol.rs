@@ -26,6 +26,8 @@ pub enum TimerToken {
     ViewTimer(View),
     /// Simple Moonshot's `2Δ` proposal wait in view `v`.
     ProposeTimer(View),
+    /// Deadline check for outstanding block fetches (see [`crate::sync`]).
+    FetchTimer,
 }
 
 /// A block committed by the state machine, with provenance.
@@ -130,6 +132,8 @@ pub struct NodeConfig {
     /// Always `true` in tests; large-scale experiments may disable it to
     /// trade fidelity for speed (honest simulations never forge).
     pub verify_signatures: bool,
+    /// Retry behaviour for block fetches (see [`crate::sync::RetryPolicy`]).
+    pub fetch_retry: crate::sync::RetryPolicy,
 }
 
 impl NodeConfig {
@@ -143,6 +147,7 @@ impl NodeConfig {
             election: Box::new(crate::leader::RoundRobin::new(n)),
             payloads: PayloadSource::Empty,
             verify_signatures: true,
+            fetch_retry: crate::sync::RetryPolicy::auto(),
         }
     }
 

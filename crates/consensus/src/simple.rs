@@ -74,6 +74,8 @@ impl std::fmt::Debug for SimpleMoonshot {
 impl SimpleMoonshot {
     /// Creates a node with the given configuration.
     pub fn new(cfg: NodeConfig) -> Self {
+        let fetcher =
+            BlockFetcher::new(cfg.node_id, cfg.n(), cfg.fetch_retry.resolve(cfg.delta));
         SimpleMoonshot {
             cfg,
             chain: ChainState::new(),
@@ -88,7 +90,7 @@ impl SimpleMoonshot {
             pending: BTreeMap::new(),
             opt_blocks: HashMap::new(),
             pending_compact: HashMap::new(),
-            fetcher: BlockFetcher::new(),
+            fetcher,
         }
     }
 
@@ -131,12 +133,12 @@ impl SimpleMoonshot {
     /// Inserts a block, emits resulting commits, and — if the parent is
     /// missing — walks the chain backwards by fetching it from the child's
     /// proposer (backward state sync for nodes recovering from loss).
-    fn store_block(&mut self, block: Block, out: &mut Vec<Output>) {
+    fn store_block(&mut self, block: Block, now: SimTime, out: &mut Vec<Output>) {
         let parent = block.parent_id();
         let proposer = block.proposer();
         out.extend(self.chain.insert_block(block).into_iter().map(Output::Commit));
         if parent != moonshot_crypto::Digest::ZERO && !self.chain.tree.contains(parent) {
-            self.fetcher.request(parent, self.cfg.node_id, [proposer], out);
+            self.fetcher.request(parent, [proposer], now, out);
         }
     }
 
@@ -157,7 +159,7 @@ impl SimpleMoonshot {
         out.extend(reg.committed.into_iter().map(Output::Commit));
         if reg.newly_certified && !qc.is_genesis() && !self.chain.tree.contains(qc.block_id()) {
             let proposer = self.cfg.leader(qc.view());
-            self.fetcher.request(qc.block_id(), self.cfg.node_id, [proposer], out);
+            self.fetcher.request(qc.block_id(), [proposer], now, out);
         }
         if qc.view() >= self.view {
             self.enter_view(qc.view().next(), Entry::Qc(qc.clone()), now, out);
@@ -165,7 +167,7 @@ impl SimpleMoonshot {
         {
             // Rule 1(i): the leader entered v without C_{v−1} (via TC) and
             // the certificate arrived within the 2Δ window.
-            self.propose_normal(qc.clone(), out);
+            self.propose_normal(qc.clone(), now, out);
         }
     }
 
@@ -214,7 +216,7 @@ impl SimpleMoonshot {
             match self.chain.qc_for(v.prev().expect("v ≥ 1")) {
                 Some(qc) => {
                     let qc = qc.clone();
-                    self.propose_normal(qc, out);
+                    self.propose_normal(qc, now, out);
                 }
                 None => out.push(Output::SetTimer {
                     token: TimerToken::ProposeTimer(v),
@@ -248,7 +250,7 @@ impl SimpleMoonshot {
 
     // === Proposing =======================================================
 
-    fn propose_normal(&mut self, justify: QuorumCertificate, out: &mut Vec<Output>) {
+    fn propose_normal(&mut self, justify: QuorumCertificate, now: SimTime, out: &mut Vec<Output>) {
         if self.proposed_normal {
             return;
         }
@@ -263,7 +265,7 @@ impl SimpleMoonshot {
         );
         // The leader stores its own proposal immediately — it must be able
         // to serve sync requests for it even if its loopback copy is lost.
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         // If this block is bit-identical to the optimistic proposal already
         // multicast for this view, send only the reference (the payload was
         // already disseminated).
@@ -284,7 +286,7 @@ impl SimpleMoonshot {
         !self.voted && !self.timed_out_current_view()
     }
 
-    fn do_vote(&mut self, block: &Block, out: &mut Vec<Output>) {
+    fn do_vote(&mut self, block: &Block, now: SimTime, out: &mut Vec<Output>) {
         self.voted = true;
         let vote = Vote {
             kind: VoteKind::Normal,
@@ -301,7 +303,7 @@ impl SimpleMoonshot {
             let payload = self.payload_for(next);
             let child = Block::build(next, self.cfg.node_id, block, payload);
             self.opt_blocks.insert(next, child.id());
-            self.store_block(child.clone(), out);
+            self.store_block(child.clone(), now, out);
             out.push(Output::Multicast(Message::OptPropose { block: child, view: next }));
         }
     }
@@ -314,12 +316,12 @@ impl SimpleMoonshot {
         if !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         // A compact (normal) proposal may have arrived before this block.
         if let Some((cfrom, cid, cjustify)) = self.pending_compact.get(&pv).cloned() {
             if cid == block.id() {
                 self.pending_compact.remove(&pv);
-                self.try_rule_b_vote(cfrom, block.clone(), cjustify, pv, out);
+                self.try_rule_b_vote(cfrom, block.clone(), cjustify, pv, now, out);
             }
         }
         if pv < self.view {
@@ -331,9 +333,8 @@ impl SimpleMoonshot {
             && block.parent_id() == self.lock.block_id()
             && block.height() == self.lock.block_height().child()
         {
-            self.do_vote(&block, out);
+            self.do_vote(&block, now, out);
         }
-        let _ = now;
     }
 
     fn on_propose(
@@ -354,11 +355,11 @@ impl SimpleMoonshot {
         if !self.valid_proposal_shape(from, &block, pv) {
             return;
         }
-        self.store_block(block.clone(), out);
+        self.store_block(block.clone(), now, out);
         if pv < self.view {
             return;
         }
-        self.try_rule_b_vote(from, block, justify, pv, out);
+        self.try_rule_b_vote(from, block, justify, pv, now, out);
     }
 
     /// Vote rule (b): justify ranks at least lock_i and B_k extends B_h.
@@ -368,6 +369,7 @@ impl SimpleMoonshot {
         block: Block,
         justify: QuorumCertificate,
         pv: View,
+        now: SimTime,
         out: &mut Vec<Output>,
     ) {
         if pv != self.view || !self.valid_proposal_shape(from, &block, pv) {
@@ -378,7 +380,7 @@ impl SimpleMoonshot {
             && block.parent_id() == justify.block_id()
             && block.height() == justify.block_height().child()
         {
-            self.do_vote(&block, out);
+            self.do_vote(&block, now, out);
         }
     }
 
@@ -402,7 +404,7 @@ impl SimpleMoonshot {
             return;
         }
         match self.chain.tree.get(block_id).cloned() {
-            Some(block) => self.try_rule_b_vote(from, block, justify, pv, out),
+            Some(block) => self.try_rule_b_vote(from, block, justify, pv, now, out),
             None => {
                 self.pending_compact.insert(pv, (from, block_id, justify));
             }
@@ -493,7 +495,7 @@ impl ConsensusProtocol for SimpleMoonshot {
             Message::BlockResponse { block } => {
                 if sync::validate_response(&block, |v| self.cfg.leader(v)) {
                     self.fetcher.fulfilled(block.id());
-                    self.store_block(block, &mut out);
+                    self.store_block(block, now, &mut out);
                 }
             }
             // Not part of Simple Moonshot.
@@ -502,7 +504,7 @@ impl ConsensusProtocol for SimpleMoonshot {
         out
     }
 
-    fn handle_timer(&mut self, token: TimerToken, _now: SimTime) -> Vec<Output> {
+    fn handle_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
         match token {
             TimerToken::ViewTimer(v) if v == self.view => {
@@ -522,8 +524,9 @@ impl ConsensusProtocol for SimpleMoonshot {
                 // Rule 1(ii): propose at t + 2Δ extending the highest known
                 // certificate.
                 let justify = self.chain.high_qc().clone();
-                self.propose_normal(justify, &mut out);
+                self.propose_normal(justify, now, &mut out);
             }
+            TimerToken::FetchTimer => self.fetcher.on_timer(now, &mut out),
             _ => {} // stale token
         }
         out

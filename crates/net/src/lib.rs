@@ -59,6 +59,7 @@
 
 pub mod bandwidth;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 
 /// Simulated time types, re-exported from [`moonshot_types::time`].
@@ -71,5 +72,6 @@ pub use engine::{
     Actor, Context, NetworkConfig, NetworkStats, PreGstAdversary, Simulation, TimerId,
     TrafficStats, TypeTraffic,
 };
+pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultStats, RouteFault, TimeWindow};
 pub use latency::{LatencyModel, MatrixLatency, UniformLatency};
 pub use time::{SimDuration, SimTime};

@@ -5,7 +5,9 @@
 //! * [`runner`] — single-run configuration and execution;
 //! * [`experiment`] — the paper's experiment grids (Fig. 6–9, Table III);
 //! * [`metrics`] — throughput / latency / transfer-rate accounting;
-//! * [`byzantine`] — silent and equivocating faulty nodes;
+//! * [`byzantine`] — silent, equivocating, vote-withholding, stale-replay
+//!   and crash-recover faulty nodes;
+//! * [`soak`] — the adversary × network-fault soak matrix;
 //! * [`adapter`] — bridges sans-IO protocols onto the simulator.
 //!
 //! # Examples
@@ -30,10 +32,14 @@ pub mod byzantine;
 pub mod experiment;
 pub mod metrics;
 pub mod runner;
+pub mod soak;
 
 pub use adapter::ProtocolActor;
 pub use metrics::{MetricsSink, RunMetrics};
 pub use runner::{
     run, run_averaged, run_traced, ProtocolKind, RunConfig, RunReport, Schedule, TraceOptions,
     TracedRunReport,
+};
+pub use soak::{
+    run_soak_cell, run_soak_matrix, AdversaryKind, FaultPlanKind, SoakCellReport, SoakConfig,
 };

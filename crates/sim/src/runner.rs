@@ -13,8 +13,8 @@ use moonshot_consensus::pipelined::MoonshotOptions;
 use moonshot_crypto::Keyring;
 use moonshot_net::latency::aws;
 use moonshot_net::{
-    Actor, LatencyModel, NetworkConfig, NetworkStats, NicModel, Simulation, TrafficStats,
-    UniformLatency,
+    Actor, FaultPlan, FaultStats, LatencyModel, NetworkConfig, NetworkStats, NicModel, Simulation,
+    TrafficStats, UniformLatency,
 };
 use moonshot_telemetry::json::JsonObject;
 use moonshot_telemetry::{
@@ -134,6 +134,9 @@ pub struct RunConfig {
     /// synchrony *requires* Δ to bound actual delivery; a deployment would
     /// size Δ for its block size.
     pub auto_delta: bool,
+    /// Network faults injected during the run (partitions, duplication,
+    /// reordering, delay spikes). Empty by default.
+    pub fault_plan: FaultPlan,
 }
 
 impl RunConfig {
@@ -154,6 +157,7 @@ impl RunConfig {
             nic_gbps: 0.75,
             per_message_overhead: SimDuration::from_micros(20),
             auto_delta: true,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -176,6 +180,7 @@ impl RunConfig {
             // The failure experiments use empty payloads: Δ = 500 ms is
             // already a sound bound, exactly as in the paper.
             auto_delta: false,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -188,6 +193,12 @@ impl RunConfig {
     /// Sets the run duration.
     pub fn with_duration(mut self, duration: SimDuration) -> Self {
         self.duration = duration;
+        self
+    }
+
+    /// Injects a network fault plan into the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -243,6 +254,7 @@ impl RunConfig {
             election: self.election(),
             payloads,
             verify_signatures: self.verify_signatures,
+            fetch_retry: moonshot_consensus::RetryPolicy::auto(),
         };
         match self.protocol {
             ProtocolKind::SimpleMoonshot => Box::new(SimpleMoonshot::new(cfg)),
@@ -267,6 +279,8 @@ pub struct RunReport {
     pub network: NetworkStats,
     /// Per-message-type communication accounting.
     pub traffic: TrafficStats,
+    /// Injected-fault accounting (all zero when the fault plan is empty).
+    pub faults: FaultStats,
 }
 
 /// How a run's protocol trace is captured.
@@ -380,13 +394,15 @@ pub fn run_traced(config: &RunConfig, opts: &TraceOptions) -> TracedRunReport {
         config.latency_model(),
         NicModel::new(config.n, config.nic_gbps, config.per_message_overhead),
     )
-    .with_seed(config.seed);
+    .with_seed(config.seed)
+    .with_faults(config.fault_plan.clone());
     let mut sim = Simulation::new(actors, net_config);
     sim.classify_with(|m: &Message| m.tag());
     sim.run_until(SimTime::ZERO + config.duration);
     let m = metrics.lock().unwrap().summarise(config.quorum(), config.duration);
     let network = sim.stats();
     let traffic = sim.traffic().clone();
+    let faults = sim.fault_stats();
     drop(sim); // releases the actors' clones of the trace sinks
     if let Some(j) = &jsonl {
         j.lock().unwrap().flush();
@@ -411,7 +427,7 @@ pub fn run_traced(config: &RunConfig, opts: &TraceOptions) -> TracedRunReport {
         }
     };
     TracedRunReport {
-        report: RunReport { metrics: m, network, traffic },
+        report: RunReport { metrics: m, network, traffic, faults },
         trace,
         trace_evicted,
         invariants,

@@ -102,6 +102,13 @@ pub enum TraceEvent {
         /// The missing block.
         block: BlockId,
     },
+    /// A node crashed and came back with a *fresh* state machine. Trace
+    /// checkers must reset their per-node expectations (view and commit
+    /// monotonicity) at this point; cross-node agreement still holds.
+    NodeRestarted {
+        /// The restarted node.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -118,6 +125,7 @@ impl TraceEvent {
             TraceEvent::ViewEntered { .. } => "view-entered",
             TraceEvent::BlockCommitted { .. } => "block-committed",
             TraceEvent::SyncRequested { .. } => "sync-requested",
+            TraceEvent::NodeRestarted { .. } => "node-restarted",
         }
     }
 
@@ -132,7 +140,8 @@ impl TraceEvent {
             | TraceEvent::TimeoutFired { node, .. }
             | TraceEvent::ViewEntered { node, .. }
             | TraceEvent::BlockCommitted { node, .. }
-            | TraceEvent::SyncRequested { node, .. } => node,
+            | TraceEvent::SyncRequested { node, .. }
+            | TraceEvent::NodeRestarted { node, .. } => node,
         }
     }
 }
@@ -190,6 +199,7 @@ impl TraceRecord {
             TraceEvent::SyncRequested { block, .. } => {
                 o.field_str("block", &block.short());
             }
+            TraceEvent::NodeRestarted { .. } => {}
         }
         o.finish()
     }
@@ -240,6 +250,7 @@ mod tests {
                 direct: true,
             },
             TraceEvent::SyncRequested { node: NodeId(1), block: bid() },
+            TraceEvent::NodeRestarted { node: NodeId(1) },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());

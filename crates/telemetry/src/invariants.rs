@@ -107,6 +107,9 @@ pub struct InvariantSummary {
     pub committed_heights: u64,
     /// `ViewEntered` events examined.
     pub view_entries: u64,
+    /// `NodeRestarted` events examined (each resets that node's
+    /// monotonicity baselines).
+    pub restarts: u64,
 }
 
 /// Checks the invariants over `records` (any trace suffix, oldest first).
@@ -173,6 +176,16 @@ pub fn check(
                     }
                 }
                 view_of.insert(node, view);
+            }
+            TraceEvent::NodeRestarted { node } => {
+                // A fresh state machine legitimately starts over from view 1
+                // and re-commits the chain from genesis, so the per-node
+                // monotonicity baselines reset. The cross-node agreement map
+                // (`committed_at`) is deliberately untouched: re-commits must
+                // still match what the rest of the network committed.
+                summary.restarts += 1;
+                view_of.remove(&node);
+                last_commit.remove(&node);
             }
             _ => {}
         }
@@ -280,6 +293,34 @@ mod tests {
         ];
         let errs = check(trace).unwrap_err();
         assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn restart_resets_per_node_monotonicity() {
+        let restart = TraceRecord {
+            at: SimTime(20),
+            event: TraceEvent::NodeRestarted { node: NodeId(0) },
+        };
+        // Node 0 reaches view 5 / height 3, restarts, and replays from view 1
+        // re-committing the same chain — legal.
+        let trace = vec![
+            enter(0, 0, 5),
+            commit(10, 0, 3, bid(3)),
+            restart,
+            enter(21, 0, 1),
+            commit(30, 0, 3, bid(3)),
+        ];
+        let s = check(trace).unwrap();
+        assert_eq!(s.restarts, 1);
+
+        // Without the restart the same sequence is a double violation.
+        let trace = vec![enter(0, 0, 5), commit(10, 0, 3, bid(3)), enter(21, 0, 1), commit(30, 0, 3, bid(3))];
+        assert_eq!(check(trace).unwrap_err().len(), 2);
+
+        // A restarted node still may not disagree with the network.
+        let trace = vec![commit(10, 1, 3, bid(3)), restart, commit(30, 0, 3, bid(4))];
+        let errs = check(trace).unwrap_err();
+        assert!(matches!(errs[0], Violation::ConflictingCommit { .. }));
     }
 
     #[test]

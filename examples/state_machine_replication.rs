@@ -76,6 +76,7 @@ fn main() {
                 election: Box::new(moonshot::consensus::RoundRobin::new(n)),
                 payloads: PayloadSource::Custom(Box::new(command_batch)),
                 verify_signatures: true,
+                fetch_retry: moonshot::consensus::RetryPolicy::auto(),
             };
             // Adapter: intercept commits through a wrapper protocol.
             struct Hooked<F: FnMut(Vec<u8>)> {
