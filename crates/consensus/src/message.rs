@@ -14,7 +14,7 @@ use moonshot_types::{
 };
 
 /// A consensus protocol message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
     /// `⟨opt-propose, B_k, v⟩` — optimistic proposal: extends a block the
     /// leader just voted for, without waiting for its certificate.

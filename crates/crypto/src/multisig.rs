@@ -151,10 +151,29 @@ impl MultiSig {
         Ok(())
     }
 
-    /// Serialized size in bytes on the wire: each entry is a 2-byte index
-    /// plus a 64-byte signature.
+    /// Serialized size in bytes on the wire: a 2-byte entry count, then per
+    /// entry a 2-byte index plus a 64-byte signature. Matches the
+    /// `moonshot-wire` codec exactly.
     pub fn wire_size(&self) -> usize {
-        self.entries.len() * (2 + SIGNATURE_LEN)
+        2 + self.entries.len() * (2 + SIGNATURE_LEN)
+    }
+
+    /// Reassembles an aggregate from raw `(signer, signature)` pairs, e.g.
+    /// decoded off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiSigError::DuplicateSigner`] on a repeated signer index
+    /// (unlike [`MultiSig::from_iter`], which silently dedupes) — a decoder
+    /// must reject rather than normalise a malformed aggregate.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (SignerIndex, Signature)>,
+    ) -> Result<Self, MultiSigError> {
+        let mut agg = MultiSig::new();
+        for (signer, sig) in entries {
+            agg.add(signer, sig)?;
+        }
+        Ok(agg)
     }
 }
 
@@ -256,7 +275,18 @@ mod tests {
     #[test]
     fn wire_size_counts_entries() {
         let agg = signed(b"m", &[0, 1, 2]);
-        assert_eq!(agg.wire_size(), 3 * 66);
+        assert_eq!(agg.wire_size(), 2 + 3 * 66);
+    }
+
+    #[test]
+    fn from_entries_rejects_duplicates() {
+        let sig = KeyPair::from_seed(1).sign(b"m");
+        assert_eq!(
+            MultiSig::from_entries(vec![(1, sig), (1, sig)]),
+            Err(MultiSigError::DuplicateSigner(1))
+        );
+        let ok = MultiSig::from_entries(vec![(1, sig)]).unwrap();
+        assert_eq!(ok.len(), 1);
     }
 
     #[test]

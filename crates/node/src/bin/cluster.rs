@@ -1,0 +1,202 @@
+//! N-node localhost cluster benchmark over real TCP.
+//!
+//! ```text
+//! cluster [--n 4] [--duration-secs 10] [--delta-ms 50] [--payload 0]
+//!         [--protocol sm|pm|cm|jolteon]   # default: all four
+//!         [--out-dir results] [--min-commits 0]
+//! ```
+//!
+//! For every selected protocol this spins up an `--n`-validator cluster on
+//! loopback, lets it run for the wall-clock duration, then stops it and:
+//!
+//! * replays the merged trace through the invariant checker (any safety
+//!   violation fails the run),
+//! * writes the merged trace to `<out-dir>/cluster-<label>.trace.jsonl`,
+//! * appends a row to `<out-dir>/cluster.csv` and an object to
+//!   `<out-dir>/cluster.json` with real throughput and p50/p99 commit
+//!   latency.
+//!
+//! Exits nonzero on invariant violations or when fewer than
+//! `--min-commits` blocks were quorum-committed — which is exactly what
+//! the CI smoke job keys off.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use moonshot_node::{Cluster, ClusterSpec, ProtocolChoice};
+use moonshot_telemetry::json::JsonObject;
+use moonshot_telemetry::{Histogram, JsonlSink, TraceSink};
+use moonshot_types::time::SimDuration;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+struct RunRow {
+    label: &'static str,
+    committed_blocks: u64,
+    blocks_per_sec: f64,
+    throughput_bps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    json: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = flag(&args, "--n").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let duration_secs: u64 =
+        flag(&args, "--duration-secs").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let delta_ms: u64 = flag(&args, "--delta-ms").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let payload: u64 = flag(&args, "--payload").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let min_commits: u64 = flag(&args, "--min-commits").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let out_dir = flag(&args, "--out-dir").unwrap_or_else(|| "results".into());
+    let protocols: Vec<ProtocolChoice> = match flag(&args, "--protocol") {
+        Some(p) => match p.parse() {
+            Ok(p) => vec![p],
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => ProtocolChoice::ALL.to_vec(),
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut rows: Vec<RunRow> = Vec::new();
+    let mut failed = false;
+
+    for protocol in protocols {
+        eprintln!(
+            "cluster: {} n={n} delta={delta_ms}ms payload={payload}B for {duration_secs}s",
+            protocol.name()
+        );
+        let mut spec = ClusterSpec::new(n, protocol);
+        spec.delta = SimDuration::from_millis(delta_ms);
+        spec.payload_bytes = payload;
+        let cluster = match Cluster::launch(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: failed to launch cluster: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stop_at = Instant::now() + Duration::from_secs(duration_secs);
+        while Instant::now() < stop_at {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let report = cluster.stop();
+        let elapsed = report.elapsed.as_secs_f64();
+
+        // Record the merged trace so the checker can be re-run offline.
+        let trace_path = format!("{out_dir}/cluster-{}.trace.jsonl", protocol.label());
+        match JsonlSink::create(std::path::Path::new(&trace_path)) {
+            Ok(mut sink) => {
+                for rec in &report.records {
+                    sink.record(*rec);
+                }
+                sink.flush();
+            }
+            Err(e) => eprintln!("warning: cannot write {trace_path}: {e}"),
+        }
+
+        let violations = match report.check_invariants() {
+            Ok(summary) => {
+                eprintln!(
+                    "  invariants ok: {} commits over {} heights ({} records)",
+                    summary.commits, summary.committed_heights, summary.records
+                );
+                0
+            }
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("  INVARIANT VIOLATION: {v:?}");
+                }
+                failed = true;
+                violations.len() as u64
+            }
+        };
+
+        let committed = report.quorum_committed_blocks();
+        if committed < min_commits {
+            eprintln!("  FAIL: only {committed} quorum-committed blocks (need {min_commits})");
+            failed = true;
+        }
+
+        let mut hist = Histogram::for_latency_us();
+        for us in report.commit_latencies_us() {
+            hist.record(us);
+        }
+        let p50_ms = hist.quantile(0.50).unwrap_or(0) as f64 / 1000.0;
+        let p99_ms = hist.quantile(0.99).unwrap_or(0) as f64 / 1000.0;
+        let blocks_per_sec = committed as f64 / elapsed;
+        let throughput_bps = (committed * payload) as f64 / elapsed;
+        eprintln!(
+            "  {committed} blocks quorum-committed ({blocks_per_sec:.1}/s), \
+             commit latency p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms"
+        );
+
+        let mut o = JsonObject::new();
+        o.field_str("protocol", protocol.label());
+        o.field_u64("n", n as u64);
+        o.field_u64("payload_bytes", payload);
+        o.field_f64("duration_secs", elapsed);
+        o.field_u64("committed_blocks", committed);
+        o.field_f64("blocks_per_sec", blocks_per_sec);
+        o.field_f64("throughput_bps", throughput_bps);
+        o.field_f64("commit_p50_ms", p50_ms);
+        o.field_f64("commit_p99_ms", p99_ms);
+        o.field_u64("invariant_violations", violations);
+        o.field_raw(
+            "nodes",
+            &moonshot_telemetry::json::array(
+                report.reports.iter().map(|r| r.summary_json()),
+            ),
+        );
+        rows.push(RunRow {
+            label: protocol.label(),
+            committed_blocks: committed,
+            blocks_per_sec,
+            throughput_bps,
+            p50_ms,
+            p99_ms,
+            json: o.finish(),
+        });
+    }
+
+    // CSV mirrors the simulator's results/ conventions so plots can diff
+    // real-cluster numbers against DES numbers.
+    let mut csv = String::from(
+        "protocol,n,payload_bytes,duration_secs,committed_blocks,blocks_per_sec,\
+         throughput_bps,commit_p50_ms,commit_p99_ms\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{n},{payload},{duration_secs},{},{:.3},{:.3},{:.3},{:.3}\n",
+            r.label, r.committed_blocks, r.blocks_per_sec, r.throughput_bps, r.p50_ms, r.p99_ms
+        ));
+    }
+    let json = format!(
+        "{{\"runs\":{}}}\n",
+        moonshot_telemetry::json::array(rows.iter().map(|r| r.json.clone()))
+    );
+    if let Err(e) = std::fs::write(format!("{out_dir}/cluster.csv"), csv) {
+        eprintln!("error: cannot write {out_dir}/cluster.csv: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(format!("{out_dir}/cluster.json"), json) {
+        eprintln!("error: cannot write {out_dir}/cluster.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_dir}/cluster.csv and {out_dir}/cluster.json");
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,168 @@
+//! Run a single Moonshot validator over real TCP.
+//!
+//! ```text
+//! moonshot-node keygen --n 4
+//! moonshot-node config --n 4 --base-port 7000
+//! moonshot-node run --config cluster.conf --id 0 --protocol pm \
+//!     [--delta-ms 50] [--payload 0] [--duration-secs 0] [--trace out.jsonl]
+//! ```
+//!
+//! `run` starts the node and, with `--duration-secs 0` (the default), runs
+//! until the process is killed; otherwise it stops after the given
+//! duration and prints the node's JSON summary on stdout.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use moonshot_node::{node_config, ClusterConfig, NodeHandle, ProtocolChoice, TransportConfig};
+use moonshot_telemetry::{JsonlSink, NullSink, TraceSink};
+use moonshot_types::time::SimDuration;
+use moonshot_types::NodeId;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         moonshot-node keygen --n <validators>\n  \
+         moonshot-node config --n <validators> [--base-port 7000]\n  \
+         moonshot-node run --config <file> --id <n> --protocol <sm|pm|cm|jolteon>\n      \
+         [--delta-ms 50] [--payload <bytes>] [--duration-secs 0] [--trace <file.jsonl>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` out of `args`, or `default` when absent.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("keygen") => keygen(&args),
+        Some("config") => config(&args),
+        Some("run") => run(&args),
+        _ => usage(),
+    }
+}
+
+fn keygen(args: &[String]) -> ExitCode {
+    let n: usize = match flag(args, "--n").and_then(|v| v.parse().ok()) {
+        Some(n) if n > 0 => n,
+        _ => return usage(),
+    };
+    println!("# seed-derived PKI: node id doubles as key seed");
+    for i in 0..n {
+        println!("node {} pubkey {}", i, moonshot_node::config::public_key_hex(NodeId(i as u16)));
+    }
+    ExitCode::SUCCESS
+}
+
+fn config(args: &[String]) -> ExitCode {
+    let n: usize = match flag(args, "--n").and_then(|v| v.parse().ok()) {
+        Some(n) if n > 0 => n,
+        _ => return usage(),
+    };
+    let base: u16 = flag(args, "--base-port").and_then(|v| v.parse().ok()).unwrap_or(7000);
+    let nodes = (0..n)
+        .map(|i| (NodeId(i as u16), format!("127.0.0.1:{}", base + i as u16).parse().unwrap()))
+        .collect();
+    print!("{}", ClusterConfig { nodes }.to_text());
+    ExitCode::SUCCESS
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let cfg_path = match flag(args, "--config") {
+        Some(p) => p,
+        None => return usage(),
+    };
+    let id: u16 = match flag(args, "--id").and_then(|v| v.parse().ok()) {
+        Some(id) => id,
+        None => return usage(),
+    };
+    let protocol: ProtocolChoice = match flag(args, "--protocol").map(|p| p.parse()) {
+        Some(Ok(p)) => p,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        None => return usage(),
+    };
+    let delta_ms: u64 = flag(args, "--delta-ms").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let payload: u64 = flag(args, "--payload").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let duration_secs: u64 =
+        flag(args, "--duration-secs").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let text = match std::fs::read_to_string(&cfg_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {cfg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = match ClusterConfig::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {cfg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let node = NodeId(id);
+    let listen = match cluster.addr_of(node) {
+        Some(a) => a,
+        None => {
+            eprintln!("error: node {id} not in {cfg_path}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sink: moonshot_node::SharedSink = match flag(args, "--trace") {
+        Some(path) => match JsonlSink::create(std::path::Path::new(&path)) {
+            Ok(s) => Arc::new(Mutex::new(s)),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(Mutex::new(NullSink)) as Arc<Mutex<dyn TraceSink + Send>>,
+    };
+
+    let protocol_box =
+        protocol.build(node_config(node, cluster.n(), SimDuration::from_millis(delta_ms), payload));
+    let handle = match NodeHandle::start(
+        protocol_box,
+        TransportConfig::new(node, listen, cluster.nodes.clone()),
+        None,
+        Instant::now(),
+        sink,
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start node {id} on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "node {id} running {} on {listen} ({} validators, delta {delta_ms}ms)",
+        protocol.name(),
+        cluster.n()
+    );
+
+    if duration_secs == 0 {
+        // Run until killed; log committed height once a second.
+        let mut last = 0;
+        loop {
+            std::thread::sleep(Duration::from_secs(1));
+            let h = handle.committed_height();
+            if h != last {
+                eprintln!("node {id} committed height {h}");
+                last = h;
+            }
+        }
+    }
+
+    std::thread::sleep(Duration::from_secs(duration_secs));
+    let report = handle.stop();
+    println!("{}", report.summary_json());
+    ExitCode::SUCCESS
+}

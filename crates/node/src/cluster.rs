@@ -1,0 +1,266 @@
+//! In-process localhost clusters: N real nodes, real TCP, one shared epoch.
+//!
+//! Used by the `cluster` bench binary and the kill-and-restart integration
+//! test. Every node gets a bounded in-memory trace ring; on shutdown the
+//! rings are merged, sorted by timestamp, and handed to the same
+//! trace-driven invariant checker the simulator uses — safety violations in
+//! a real cluster run fail exactly like simulated ones.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use moonshot_telemetry::{RingBufferSink, TraceEvent, TraceRecord, TraceSink};
+use moonshot_types::time::{SimDuration, SimTime};
+use moonshot_types::NodeId;
+
+use crate::config::{node_config, ProtocolChoice};
+use crate::runtime::{NodeHandle, NodeReport, SharedSink};
+use crate::transport::TransportConfig;
+
+/// Parameters for a localhost cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Number of validators.
+    pub n: usize,
+    /// Protocol every node runs.
+    pub protocol: ProtocolChoice,
+    /// The Δ used to derive view-timer lengths.
+    pub delta: SimDuration,
+    /// Synthetic payload bytes per proposed block (0 = empty blocks).
+    pub payload_bytes: u64,
+    /// Per-node trace ring capacity (records).
+    pub trace_capacity: usize,
+}
+
+impl ClusterSpec {
+    /// A spec with bench defaults: Δ = 50 ms, empty payloads, 64 Ki-record
+    /// trace rings.
+    pub fn new(n: usize, protocol: ProtocolChoice) -> Self {
+        ClusterSpec {
+            n,
+            protocol,
+            delta: SimDuration::from_millis(50),
+            payload_bytes: 0,
+            trace_capacity: 64 * 1024,
+        }
+    }
+}
+
+/// A running localhost cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    epoch: Instant,
+    peers: Vec<(NodeId, SocketAddr)>,
+    /// `None` while a node is killed.
+    handles: Vec<Option<NodeHandle>>,
+    /// One ring per node, kept across that node's restarts.
+    sinks: Vec<Arc<Mutex<RingBufferSink>>>,
+    /// Reports of stopped incarnations (kill-and-restart runs).
+    dead_reports: Vec<NodeReport>,
+}
+
+impl Cluster {
+    /// Binds `n` port-0 listeners on localhost, then starts every node with
+    /// the full peer table.
+    pub fn launch(spec: ClusterSpec) -> std::io::Result<Cluster> {
+        assert!(spec.n >= 1, "cluster needs at least one node");
+        let epoch = Instant::now();
+        let mut listeners = Vec::new();
+        let mut peers = Vec::new();
+        for i in 0..spec.n {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            peers.push((NodeId(i as u16), l.local_addr()?));
+            listeners.push(l);
+        }
+        let sinks: Vec<Arc<Mutex<RingBufferSink>>> = (0..spec.n)
+            .map(|_| Arc::new(Mutex::new(RingBufferSink::new(spec.trace_capacity))))
+            .collect();
+
+        let mut handles = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let id = NodeId(i as u16);
+            let handle = NodeHandle::start(
+                spec.protocol.build(node_config(id, spec.n, spec.delta, spec.payload_bytes)),
+                TransportConfig::new(id, peers[i].1, peers.clone()),
+                Some(listener),
+                epoch,
+                sinks[i].clone() as SharedSink,
+            )?;
+            handles.push(Some(handle));
+        }
+        Ok(Cluster { spec, epoch, peers, handles, sinks, dead_reports: Vec::new() })
+    }
+
+    /// The shared time origin.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// `(id, addr)` of every validator.
+    pub fn peers(&self) -> &[(NodeId, SocketAddr)] {
+        &self.peers
+    }
+
+    /// Highest committed height per live node (killed nodes report 0).
+    pub fn committed_heights(&self) -> Vec<u64> {
+        self.handles
+            .iter()
+            .map(|h| h.as_ref().map(|h| h.committed_height()).unwrap_or(0))
+            .collect()
+    }
+
+    /// The height at least `2f + 1` nodes have committed.
+    pub fn quorum_committed_height(&self) -> u64 {
+        let mut heights = self.committed_heights();
+        heights.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum = 2 * ((self.spec.n - 1) / 3) + 1;
+        heights.get(quorum - 1).copied().unwrap_or(0)
+    }
+
+    /// Stops node `id` (its sockets close; peers start redialing). The
+    /// stopped incarnation's report is kept for the final
+    /// [`ClusterReport`].
+    pub fn kill(&mut self, id: NodeId) {
+        if let Some(handle) = self.handles[id.0 as usize].take() {
+            self.dead_reports.push(handle.stop());
+        }
+    }
+
+    /// Restarts a killed node with a fresh state machine on its original
+    /// address, recording a `NodeRestarted` trace event so the invariant
+    /// checker resets that node's monotonicity baselines.
+    pub fn restart(&mut self, id: NodeId) -> std::io::Result<()> {
+        let idx = id.0 as usize;
+        assert!(self.handles[idx].is_none(), "restart of a live node");
+        let at = SimTime(self.epoch.elapsed().as_micros() as u64);
+        self.sinks[idx]
+            .lock()
+            .unwrap()
+            .record(TraceRecord { at, event: TraceEvent::NodeRestarted { node: id } });
+        let spec = &self.spec;
+        let handle = NodeHandle::start(
+            spec.protocol.build(node_config(id, spec.n, spec.delta, spec.payload_bytes)),
+            TransportConfig::new(id, self.peers[idx].1, self.peers.clone()),
+            None,
+            self.epoch,
+            self.sinks[idx].clone() as SharedSink,
+        )?;
+        self.handles[idx] = Some(handle);
+        Ok(())
+    }
+
+    /// Stops every node and collects reports plus the merged, time-sorted
+    /// trace.
+    pub fn stop(mut self) -> ClusterReport {
+        let mut reports = std::mem::take(&mut self.dead_reports);
+        for handle in self.handles.drain(..).flatten() {
+            reports.push(handle.stop());
+        }
+        reports.sort_by_key(|r| r.node);
+        let mut records: Vec<TraceRecord> = Vec::new();
+        for sink in &self.sinks {
+            let ring = sink.lock().unwrap();
+            records.extend(ring.iter().cloned());
+        }
+        records.sort_by_key(|r| r.at);
+        ClusterReport {
+            n: self.spec.n,
+            elapsed: self.epoch.elapsed(),
+            reports,
+            records,
+        }
+    }
+}
+
+/// Everything a finished cluster run produced.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Validator count.
+    pub n: usize,
+    /// Wall-clock time from epoch to stop.
+    pub elapsed: std::time::Duration,
+    /// Final (and any killed-incarnation) node reports, sorted by node.
+    pub reports: Vec<NodeReport>,
+    /// Merged trace, sorted by timestamp.
+    pub records: Vec<TraceRecord>,
+}
+
+impl ClusterReport {
+    /// Runs the trace-driven safety checker over the merged trace.
+    pub fn check_invariants(
+        &self,
+    ) -> Result<moonshot_telemetry::InvariantSummary, Vec<moonshot_telemetry::Violation>> {
+        moonshot_telemetry::check_invariants(self.records.iter().cloned())
+    }
+
+    /// Distinct blocks committed by at least `2f + 1` distinct nodes.
+    pub fn quorum_committed_blocks(&self) -> u64 {
+        let quorum = 2 * ((self.n - 1) / 3) + 1;
+        let mut per_block: std::collections::HashMap<
+            moonshot_crypto::Digest,
+            std::collections::HashSet<NodeId>,
+        > = std::collections::HashMap::new();
+        for rec in &self.records {
+            if let TraceEvent::BlockCommitted { node, block, .. } = rec.event {
+                per_block.entry(block).or_default().insert(node);
+            }
+        }
+        per_block.values().filter(|nodes| nodes.len() >= quorum).count() as u64
+    }
+
+    /// Commit latencies in microseconds: for every `(node, block)` pair,
+    /// time from the block's first `ProposalSent` anywhere in the cluster
+    /// to that node's first `BlockCommitted`. This is the paper's
+    /// block-latency notion measured on real wall clocks.
+    pub fn commit_latencies_us(&self) -> Vec<u64> {
+        use std::collections::HashMap;
+        let mut proposed: HashMap<moonshot_crypto::Digest, SimTime> = HashMap::new();
+        let mut committed: HashMap<(NodeId, moonshot_crypto::Digest), SimTime> = HashMap::new();
+        for rec in &self.records {
+            match rec.event {
+                TraceEvent::ProposalSent { block, .. } => {
+                    proposed.entry(block).or_insert(rec.at);
+                }
+                TraceEvent::BlockCommitted { node, block, .. } => {
+                    committed.entry((node, block)).or_insert(rec.at);
+                }
+                _ => {}
+            }
+        }
+        let mut out: Vec<u64> = committed
+            .iter()
+            .filter_map(|((_, block), at)| {
+                proposed.get(block).map(|sent| at.since(*sent).as_micros())
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cheapest end-to-end sanity check: one node cannot commit (no
+    /// quorum without peers in a 4-node config), but a full 4-node cluster
+    /// must make progress over real sockets.
+    #[test]
+    fn four_node_pipelined_cluster_commits() {
+        let cluster =
+            Cluster::launch(ClusterSpec::new(4, ProtocolChoice::Pipelined)).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(20);
+        while cluster.quorum_committed_height() < 5 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let height = cluster.quorum_committed_height();
+        let report = cluster.stop();
+        assert!(height >= 5, "cluster only reached quorum height {height}");
+        let summary = report.check_invariants().expect("no safety violations");
+        assert!(summary.commits > 0);
+        assert!(report.quorum_committed_blocks() >= 5);
+        assert!(!report.commit_latencies_us().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! The networked Moonshot runtime.
+//!
+//! `moonshot-consensus` deliberately ends at a sans-IO boundary: state
+//! machines that turn messages and timer expirations into
+//! [`Output`](moonshot_consensus::Output)s. This crate is the other side of
+//! that boundary for real deployments — the same boundary `moonshot-sim`
+//! drives with virtual time, driven here by wall clocks and TCP:
+//!
+//! * [`timer`] — a hashed [`TimerWheel`](timer::TimerWheel) for protocol
+//!   timers, keyed by microseconds since a shared cluster epoch.
+//! * [`transport`] — per-peer TCP with reader/writer threads, bounded
+//!   drop-oldest outbound queues, exponential-backoff redial, and per-peer
+//!   byte/frame/drop/reconnect counters.
+//! * [`runtime`] — the driver thread gluing protocol, wheel and transport
+//!   together, with [`ProtocolObserver`](moonshot_consensus::ProtocolObserver)
+//!   tracing at the call boundary so cluster runs feed the same invariant
+//!   checker as simulations.
+//! * [`config`] — static peer files, protocol selection, seed-derived keys.
+//!
+//! Two binaries ship with the crate: `moonshot-node` (run one validator)
+//! and `cluster` (run an N-node localhost cluster and measure real
+//! wall-clock throughput and commit latency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cluster;
+pub mod config;
+pub mod runtime;
+pub mod timer;
+pub mod transport;
+
+pub use cluster::{Cluster, ClusterReport, ClusterSpec};
+pub use config::{node_config, ClusterConfig, ProtocolChoice};
+pub use runtime::{NodeHandle, NodeReport, SharedSink};
+pub use transport::{Inbound, PeerMetrics, Transport, TransportConfig};

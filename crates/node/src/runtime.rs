@@ -1,0 +1,260 @@
+//! The driver loop: one thread that owns a protocol state machine and
+//! bridges it to real I/O.
+//!
+//! The state machines are sans-IO ([`ConsensusProtocol`]): they consume
+//! messages and timer expirations and emit [`Output`]s. Under the
+//! discrete-event simulator, virtual time and a priority queue drive them;
+//! here the same unmodified machines run against wall-clock time
+//! (microseconds since a shared cluster epoch `Instant`, so every node's
+//! [`SimTime`]s are mutually comparable), a [`TimerWheel`], and the TCP
+//! [`Transport`].
+//!
+//! Multicasts are encoded **once** into an `Arc`'d frame shared by every
+//! peer queue; the protocol's own copy is looped back through the same
+//! inbound channel the network uses (the protocols expect
+//! multicast-includes-self). Tracing rides the [`ProtocolObserver`] hook at
+//! the call boundary — identical events to the simulator's, so the
+//! trace-driven invariant checker works on cluster runs unchanged.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use moonshot_consensus::{CommittedBlock, ConsensusProtocol, Output, ProtocolObserver};
+use moonshot_telemetry::{MetricsRegistry, TraceSink};
+use moonshot_types::time::{SimDuration, SimTime};
+use moonshot_types::{NodeId, View};
+use moonshot_wire::encode_message;
+
+use crate::timer::TimerWheel;
+use crate::transport::{Inbound, Transport, TransportConfig};
+
+/// Shared trace sink type accepted by the runtime (thread-safe; the
+/// `Arc<Mutex<dyn TraceSink>>` blanket impl makes it a `TraceSink` itself).
+pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
+
+/// Longest the driver sleeps before re-checking timers and shutdown.
+const MAX_WAIT: Duration = Duration::from_millis(50);
+
+/// What the driver thread hands back when it stops.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// This node's id.
+    pub node: NodeId,
+    /// Every block the protocol committed, in commit order.
+    pub commits: Vec<CommittedBlock>,
+    /// The view the node was in when stopped.
+    pub final_view: View,
+    /// Driver + transport counters (`driver.*`, `net.*`).
+    pub metrics: MetricsRegistry,
+}
+
+impl NodeReport {
+    /// The whole report as one JSON object.
+    pub fn summary_json(&self) -> String {
+        let mut o = moonshot_telemetry::json::JsonObject::new();
+        o.field_u64("node", self.node.0 as u64);
+        o.field_u64("commits", self.commits.len() as u64);
+        o.field_u64(
+            "committed_height",
+            self.commits.last().map(|c| c.block.height().0).unwrap_or(0),
+        );
+        o.field_u64("final_view", self.final_view.0);
+        o.field_raw("metrics", &self.metrics.to_json());
+        o.finish()
+    }
+}
+
+/// A running node: driver thread + transport threads.
+#[derive(Debug)]
+pub struct NodeHandle {
+    node: NodeId,
+    shutdown: Arc<AtomicBool>,
+    driver: Option<JoinHandle<NodeReport>>,
+    /// Committed height mirror for cheap liveness probes.
+    committed_height: Arc<AtomicU64>,
+    inbound: Sender<Inbound>,
+}
+
+impl NodeHandle {
+    /// Starts a node: binds the transport (or adopts `listener`), spawns
+    /// the driver thread, and calls `protocol.start()` on it.
+    ///
+    /// `epoch` is the cluster-wide time origin; every trace timestamp is
+    /// microseconds since it.
+    pub fn start(
+        mut protocol: Box<dyn ConsensusProtocol + Send>,
+        cfg: TransportConfig,
+        listener: Option<TcpListener>,
+        epoch: Instant,
+        sink: SharedSink,
+    ) -> std::io::Result<NodeHandle> {
+        let node = cfg.node_id;
+        let (tx, rx) = mpsc::channel::<Inbound>();
+        let transport = match listener {
+            Some(l) => Transport::start_with_listener(cfg, l, tx.clone())?,
+            None => Transport::start(cfg, tx.clone())?,
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let committed_height = Arc::new(AtomicU64::new(0));
+
+        let driver = {
+            let shutdown = shutdown.clone();
+            let committed_height = committed_height.clone();
+            let loopback = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("driver-{node}"))
+                .spawn(move || {
+                    let driver = Driver {
+                        node,
+                        transport,
+                        loopback,
+                        wheel: TimerWheel::new(SimDuration::from_millis(1), 4096),
+                        observer: ProtocolObserver::new(node),
+                        sink,
+                        epoch,
+                        commits: Vec::new(),
+                        committed_height,
+                        messages_handled: 0,
+                        timers_fired: 0,
+                    };
+                    run_driver(driver, &mut *protocol, rx, shutdown)
+                })
+                .expect("spawn driver")
+        };
+
+        Ok(NodeHandle { node, shutdown, driver: Some(driver), committed_height, inbound: tx })
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Highest height this node has committed so far (updated live).
+    pub fn committed_height(&self) -> u64 {
+        self.committed_height.load(Ordering::Relaxed)
+    }
+
+    /// Injects a message as if received from `from` (tests, local clients).
+    pub fn inject(&self, from: NodeId, msg: moonshot_consensus::Message) {
+        let _ = self.inbound.send(Inbound { from, msg });
+    }
+
+    /// Stops the driver and transport, returning the final report.
+    pub fn stop(mut self) -> NodeReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.driver.take().expect("driver still attached").join().expect("driver panicked")
+    }
+}
+
+struct Driver {
+    node: NodeId,
+    transport: Transport,
+    loopback: Sender<Inbound>,
+    wheel: TimerWheel,
+    observer: ProtocolObserver,
+    sink: SharedSink,
+    epoch: Instant,
+    commits: Vec<CommittedBlock>,
+    committed_height: Arc<AtomicU64>,
+    messages_handled: u64,
+    timers_fired: u64,
+}
+
+/// The driver loop, owning the [`Driver`] so the transport can be consumed
+/// (joined) on exit — `NodeHandle::stop` returns only after every socket
+/// thread is gone.
+fn run_driver(
+    mut driver: Driver,
+    protocol: &mut dyn ConsensusProtocol,
+    rx: mpsc::Receiver<Inbound>,
+    shutdown: Arc<AtomicBool>,
+) -> NodeReport {
+    let t = driver.now();
+    let outputs = protocol.start(t);
+    driver.process(protocol, outputs, t);
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let now = driver.now();
+        for token in driver.wheel.expire(now) {
+            driver.timers_fired += 1;
+            let t = driver.now();
+            driver.observer.on_timer_fired(token, t, &mut driver.sink);
+            let outputs = protocol.handle_timer(token, t);
+            driver.process(protocol, outputs, t);
+        }
+
+        let wait = match driver.wheel.next_deadline() {
+            Some(deadline) => {
+                Duration::from_micros(deadline.since(driver.now()).as_micros()).min(MAX_WAIT)
+            }
+            None => MAX_WAIT,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(Inbound { from, msg }) => {
+                driver.messages_handled += 1;
+                let t = driver.now();
+                driver.observer.on_message_received(from, &msg, t, &mut driver.sink);
+                let outputs = protocol.handle_message(from, msg, t);
+                driver.process(protocol, outputs, t);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    driver.sink.flush();
+    let mut metrics = MetricsRegistry::new();
+    metrics.incr("driver.messages_handled", driver.messages_handled);
+    metrics.incr("driver.timers_fired", driver.timers_fired);
+    metrics.incr("driver.commits", driver.commits.len() as u64);
+    metrics.set_gauge("driver.timers_armed", driver.wheel.len() as f64);
+    driver.transport.snapshot_metrics(&mut metrics);
+
+    driver.transport.stop();
+
+    NodeReport {
+        node: driver.node,
+        commits: driver.commits,
+        final_view: protocol.current_view(),
+        metrics,
+    }
+}
+
+impl Driver {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn process(&mut self, protocol: &mut dyn ConsensusProtocol, outputs: Vec<Output>, t: SimTime) {
+        self.observer.on_outputs(&outputs, protocol.current_view(), t, &mut self.sink);
+        for out in outputs {
+            match out {
+                Output::Send(to, msg) => {
+                    if to == self.node {
+                        let _ = self.loopback.send(Inbound { from: self.node, msg });
+                    } else {
+                        self.transport.send(to, Arc::new(encode_message(&msg)));
+                    }
+                }
+                Output::Multicast(msg) => {
+                    // Encode once; every peer queue shares the same bytes.
+                    let frame = Arc::new(encode_message(&msg));
+                    self.transport.broadcast(frame);
+                    let _ = self.loopback.send(Inbound { from: self.node, msg });
+                }
+                Output::SetTimer { token, after } => {
+                    self.wheel.arm(t + after, token);
+                }
+                Output::Commit(c) => {
+                    self.committed_height.store(c.block.height().0, Ordering::Relaxed);
+                    self.commits.push(c);
+                }
+            }
+        }
+    }
+}

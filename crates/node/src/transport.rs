@@ -1,0 +1,537 @@
+//! Per-peer TCP transport.
+//!
+//! Topology: every node listens on one socket and dials one outbound
+//! connection per peer. A pair of nodes is therefore joined by two
+//! unidirectional TCP streams — each node writes only on connections it
+//! dialed and reads only on connections it accepted — which keeps
+//! connection ownership trivial (no simultaneous-dial deduplication) at the
+//! cost of one extra socket per pair.
+//!
+//! Threads per node: one acceptor, one reader per accepted connection, one
+//! writer per peer. Writers drain a bounded outbound queue with
+//! **drop-oldest** backpressure (consensus tolerates message loss — the
+//! protocols re-sync via certificates and the block fetcher — so dropping
+//! the stalest frame beats unbounded buffering or blocking the driver) and
+//! redial with exponential backoff after any connection failure. Every
+//! dialed connection opens with a [`Frame::Hello`] so the accepting side
+//! learns who is talking before the first consensus message.
+//!
+//! All sockets run with short read/wait timeouts so threads observe the
+//! shutdown flag promptly; [`Transport::stop`] joins every thread.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use moonshot_consensus::Message;
+use moonshot_telemetry::MetricsRegistry;
+use moonshot_types::NodeId;
+use moonshot_wire::{encode_frame, Frame, FrameReader};
+
+/// A message delivered by the transport to the driver loop.
+#[derive(Debug)]
+pub struct Inbound {
+    /// The sending node (from its hello preamble, or this node itself for
+    /// loopback deliveries).
+    pub from: NodeId,
+    /// The consensus message.
+    pub msg: Message,
+}
+
+/// Transport configuration for one node.
+#[derive(Clone, Debug)]
+pub struct TransportConfig {
+    /// This node's id.
+    pub node_id: NodeId,
+    /// Address to listen on.
+    pub listen: SocketAddr,
+    /// All peers (entries for `node_id` itself are ignored).
+    pub peers: Vec<(NodeId, SocketAddr)>,
+    /// Outbound frames buffered per peer before drop-oldest kicks in.
+    pub queue_capacity: usize,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub reconnect_base: Duration,
+    /// Reconnect delay ceiling.
+    pub reconnect_max: Duration,
+}
+
+impl TransportConfig {
+    /// A config with production-shaped defaults (1024-frame queues, 100 ms
+    /// base / 5 s max backoff).
+    pub fn new(node_id: NodeId, listen: SocketAddr, peers: Vec<(NodeId, SocketAddr)>) -> Self {
+        TransportConfig {
+            node_id,
+            listen,
+            peers,
+            queue_capacity: 1024,
+            reconnect_base: Duration::from_millis(100),
+            reconnect_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Per-peer transport counters (atomics: written by transport threads, read
+/// by whoever snapshots metrics).
+#[derive(Debug, Default)]
+pub struct PeerMetrics {
+    /// Payload bytes written to this peer (frames included).
+    pub bytes_out: AtomicU64,
+    /// Frames written to this peer.
+    pub frames_out: AtomicU64,
+    /// Bytes read from this peer.
+    pub bytes_in: AtomicU64,
+    /// Frames read from this peer.
+    pub frames_in: AtomicU64,
+    /// Outbound frames discarded by drop-oldest backpressure or lost on a
+    /// failed write.
+    pub dropped_frames: AtomicU64,
+    /// Successful dials (the first connect counts; steady state is 1).
+    pub reconnects: AtomicU64,
+    /// Current outbound queue depth.
+    pub queue_depth: AtomicU64,
+    /// Frames from this peer the decoder rejected (connection then dropped).
+    pub decode_errors: AtomicU64,
+}
+
+struct OutboundQueue {
+    frames: Mutex<VecFrames>,
+    signal: Condvar,
+    capacity: usize,
+}
+
+struct VecFrames {
+    queue: std::collections::VecDeque<Arc<Vec<u8>>>,
+}
+
+impl OutboundQueue {
+    fn new(capacity: usize) -> Self {
+        OutboundQueue {
+            frames: Mutex::new(VecFrames { queue: std::collections::VecDeque::new() }),
+            signal: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a frame, dropping the oldest if full. Returns the number of
+    /// frames dropped (0 or 1) and the new depth.
+    fn push(&self, frame: Arc<Vec<u8>>) -> (u64, u64) {
+        let mut inner = self.frames.lock().unwrap();
+        let mut dropped = 0;
+        if inner.queue.len() >= self.capacity {
+            inner.queue.pop_front();
+            dropped = 1;
+        }
+        inner.queue.push_back(frame);
+        let depth = inner.queue.len() as u64;
+        drop(inner);
+        self.signal.notify_one();
+        (dropped, depth)
+    }
+
+    /// Waits up to `wait` for a frame.
+    fn pop(&self, wait: Duration) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.frames.lock().unwrap();
+        if inner.queue.is_empty() {
+            let (guard, _) = self.signal.wait_timeout(inner, wait).unwrap();
+            inner = guard;
+        }
+        inner.queue.pop_front()
+    }
+
+    fn depth(&self) -> u64 {
+        self.frames.lock().unwrap().queue.len() as u64
+    }
+}
+
+struct Peer {
+    metrics: Arc<PeerMetrics>,
+    queue: Arc<OutboundQueue>,
+}
+
+/// The TCP transport for one node: an acceptor, per-peer writers, per-
+/// connection readers. Create with [`Transport::start`], tear down with
+/// [`Transport::stop`].
+pub struct Transport {
+    node: NodeId,
+    peers: BTreeMap<NodeId, Peer>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    /// Reader threads are spawned by the acceptor as connections arrive.
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    local_addr: SocketAddr,
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Transport(node={}, peers={})", self.node, self.peers.len())
+    }
+}
+
+/// How often blocked threads wake to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+impl Transport {
+    /// Binds the listener and spawns the acceptor and per-peer writer
+    /// threads. Inbound messages flow into `inbound`.
+    pub fn start(cfg: TransportConfig, inbound: Sender<Inbound>) -> std::io::Result<Transport> {
+        let listener = TcpListener::bind(cfg.listen)?;
+        Self::start_with_listener(cfg, listener, inbound)
+    }
+
+    /// Like [`start`](Transport::start), but with a pre-bound listener —
+    /// lets a cluster bind every node on port 0 first, learn the real
+    /// addresses, and only then construct the peer tables.
+    pub fn start_with_listener(
+        cfg: TransportConfig,
+        listener: TcpListener,
+        inbound: Sender<Inbound>,
+    ) -> std::io::Result<Transport> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut peers = BTreeMap::new();
+        let mut peer_metrics: BTreeMap<NodeId, Arc<PeerMetrics>> = BTreeMap::new();
+        for (id, _) in cfg.peers.iter().filter(|(id, _)| *id != cfg.node_id) {
+            let metrics = Arc::new(PeerMetrics::default());
+            peer_metrics.insert(*id, metrics.clone());
+            peers.insert(
+                *id,
+                Peer { metrics, queue: Arc::new(OutboundQueue::new(cfg.queue_capacity)) },
+            );
+        }
+
+        let mut threads = Vec::new();
+
+        // Acceptor: non-blocking accept + sleep, so shutdown is observed.
+        {
+            let shutdown = shutdown.clone();
+            let readers = readers.clone();
+            let inbound = inbound.clone();
+            let metrics_map = peer_metrics.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("accept-{}", cfg.node_id))
+                    .spawn(move || {
+                        accept_loop(listener, shutdown, readers, inbound, metrics_map);
+                    })
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        // One writer per peer.
+        for (id, addr) in cfg.peers.iter().filter(|(id, _)| *id != cfg.node_id) {
+            let peer = &peers[id];
+            let queue = peer.queue.clone();
+            let metrics = peer.metrics.clone();
+            let shutdown = shutdown.clone();
+            let me = cfg.node_id;
+            let addr = *addr;
+            let base = cfg.reconnect_base;
+            let max = cfg.reconnect_max;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("write-{}-{}", cfg.node_id, id))
+                    .spawn(move || {
+                        writer_loop(me, addr, queue, metrics, shutdown, base, max);
+                    })
+                    .expect("spawn writer"),
+            );
+        }
+
+        Ok(Transport { node: cfg.node_id, peers, shutdown, threads, readers, local_addr })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Queues `frame` for `to`. Unknown peers are ignored (the config is the
+    /// membership). Never blocks: full queues drop their oldest frame.
+    pub fn send(&self, to: NodeId, frame: Arc<Vec<u8>>) {
+        if let Some(peer) = self.peers.get(&to) {
+            let (dropped, depth) = peer.queue.push(frame);
+            peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
+            peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Queues `frame` for every peer (self excluded — the driver loops its
+    /// own multicasts back directly).
+    pub fn broadcast(&self, frame: Arc<Vec<u8>>) {
+        for (_, peer) in self.peers.iter() {
+            let (dropped, depth) = peer.queue.push(frame.clone());
+            peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
+            peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots per-peer and aggregate counters into `reg` under
+    /// `net.peer<id>.*` and `net.total.*`.
+    pub fn snapshot_metrics(&self, reg: &mut MetricsRegistry) {
+        let mut totals = [0u64; 6];
+        for (id, peer) in &self.peers {
+            let m = &peer.metrics;
+            let depth = peer.queue.depth();
+            m.queue_depth.store(depth, Ordering::Relaxed);
+            let vals = [
+                ("bytes_out", m.bytes_out.load(Ordering::Relaxed)),
+                ("frames_out", m.frames_out.load(Ordering::Relaxed)),
+                ("bytes_in", m.bytes_in.load(Ordering::Relaxed)),
+                ("frames_in", m.frames_in.load(Ordering::Relaxed)),
+                ("dropped_frames", m.dropped_frames.load(Ordering::Relaxed)),
+                ("reconnects", m.reconnects.load(Ordering::Relaxed)),
+            ];
+            for (i, (name, v)) in vals.iter().enumerate() {
+                reg.incr(&format!("net.peer{}.{name}", id.0), *v);
+                totals[i] += *v;
+            }
+            reg.set_gauge(&format!("net.peer{}.queue_depth", id.0), depth as f64);
+            reg.incr(
+                &format!("net.peer{}.decode_errors", id.0),
+                m.decode_errors.load(Ordering::Relaxed),
+            );
+        }
+        for (i, name) in
+            ["bytes_out", "frames_out", "bytes_in", "frames_in", "dropped_frames", "reconnects"]
+                .iter()
+                .enumerate()
+        {
+            reg.incr(&format!("net.total.{name}"), totals[i]);
+        }
+    }
+
+    /// Per-peer metrics handle (for tests and live inspection).
+    pub fn peer_metrics(&self, id: NodeId) -> Option<Arc<PeerMetrics>> {
+        self.peers.get(&id).map(|p| p.metrics.clone())
+    }
+
+    /// Signals every thread to stop and joins them.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, peer) in self.peers.iter() {
+            peer.queue.signal.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for t in readers {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inbound: Sender<Inbound>,
+    metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shutdown = shutdown.clone();
+                let inbound = inbound.clone();
+                let metrics = metrics.clone();
+                let handle = std::thread::Builder::new()
+                    .name("read".into())
+                    .spawn(move || reader_loop(stream, shutdown, inbound, metrics))
+                    .expect("spawn reader");
+                readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    shutdown: Arc<AtomicBool>,
+    inbound: Sender<Inbound>,
+    metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
+) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = FrameReader::new();
+    let mut from: Option<NodeId> = None;
+    let mut buf = vec![0u8; 64 * 1024];
+    while !shutdown.load(Ordering::SeqCst) {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed; it will redial
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        if let Some(id) = from {
+            if let Some(m) = metrics.get(&id) {
+                m.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+        reader.extend(&buf[..n]);
+        loop {
+            match reader.next_frame() {
+                Ok(Some(Frame::Hello { node })) => {
+                    if from.is_some() || !metrics.contains_key(&node) {
+                        return; // re-hello or unknown peer: drop connection
+                    }
+                    // Bytes read before identification attribute here.
+                    if let Some(m) = metrics.get(&node) {
+                        m.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    from = Some(node);
+                }
+                Ok(Some(Frame::Consensus(msg))) => {
+                    let Some(id) = from else {
+                        return; // consensus before hello: protocol violation
+                    };
+                    if let Some(m) = metrics.get(&id) {
+                        m.frames_in.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if inbound.send(Inbound { from: id, msg }).is_err() {
+                        return; // driver gone
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Framing is lost; the connection is unrecoverable.
+                    if let Some(m) = from.and_then(|id| metrics.get(&id)) {
+                        m.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    me: NodeId,
+    addr: SocketAddr,
+    queue: Arc<OutboundQueue>,
+    metrics: Arc<PeerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    base: Duration,
+    max: Duration,
+) {
+    let hello = encode_frame(&Frame::Hello { node: me });
+    let mut backoff = base;
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => {
+                // Sleep in POLL-sized slices so shutdown stays responsive.
+                let mut remaining = backoff;
+                while remaining > Duration::ZERO && !shutdown.load(Ordering::SeqCst) {
+                    let step = remaining.min(POLL);
+                    std::thread::sleep(step);
+                    remaining = remaining.saturating_sub(step);
+                }
+                backoff = (backoff * 2).min(max);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.write_all(&hello).is_err() {
+            continue;
+        }
+        metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        metrics.bytes_out.fetch_add(hello.len() as u64, Ordering::Relaxed);
+        backoff = base;
+
+        while !shutdown.load(Ordering::SeqCst) {
+            let Some(frame) = queue.pop(POLL) else { continue };
+            metrics.queue_depth.store(queue.depth(), Ordering::Relaxed);
+            if stream.write_all(&frame).is_ok() {
+                metrics.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // The frame is lost with the connection; redial.
+                metrics.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn localhost_any() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn queue_drops_oldest_when_full() {
+        let q = OutboundQueue::new(2);
+        let f = |b: u8| Arc::new(vec![b]);
+        assert_eq!(q.push(f(1)).0, 0);
+        assert_eq!(q.push(f(2)).0, 0);
+        let (dropped, depth) = q.push(f(3));
+        assert_eq!((dropped, depth), (1, 2));
+        assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 2); // 1 was dropped
+        assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn two_nodes_exchange_messages() {
+        use moonshot_consensus::Message;
+        use moonshot_types::{Block, Payload, View};
+
+        // Bind both listeners on port 0 first so each side can dial the
+        // other — the same pattern the cluster binary uses.
+        let l0 = TcpListener::bind(localhost_any()).unwrap();
+        let l1 = TcpListener::bind(localhost_any()).unwrap();
+        let (a0, a1) = (l0.local_addr().unwrap(), l1.local_addr().unwrap());
+        let peers = vec![(NodeId(0), a0), (NodeId(1), a1)];
+
+        let (tx0, rx0) = mpsc::channel();
+        let (tx1, rx1) = mpsc::channel();
+        let t0 = Transport::start_with_listener(
+            TransportConfig::new(NodeId(0), a0, peers.clone()),
+            l0,
+            tx0,
+        )
+        .unwrap();
+        let t1 =
+            Transport::start_with_listener(TransportConfig::new(NodeId(1), a1, peers), l1, tx1)
+                .unwrap();
+
+        let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::from(vec![7]));
+        let msg = Message::OptPropose { block, view: View(1) };
+        let frame = Arc::new(moonshot_wire::encode_message(&msg));
+        t0.send(NodeId(1), frame.clone());
+
+        let got = rx1.recv_timeout(Duration::from_secs(10)).expect("delivery");
+        assert_eq!(got.from, NodeId(0));
+        assert_eq!(got.msg, msg);
+
+        // And the reverse direction.
+        t1.send(NodeId(0), frame);
+        let got = rx0.recv_timeout(Duration::from_secs(10)).expect("reverse delivery");
+        assert_eq!(got.from, NodeId(1));
+
+        let m = t0.peer_metrics(NodeId(1)).unwrap();
+        assert!(m.bytes_out.load(Ordering::Relaxed) > 0);
+        assert_eq!(m.frames_out.load(Ordering::Relaxed), 1);
+        t0.stop();
+        t1.stop();
+    }
+}

@@ -1,0 +1,113 @@
+//! Kill-and-restart over real TCP: a node stopped mid-run and restarted
+//! with a fresh state machine must resync the committed chain from its
+//! peers (BlockFetcher over the wire) and rejoin consensus, with zero
+//! safety violations in the merged trace.
+
+use std::time::{Duration, Instant};
+
+use moonshot_node::{Cluster, ClusterSpec, ProtocolChoice};
+use moonshot_types::NodeId;
+
+/// Polls `f` every 50 ms until it returns true or `secs` elapse.
+fn wait_for(secs: u64, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    f()
+}
+
+#[test]
+fn killed_node_restarts_and_resyncs_committed_chain() {
+    let mut cluster = Cluster::launch(ClusterSpec::new(4, ProtocolChoice::Pipelined)).unwrap();
+    let victim = NodeId(3);
+
+    // Phase 1: healthy cluster commits a prefix.
+    assert!(
+        wait_for(20, || cluster.quorum_committed_height() >= 3),
+        "healthy cluster never reached height 3"
+    );
+
+    // Phase 2: kill one node; the remaining 3 of 4 still form a quorum and
+    // must keep committing while the victim is down.
+    cluster.kill(victim);
+    let height_at_kill = cluster.quorum_committed_height();
+    assert!(
+        wait_for(20, || cluster.quorum_committed_height() >= height_at_kill + 3),
+        "3-of-4 cluster stalled after kill (stuck at {})",
+        cluster.quorum_committed_height()
+    );
+
+    // Phase 3: restart with a fresh state machine on the same address. It
+    // must fetch the chain it missed over TCP and catch up past the heights
+    // committed while it was dead.
+    let target = cluster.quorum_committed_height();
+    cluster.restart(victim).unwrap();
+    assert!(
+        wait_for(30, || cluster.committed_heights()[victim.0 as usize] >= target),
+        "restarted node only resynced to height {} (cluster was at {} when it rejoined)",
+        cluster.committed_heights()[victim.0 as usize],
+        target
+    );
+
+    let report = cluster.stop();
+
+    // The merged trace spans both incarnations; the NodeRestarted marker
+    // lets the checker reset the victim's baselines, and nothing any
+    // incarnation committed may conflict.
+    let summary = report.check_invariants().expect("no safety violations across restart");
+    assert_eq!(summary.restarts, 1);
+    assert!(summary.commits > 0);
+
+    // Two incarnations of the victim → 5 reports for 4 nodes.
+    assert_eq!(report.reports.len(), 5);
+
+    // The restarted incarnation re-committed blocks first committed while
+    // it was dead (resync, not just tail-following).
+    let last_victim = report
+        .reports
+        .iter()
+        .rev()
+        .find(|r| r.node == victim)
+        .expect("victim report present");
+    assert!(
+        last_victim.commits.iter().any(|c| c.block.height().0 <= height_at_kill + 3),
+        "restarted node committed nothing from the range it missed"
+    );
+}
+
+#[test]
+fn node_report_surfaces_transport_metrics() {
+    let cluster = Cluster::launch(ClusterSpec::new(4, ProtocolChoice::Simple)).unwrap();
+    assert!(
+        wait_for(20, || cluster.quorum_committed_height() >= 2),
+        "cluster never committed"
+    );
+    let report = cluster.stop();
+    for node_report in &report.reports {
+        let json = node_report.summary_json();
+        // Driver counters and per-peer + aggregate transport counters all
+        // ride in the one summary object.
+        for key in [
+            "driver.messages_handled",
+            "driver.timers_fired",
+            "driver.commits",
+            "net.total.bytes_out",
+            "net.total.bytes_in",
+            "net.total.frames_out",
+            "net.total.reconnects",
+            "net.total.dropped_frames",
+        ] {
+            assert!(json.contains(key), "summary for node {} missing {key}: {json}", node_report.node);
+        }
+        // Per-peer counters exist for some peer other than ourselves.
+        let peers = (0..4)
+            .filter(|i| NodeId(*i) != node_report.node)
+            .filter(|i| json.contains(&format!("net.peer{i}.bytes_out")))
+            .count();
+        assert!(peers > 0, "no per-peer metrics in summary for node {}", node_report.node);
+    }
+}

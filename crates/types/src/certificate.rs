@@ -18,7 +18,9 @@ use moonshot_crypto::{KeyPair, Keyring, MultiSig, MultiSigError, Signature};
 use crate::block::{Block, BlockId};
 use crate::ids::{Height, NodeId, View};
 use crate::vote::{SignedVote, Vote, VoteKind};
-use crate::wire::{WireSize, DIGEST_WIRE, ENVELOPE_WIRE, INDEX_WIRE, SIGNATURE_WIRE, U64_WIRE};
+use crate::wire::{
+    WireSize, DIGEST_WIRE, INDEX_WIRE, SIGNATURE_WIRE, TAG_WIRE, U64_WIRE, VEC_LEN_WIRE,
+};
 
 /// Errors from certificate assembly and validation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,11 +195,30 @@ impl QuorumCertificate {
     pub fn certifies(&self, block: &Block) -> bool {
         self.block_id == block.id()
     }
+
+    /// The signature aggregate backing this certificate.
+    pub fn proof(&self) -> &MultiSig {
+        &self.proof
+    }
+
+    /// Reassembles a certificate from raw fields, e.g. one decoded off the
+    /// wire. Performs **no** validation: callers that accept untrusted input
+    /// must run [`QuorumCertificate::verify`] before using the result.
+    pub fn from_parts(
+        kind: VoteKind,
+        block_id: BlockId,
+        block_height: Height,
+        view: View,
+        proof: MultiSig,
+    ) -> QuorumCertificate {
+        QuorumCertificate { kind, block_id, block_height, view, proof }
+    }
 }
 
 impl WireSize for QuorumCertificate {
     fn wire_size(&self) -> usize {
-        ENVELOPE_WIRE + DIGEST_WIRE + U64_WIRE * 2 + self.proof.wire_size()
+        // kind tag + block id + height + view + proof.
+        TAG_WIRE + DIGEST_WIRE + U64_WIRE * 2 + self.proof.wire_size()
     }
 }
 
@@ -302,11 +323,13 @@ impl SignedTimeout {
 
 impl WireSize for SignedTimeout {
     fn wire_size(&self) -> usize {
-        ENVELOPE_WIRE
-            + U64_WIRE
+        // view + optional signed lock view + sender + signature + optional
+        // lock certificate (each option is a presence byte plus its value).
+        U64_WIRE
+            + self.content.lock_view.map_or(TAG_WIRE, |_| TAG_WIRE + U64_WIRE)
             + INDEX_WIRE
             + SIGNATURE_WIRE
-            + self.lock.as_ref().map_or(1, |qc| 1 + qc.wire_size())
+            + self.lock.as_ref().map_or(TAG_WIRE, |qc| TAG_WIRE + qc.wire_size())
     }
 }
 
@@ -442,16 +465,40 @@ impl TimeoutCertificate {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The raw timeout entries, in assembly order.
+    pub fn entries(&self) -> &[TimeoutEntry] {
+        &self.entries
+    }
+
+    /// Reassembles a TC from raw fields, e.g. decoded off the wire. Performs
+    /// **no** validation: callers that accept untrusted input must run
+    /// [`TimeoutCertificate::verify`] before using the result.
+    pub fn from_parts(
+        view: View,
+        entries: Vec<TimeoutEntry>,
+        high_qc: Option<QuorumCertificate>,
+    ) -> TimeoutCertificate {
+        TimeoutCertificate { view, entries, high_qc }
+    }
+}
+
+impl WireSize for TimeoutEntry {
+    fn wire_size(&self) -> usize {
+        INDEX_WIRE
+            + self.lock_view.map_or(TAG_WIRE, |_| TAG_WIRE + U64_WIRE)
+            + SIGNATURE_WIRE
+    }
 }
 
 impl WireSize for TimeoutCertificate {
     fn wire_size(&self) -> usize {
-        // Entries are (index, lock view, signature); the high-QC rides along
-        // in full. Linear in n even with threshold signatures (§IV).
-        ENVELOPE_WIRE
-            + U64_WIRE
-            + self.entries.len() * (INDEX_WIRE + 1 + U64_WIRE + SIGNATURE_WIRE)
-            + self.high_qc.as_ref().map_or(1, |qc| 1 + qc.wire_size())
+        // View + length-prefixed entries; the high-QC rides along in full.
+        // Linear in n even with threshold signatures (§IV).
+        U64_WIRE
+            + VEC_LEN_WIRE
+            + self.entries.iter().map(WireSize::wire_size).sum::<usize>()
+            + self.high_qc.as_ref().map_or(TAG_WIRE, |qc| TAG_WIRE + qc.wire_size())
     }
 }
 

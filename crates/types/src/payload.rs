@@ -87,8 +87,14 @@ impl Default for Payload {
 
 impl WireSize for Payload {
     fn wire_size(&self) -> usize {
-        // The digest/len metadata is negligible; payloads cost their bytes.
-        self.size() as usize
+        // Matches the moonshot-wire codec exactly: a variant tag, then for
+        // real data a u32 length + the bytes, for synthetic payloads a u64
+        // size + the content digest + `size` filler bytes (a real transport
+        // genuinely carries the payload's bytes either way).
+        match self {
+            Payload::Data(d) => 1 + 4 + d.len(),
+            Payload::Synthetic { size, .. } => 1 + 8 + 32 + *size as usize,
+        }
     }
 }
 
@@ -116,8 +122,16 @@ mod tests {
     #[test]
     fn empty_payload_is_zero_sized() {
         assert_eq!(Payload::empty().size(), 0);
-        assert_eq!(Payload::empty().wire_size(), 0);
+        // The codec still frames an empty payload: tag + u32 length.
+        assert_eq!(Payload::empty().wire_size(), 5);
         assert_eq!(Payload::empty().item_count(), 0);
+    }
+
+    #[test]
+    fn wire_size_is_bytes_plus_constant_header() {
+        let a = Payload::synthetic_bytes(1_800, 0);
+        let b = Payload::synthetic_bytes(18_000, 0);
+        assert_eq!(b.wire_size() - a.wire_size(), (18_000 - 1_800) as usize);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use moonshot_crypto::{KeyPair, Keyring, Signature};
 
 use crate::block::BlockId;
 use crate::ids::{Height, NodeId, View};
-use crate::wire::{WireSize, DIGEST_WIRE, ENVELOPE_WIRE, INDEX_WIRE, SIGNATURE_WIRE, U64_WIRE};
+use crate::wire::{WireSize, DIGEST_WIRE, INDEX_WIRE, SIGNATURE_WIRE, TAG_WIRE, U64_WIRE};
 
 /// The type of a vote (and of the certificate it aggregates into).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -97,7 +97,8 @@ impl SignedVote {
 
 impl WireSize for SignedVote {
     fn wire_size(&self) -> usize {
-        ENVELOPE_WIRE + DIGEST_WIRE + U64_WIRE * 2 + INDEX_WIRE + SIGNATURE_WIRE
+        // kind tag + block id + height + view + voter + signature.
+        TAG_WIRE + DIGEST_WIRE + U64_WIRE * 2 + INDEX_WIRE + SIGNATURE_WIRE
     }
 }
 
@@ -150,7 +151,9 @@ impl SignedCommitVote {
 
 impl WireSize for SignedCommitVote {
     fn wire_size(&self) -> usize {
-        ENVELOPE_WIRE + DIGEST_WIRE + U64_WIRE * 2 + INDEX_WIRE + SIGNATURE_WIRE
+        // block id + height + view + voter + signature (the message-level
+        // type tag already says "commit vote"; no inner discriminant).
+        DIGEST_WIRE + U64_WIRE * 2 + INDEX_WIRE + SIGNATURE_WIRE
     }
 }
 

@@ -3,10 +3,16 @@
 //! The simulator's bandwidth model and the paper's modified partially
 //! synchronous model (§V) distinguish *small* messages (votes, ρ) from
 //! *large* messages (block proposals, β). Every protocol message reports its
-//! approximate serialized size through [`WireSize`]; delivery latency then
-//! grows with size exactly as it would on a real link.
+//! serialized size through [`WireSize`]; delivery latency then grows with
+//! size exactly as it would on a real link.
+//!
+//! Since the `moonshot-wire` codec exists, these numbers are no longer
+//! approximations: `wire_size()` is defined to equal the exact length of the
+//! message's binary encoding (`moonshot-wire` property-tests the equality for
+//! every message type), so the DES bandwidth model charges for precisely the
+//! bytes a real TCP link would carry.
 
-/// Approximate serialized size of a message in bytes.
+/// Exact serialized size of a message in bytes.
 pub trait WireSize {
     /// Serialized size in bytes.
     fn wire_size(&self) -> usize;
@@ -20,7 +26,13 @@ pub const SIGNATURE_WIRE: usize = 64;
 pub const U64_WIRE: usize = 8;
 /// Size of a node / signer index on the wire.
 pub const INDEX_WIRE: usize = 2;
-/// Fixed per-message envelope overhead (type tag, lengths, framing).
+/// Size of a one-byte discriminant (enum tags, `Option` presence flags).
+pub const TAG_WIRE: usize = 1;
+/// Size of a `Vec` length prefix.
+pub const VEC_LEN_WIRE: usize = 4;
+/// Fixed per-message frame header: magic (4) + version (1) + type tag (1) +
+/// flags (2) + body length (4) + body CRC-32 (4). Applied exactly once per
+/// top-level message; nested structs carry no envelope of their own.
 pub const ENVELOPE_WIRE: usize = 16;
 
 impl<T: WireSize> WireSize for Option<T> {

@@ -1,0 +1,329 @@
+//! The encoding substrate: a byte-appending [`Encoder`], a bounds-checked
+//! [`Decoder`] cursor, and the [`Encode`]/[`Decode`] traits.
+//!
+//! All integers are little-endian. `Option<T>` is a presence byte (0/1)
+//! followed by the value; vectors are a `u32` element count followed by the
+//! elements. The decoder never reads past its input, never panics on
+//! malformed bytes, and bounds every length-driven allocation by the bytes
+//! actually remaining — a corrupt length field cannot force a huge
+//! allocation.
+
+use std::fmt;
+
+/// Errors surfaced by decoding (and framing, which reuses them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A frame's magic bytes did not match.
+    BadMagic,
+    /// The frame's protocol version is not understood.
+    UnsupportedVersion(u8),
+    /// The frame or a value carried an unknown type tag.
+    UnknownTag(u8),
+    /// The declared body length exceeds the frame cap.
+    FrameTooLarge {
+        /// Declared body length.
+        declared: usize,
+        /// Maximum accepted body length.
+        cap: usize,
+    },
+    /// The body's CRC-32 did not match the header.
+    ChecksumMismatch,
+    /// The body decoded, but bytes were left over.
+    TrailingBytes(usize),
+    /// A structurally invalid value (context in the message).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown type tag {t}"),
+            WireError::FrameTooLarge { declared, cap } => {
+                write!(f, "declared frame body {declared} exceeds cap {cap}")
+            }
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::Malformed(what) => write!(f, "malformed value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends encoded bytes to a growable buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An encoder pre-sized for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends `n` zero bytes (bulk filler, e.g. synthetic payload bodies).
+    pub fn put_zeros(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0);
+    }
+}
+
+/// A non-panicking cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless the input is fully
+    /// consumed. Call after decoding a complete top-level value.
+    pub fn expect_exhausted(&self) -> Result<(), WireError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a length prefix that claims `count` elements of at least
+    /// `min_element_size` bytes each, rejecting counts the remaining input
+    /// cannot possibly satisfy — the guard that keeps corrupt length fields
+    /// from driving allocations past the frame size.
+    pub fn get_count(&mut self, min_element_size: usize) -> Result<usize, WireError> {
+        let count = self.get_u32()? as usize;
+        if count.saturating_mul(min_element_size.max(1)) > self.remaining() {
+            return Err(WireError::Malformed("length prefix exceeds remaining bytes"));
+        }
+        Ok(count)
+    }
+
+    /// Reads an option's presence byte: `Ok(true)` = value follows.
+    pub fn get_presence(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// A value with a canonical binary encoding.
+pub trait Encode {
+    /// Appends this value's encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+}
+
+/// A value decodable from its canonical binary encoding.
+pub trait Decode: Sized {
+    /// Decodes one value, advancing the cursor past it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input; the cursor position is then
+    /// unspecified and the decode must be abandoned.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError>;
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        dec.get_u64()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        if dec.get_presence()? {
+            Ok(Some(T::decode(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u16(0xBEEF);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX - 1);
+        let bytes = enc.finish();
+        assert_eq!(bytes.len(), 1 + 2 + 4 + 8);
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(dec.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 1);
+        assert!(dec.expect_exhausted().is_ok());
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut dec = Decoder::new(&[1, 2, 3]);
+        assert_eq!(dec.get_u64().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn option_roundtrip_and_bad_tag() {
+        let some = Some(42u64).to_wire_bytes();
+        assert_eq!(Option::<u64>::decode(&mut Decoder::new(&some)).unwrap(), Some(42));
+        let none = None::<u64>.to_wire_bytes();
+        assert_eq!(Option::<u64>::decode(&mut Decoder::new(&none)).unwrap(), None);
+        let bad = [9u8];
+        assert_eq!(
+            Option::<u64>::decode(&mut Decoder::new(&bad)).unwrap_err(),
+            WireError::UnknownTag(9)
+        );
+    }
+
+    #[test]
+    fn count_guard_rejects_absurd_lengths() {
+        // Claims 2^32-1 entries of ≥ 66 bytes with 4 bytes remaining.
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX);
+        enc.put_u32(0);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_count(66), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let dec = {
+            let mut d = Decoder::new(&[1, 2, 3]);
+            let _ = d.get_u8();
+            d
+        };
+        assert_eq!(dec.expect_exhausted().unwrap_err(), WireError::TrailingBytes(2));
+    }
+}

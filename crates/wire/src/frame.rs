@@ -1,0 +1,344 @@
+//! The frame envelope and stream framing.
+//!
+//! Every top-level message travels in one frame:
+//!
+//! ```text
+//! magic "MSHT" (4) | version (1) | type tag (1) | flags (2) |
+//! body length (4, LE) | body CRC-32 (4, LE) | body …
+//! ```
+//!
+//! The 16-byte header is exactly
+//! [`ENVELOPE_WIRE`](moonshot_types::wire::ENVELOPE_WIRE), which is how
+//! `Message::wire_size` equals the encoded frame length byte-for-byte.
+//!
+//! [`FrameReader`] turns a TCP byte stream back into frames incrementally.
+//! It validates the header (magic, version, declared length against the
+//! cap) as soon as 16 bytes are buffered — before waiting for the body — so
+//! a corrupt or hostile stream is rejected without buffering anything close
+//! to the declared length.
+
+use moonshot_consensus::Message;
+use moonshot_types::wire::ENVELOPE_WIRE;
+use moonshot_types::NodeId;
+
+use crate::codec::{Decode, Decoder, Encode, Encoder, WireError};
+use crate::messages::{decode_message_body, encode_message_body, message_tag};
+
+/// Leading bytes of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"MSHT";
+
+/// Current wire-format version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Bytes in the fixed frame header.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+// The header IS the envelope the byte-accounting layer charges for.
+const _: () = assert!(FRAME_HEADER_LEN == ENVELOPE_WIRE);
+
+/// Largest accepted frame body. Proposals carry whole payloads (the paper's
+/// experiments go up to ~9 MB per block), so the cap is generous — but it is
+/// a hard bound: a declared length above it fails before any buffering.
+pub const MAX_FRAME_BODY: usize = 16 * 1024 * 1024;
+
+/// Type tag for the transport [`Frame::Hello`] preamble. Consensus messages
+/// use tags 0..=11; transport-level frames start at 0x40.
+pub const TAG_HELLO: u8 = 0x40;
+
+/// A top-level frame: either the transport handshake or a consensus message.
+// Frames are decoded and consumed immediately, never stored in bulk, so the
+// Hello/Consensus size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection preamble: the dialing node identifies itself.
+    Hello {
+        /// The sender's node id.
+        node: NodeId,
+    },
+    /// A consensus protocol message.
+    Consensus(Message),
+}
+
+/// A parsed frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Wire-format version (must equal [`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Frame type tag.
+    pub tag: u8,
+    /// Reserved flag bits (currently always zero).
+    pub flags: u16,
+    /// Body length in bytes.
+    pub body_len: usize,
+    /// CRC-32 (IEEE) of the body.
+    pub crc: u32,
+}
+
+impl FrameHeader {
+    /// Parses and validates a header from the decoder, enforcing `cap` on
+    /// the declared body length.
+    pub fn parse(dec: &mut Decoder<'_>, cap: usize) -> Result<FrameHeader, WireError> {
+        if dec.take(4)? != FRAME_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = dec.get_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let tag = dec.get_u8()?;
+        let flags = dec.get_u16()?;
+        let body_len = dec.get_u32()? as usize;
+        if body_len > cap {
+            return Err(WireError::FrameTooLarge { declared: body_len, cap });
+        }
+        let crc = dec.get_u32()?;
+        Ok(FrameHeader { version, tag, flags, body_len, crc })
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn seal(tag: u8, body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME_BODY, "frame body exceeds cap");
+    let mut enc = Encoder::with_capacity(FRAME_HEADER_LEN + body.len());
+    enc.put_bytes(&FRAME_MAGIC);
+    enc.put_u8(PROTOCOL_VERSION);
+    enc.put_u8(tag);
+    enc.put_u16(0); // flags
+    enc.put_u32(body.len() as u32);
+    enc.put_u32(crc32(&body));
+    enc.put_bytes(&body);
+    enc.finish()
+}
+
+/// Encodes a consensus message into one complete frame. The result's length
+/// equals `msg.wire_size()`.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut body = Encoder::new();
+    encode_message_body(msg, &mut body);
+    seal(message_tag(msg), body.finish())
+}
+
+/// Encodes any frame (handshake or consensus) into bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Hello { node } => {
+            let mut body = Encoder::new();
+            node.encode(&mut body);
+            seal(TAG_HELLO, body.finish())
+        }
+        Frame::Consensus(msg) => encode_message(msg),
+    }
+}
+
+fn decode_body(tag: u8, body: &[u8]) -> Result<Frame, WireError> {
+    let mut dec = Decoder::new(body);
+    let frame = if tag == TAG_HELLO {
+        Frame::Hello { node: NodeId::decode(&mut dec)? }
+    } else {
+        Frame::Consensus(decode_message_body(tag, &mut dec)?)
+    };
+    dec.expect_exhausted()?;
+    Ok(frame)
+}
+
+/// Decodes exactly one frame from `bytes`, rejecting trailing input. For
+/// byte streams carrying many frames use [`FrameReader`].
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let header = FrameHeader::parse(&mut dec, MAX_FRAME_BODY)?;
+    let body = dec.take(header.body_len)?;
+    dec.expect_exhausted()?;
+    if crc32(body) != header.crc {
+        return Err(WireError::ChecksumMismatch);
+    }
+    decode_body(header.tag, body)
+}
+
+/// Incremental frame extraction from a byte stream.
+///
+/// Feed raw reads with [`extend`](FrameReader::extend), then drain complete
+/// frames with [`next_frame`](FrameReader::next_frame). Any error is fatal
+/// for the stream: framing is lost, so the caller must drop the connection.
+///
+/// # Examples
+///
+/// ```
+/// use moonshot_types::NodeId;
+/// use moonshot_wire::{encode_frame, Frame, FrameReader};
+///
+/// let bytes = encode_frame(&Frame::Hello { node: NodeId(3) });
+/// let mut reader = FrameReader::new();
+/// reader.extend(&bytes[..5]); // partial delivery
+/// assert_eq!(reader.next_frame().unwrap(), None);
+/// reader.extend(&bytes[5..]);
+/// assert_eq!(reader.next_frame().unwrap(), Some(Frame::Hello { node: NodeId(3) }));
+/// ```
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes before this offset are already-consumed frames.
+    start: usize,
+    cap: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// A reader enforcing the default [`MAX_FRAME_BODY`] cap.
+    pub fn new() -> Self {
+        Self::with_cap(MAX_FRAME_BODY)
+    }
+
+    /// A reader with a custom body-size cap (tests, tighter deployments).
+    pub fn with_cap(cap: usize) -> Self {
+        FrameReader { buf: Vec::new(), start: 0, cap }
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed space before growing, so the buffer stays bounded
+        // by one partial frame plus one read's worth of bytes.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed. Errors are fatal: the stream's framing can no longer be
+    /// trusted and the connection should be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        // Validate the header before waiting for the body: an over-cap or
+        // corrupt declared length fails here, not after buffering it.
+        let mut dec = Decoder::new(pending);
+        let header = FrameHeader::parse(&mut dec, self.cap)?;
+        if dec.remaining() < header.body_len {
+            return Ok(None);
+        }
+        let body = dec.take(header.body_len)?;
+        if crc32(body) != header.crc {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let frame = decode_body(header.tag, body)?;
+        self.start += FRAME_HEADER_LEN + header.body_len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moonshot_types::{Block, Payload, View, WireSize};
+
+    fn sample_message() -> Message {
+        let block =
+            Block::build(View(2), NodeId(1), &Block::genesis(), Payload::synthetic_items(4, 2));
+        Message::OptPropose { view: View(2), block }
+    }
+
+    #[test]
+    fn frame_length_equals_wire_size() {
+        let msg = sample_message();
+        assert_eq!(encode_message(&msg).len(), msg.wire_size());
+    }
+
+    #[test]
+    fn checksum_detects_body_corruption() {
+        let mut bytes = encode_message(&sample_message());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(decode_frame(&bytes), Err(WireError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = encode_message(&sample_message());
+        bytes[0] = b'X';
+        assert_eq!(decode_frame(&bytes), Err(WireError::BadMagic));
+        let mut bytes = encode_message(&sample_message());
+        bytes[4] = 99;
+        assert_eq!(decode_frame(&bytes), Err(WireError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn oversize_declared_length_fails_before_body() {
+        let bytes = encode_frame(&Frame::Hello { node: NodeId(0) });
+        let mut reader = FrameReader::with_cap(1024);
+        let mut header = bytes[..FRAME_HEADER_LEN].to_vec();
+        header[8..12].copy_from_slice(&(2_000u32).to_le_bytes());
+        reader.extend(&header);
+        // Only the header has arrived; the reader must reject it already.
+        assert!(matches!(reader.next_frame(), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn reader_reassembles_across_arbitrary_splits() {
+        let frames = [
+            Frame::Hello { node: NodeId(7) },
+            Frame::Consensus(sample_message()),
+            Frame::Hello { node: NodeId(1) },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        for chunk in [1usize, 3, 7, stream.len()] {
+            let mut reader = FrameReader::new();
+            let mut out = Vec::new();
+            for piece in stream.chunks(chunk) {
+                reader.extend(piece);
+                while let Some(f) = reader.next_frame().unwrap() {
+                    out.push(f);
+                }
+            }
+            assert_eq!(out, frames);
+            assert_eq!(reader.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}
