@@ -50,9 +50,10 @@ impl VoteAggregator {
         }
         bucket.push(vote);
         if bucket.len() >= ring.quorum_threshold() {
-            // Assembly re-checks distinctness; signatures were verified on
-            // receipt, so build the proof directly.
-            let qc = QuorumCertificate::from_votes(bucket, ring).ok()?;
+            // Signatures were verified on receipt, so assembly only
+            // re-checks structure (distinctness, matching content, quorum)
+            // and performs no cryptography — this runs on the driver thread.
+            let qc = QuorumCertificate::from_votes_preverified(bucket, ring).ok()?;
             self.done.insert(key);
             self.buckets.remove(&key);
             return Some(qc);
@@ -61,14 +62,15 @@ impl VoteAggregator {
     }
 
     /// Number of votes buffered for `(view, block, kind)` across all
-    /// content variants.
+    /// content variants — buckets differing only in claimed height (which a
+    /// Byzantine voter can fabricate) are summed, so this measures the total
+    /// buffering cost of the key, not any single bucket's progress.
     pub fn count(&self, view: View, block: BlockId, kind: VoteKind) -> usize {
         self.buckets
             .iter()
             .filter(|(k, _)| k.view == view && k.block_id == block && k.kind == kind)
             .map(|(_, v)| v.len())
-            .max()
-            .unwrap_or(0)
+            .sum()
     }
 
     /// Drops state for views before `view`.
@@ -123,7 +125,9 @@ impl TimeoutAggregator {
             progress.amplify = true;
         }
         if bucket.len() >= ring.quorum_threshold() {
-            if let Ok(tc) = TimeoutCertificate::from_timeouts(bucket, ring) {
+            // Structure-only assembly: each timeout's signature and lock
+            // were verified on receipt (see `VoteAggregator::add`).
+            if let Ok(tc) = TimeoutCertificate::from_timeouts_preverified(bucket, ring) {
                 self.done.insert(view);
                 self.buckets.remove(&view);
                 progress.certificate = Some(tc);
@@ -353,10 +357,35 @@ mod tests {
         agg.add(sv, &ring());
         agg.add(vote(1, VoteKind::Normal, &b), &ring());
         agg.add(vote(2, VoteKind::Normal, &b), &ring());
-        // The honest bucket holds only the 2 well-formed votes...
-        assert_eq!(agg.count(b.view(), b.id(), VoteKind::Normal), 2);
-        // ...and completing it still yields a certificate.
+        // count sums across content variants: 1 poisoned + 2 well-formed.
+        assert_eq!(agg.count(b.view(), b.id(), VoteKind::Normal), 3);
+        // The poisoned vote never reaches the honest bucket, so completing
+        // it still yields a certificate at the true height.
         let qc = agg.add(vote(3, VoteKind::Normal, &b), &ring()).unwrap();
         assert_eq!(qc.block_height(), b.height());
+    }
+
+    #[test]
+    fn count_sums_across_two_poisoned_variants() {
+        // Two Byzantine voters claim two *different* wrong heights for the
+        // same (view, block, kind): three buckets exist, and count reports
+        // the total buffered votes, not the largest bucket.
+        let mut agg = VoteAggregator::new();
+        let b = block();
+        for (i, h) in [(0u16, 7u64), (1, 8)] {
+            let poisoned = Vote {
+                kind: VoteKind::Normal,
+                block_id: b.id(),
+                block_height: Height(h),
+                view: b.view(),
+            };
+            agg.add(SignedVote::sign(poisoned, NodeId(i), &kp(i)), &ring());
+        }
+        agg.add(vote(2, VoteKind::Normal, &b), &ring());
+        agg.add(vote(3, VoteKind::Normal, &b), &ring());
+        // max over buckets would report 2; the sum is 1 + 1 + 2 = 4.
+        assert_eq!(agg.count(b.view(), b.id(), VoteKind::Normal), 4);
+        // Other keys are unaffected.
+        assert_eq!(agg.count(b.view(), b.id(), VoteKind::Optimistic), 0);
     }
 }

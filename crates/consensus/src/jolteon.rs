@@ -31,6 +31,7 @@ use crate::chainstate::{ChainState, CommitRule};
 use crate::sync::{self, BlockFetcher};
 use crate::message::Message;
 use crate::protocol::{ConsensusProtocol, NodeConfig, Output, TimerToken};
+use crate::verify::PreVerified;
 
 /// How many rounds of vote/timeout state to retain behind the current round.
 const GC_MARGIN: u64 = 4;
@@ -154,7 +155,7 @@ impl Jolteon {
         {
             return;
         }
-        if self.cfg.verify_signatures && qc.verify(&self.cfg.keyring).is_err() {
+        if !self.cfg.check_qc(qc) {
             return;
         }
         let reg = self.chain.register_qc(qc);
@@ -169,7 +170,7 @@ impl Jolteon {
     }
 
     fn on_tc(&mut self, tc: &TimeoutCertificate, verify: bool, now: SimTime, out: &mut Vec<Output>) {
-        if verify && self.cfg.verify_signatures && tc.verify(&self.cfg.keyring).is_err() {
+        if verify && !self.cfg.check_tc(tc) {
             return;
         }
         if let Some(qc) = tc.high_qc() {
@@ -247,6 +248,7 @@ impl Jolteon {
 
     fn gc(&mut self) {
         let horizon = View(self.round.0.saturating_sub(GC_MARGIN));
+        self.cfg.verified_cache.gc_below(horizon.0);
         self.votes.gc(horizon);
         self.timeouts.gc(horizon);
         self.chain.gc(horizon);
@@ -334,7 +336,7 @@ impl Jolteon {
         now: SimTime,
         out: &mut Vec<Output>,
     ) {
-        if self.cfg.verify_signatures && tc.verify(&self.cfg.keyring).is_err() {
+        if !self.cfg.check_tc(&tc) {
             return;
         }
         self.on_qc(&justify.clone(), now, out);
@@ -378,7 +380,7 @@ impl Jolteon {
     }
 
     fn on_timeout_msg(&mut self, st: SignedTimeout, now: SimTime, out: &mut Vec<Output>) {
-        if self.cfg.verify_signatures && !st.verify(&self.cfg.keyring) {
+        if !self.cfg.check_timeout(&st) {
             return;
         }
         if let Some(qc) = st.lock.clone() {
@@ -390,6 +392,7 @@ impl Jolteon {
             self.send_timeout(view, out);
         }
         if let Some(tc) = progress.certificate {
+            self.cfg.mark_verified_tc(&tc);
             self.on_tc(&tc, false, now, out);
         }
     }
@@ -414,10 +417,9 @@ impl ConsensusProtocol for Jolteon {
             Message::Vote(sv) => {
                 // Only the designated aggregator receives votes; aggregate
                 // and, on quorum, advance and propose.
-                if sv.vote.kind == VoteKind::Normal
-                    && (!self.cfg.verify_signatures || sv.verify(&self.cfg.keyring))
-                {
+                if sv.vote.kind == VoteKind::Normal && self.cfg.check_vote(&sv) {
                     if let Some(qc) = self.votes.add(sv, &self.cfg.keyring) {
+                        self.cfg.mark_verified_qc(&qc);
                         self.on_qc(&qc, now, &mut out);
                     }
                 }
@@ -440,6 +442,19 @@ impl ConsensusProtocol for Jolteon {
             | Message::Status { .. }
             | Message::CommitVote(_) => {}
         }
+        out
+    }
+
+    fn handle_preverified(
+        &mut self,
+        from: NodeId,
+        message: PreVerified,
+        now: SimTime,
+    ) -> Vec<Output> {
+        let saved = self.cfg.skip_inline_checks;
+        self.cfg.skip_inline_checks = true;
+        let out = self.handle_message(from, message.into_inner(), now);
+        self.cfg.skip_inline_checks = saved;
         out
     }
 

@@ -58,6 +58,7 @@ pub mod properties;
 pub mod protocol;
 pub mod simple;
 pub mod sync;
+pub mod verify;
 
 pub use jolteon::Jolteon;
 pub use leader::{LeaderElection, RoundRobin, ScheduleElection};
@@ -70,3 +71,4 @@ pub use protocol::{
 };
 pub use simple::SimpleMoonshot;
 pub use sync::{BlockFetcher, RetryPolicy};
+pub use verify::{MessageVerifier, PreVerified, VerifyError};

@@ -29,6 +29,7 @@ use crate::chainstate::ChainState;
 use crate::sync::{self, BlockFetcher};
 use crate::message::Message;
 use crate::protocol::{ConsensusProtocol, NodeConfig, Output, TimerToken};
+use crate::verify::PreVerified;
 
 /// How many views of vote/timeout state to retain behind the current view.
 const GC_MARGIN: u64 = 4;
@@ -189,7 +190,7 @@ impl PipelinedMoonshot {
         {
             return;
         }
-        if self.cfg.verify_signatures && qc.verify(&self.cfg.keyring).is_err() {
+        if !self.cfg.check_qc(qc) {
             return;
         }
         // Lock rule: adopt any higher ranked certificate, at any time.
@@ -233,7 +234,7 @@ impl PipelinedMoonshot {
     }
 
     fn on_tc(&mut self, tc: &TimeoutCertificate, verify: bool, now: SimTime, out: &mut Vec<Output>) {
-        if verify && self.cfg.verify_signatures && tc.verify(&self.cfg.keyring).is_err() {
+        if verify && !self.cfg.check_tc(tc) {
             return;
         }
         if let Some(qc) = tc.high_qc() {
@@ -330,6 +331,7 @@ impl PipelinedMoonshot {
 
     fn gc(&mut self) {
         let horizon = View(self.view.0.saturating_sub(GC_MARGIN));
+        self.cfg.verified_cache.gc_below(horizon.0);
         self.votes.gc(horizon);
         self.timeouts.gc(horizon);
         self.commit_votes.gc(horizon);
@@ -522,7 +524,7 @@ impl PipelinedMoonshot {
         now: SimTime,
         out: &mut Vec<Output>,
     ) {
-        if self.cfg.verify_signatures && tc.verify(&self.cfg.keyring).is_err() {
+        if !self.cfg.check_tc(&tc) {
             return;
         }
         // Advance View and Lock with all embedded certificates. The TC may
@@ -584,7 +586,7 @@ impl PipelinedMoonshot {
     }
 
     fn on_timeout_msg(&mut self, st: SignedTimeout, now: SimTime, out: &mut Vec<Output>) {
-        if self.cfg.verify_signatures && !st.verify(&self.cfg.keyring) {
+        if !self.cfg.check_timeout(&st) {
             return;
         }
         // Lock rule on the embedded certificate.
@@ -598,6 +600,7 @@ impl PipelinedMoonshot {
             self.send_timeout(view, out);
         }
         if let Some(tc) = progress.certificate {
+            self.cfg.mark_verified_tc(&tc);
             self.on_tc(&tc, false, now, out);
         }
     }
@@ -606,7 +609,7 @@ impl PipelinedMoonshot {
         if !self.opts.explicit_commits {
             return;
         }
-        if self.cfg.verify_signatures && !cv.verify(&self.cfg.keyring) {
+        if !self.cfg.check_commit_vote(&cv) {
             return;
         }
         let view = cv.vote.view;
@@ -643,8 +646,9 @@ impl ConsensusProtocol for PipelinedMoonshot {
                 self.on_compact_propose(from, block_id, justify, view, now, &mut out)
             }
             Message::Vote(sv) => {
-                if !self.cfg.verify_signatures || sv.verify(&self.cfg.keyring) {
+                if self.cfg.check_vote(&sv) {
                     if let Some(qc) = self.votes.add(sv, &self.cfg.keyring) {
+                        self.cfg.mark_verified_qc(&qc);
                         self.on_qc(&qc, now, &mut out);
                     }
                 }
@@ -666,6 +670,19 @@ impl ConsensusProtocol for PipelinedMoonshot {
             // embedded certificate.
             Message::Status { lock, .. } => self.on_qc(&lock, now, &mut out),
         }
+        out
+    }
+
+    fn handle_preverified(
+        &mut self,
+        from: NodeId,
+        message: PreVerified,
+        now: SimTime,
+    ) -> Vec<Output> {
+        let saved = self.cfg.skip_inline_checks;
+        self.cfg.skip_inline_checks = true;
+        let out = self.handle_message(from, message.into_inner(), now);
+        self.cfg.skip_inline_checks = saved;
         out
     }
 
@@ -750,6 +767,14 @@ impl ConsensusProtocol for CommitMoonshot {
     }
     fn handle_message(&mut self, from: NodeId, message: Message, now: SimTime) -> Vec<Output> {
         self.0.handle_message(from, message, now)
+    }
+    fn handle_preverified(
+        &mut self,
+        from: NodeId,
+        message: PreVerified,
+        now: SimTime,
+    ) -> Vec<Output> {
+        self.0.handle_preverified(from, message, now)
     }
     fn handle_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<Output> {
         self.0.handle_timer(token, now)

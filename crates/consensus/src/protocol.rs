@@ -8,12 +8,17 @@
 //! deliver messages in adversarial orders.
 
 use std::fmt;
+use std::sync::Arc;
 
-use moonshot_crypto::{KeyPair, Keyring};
+use moonshot_crypto::{KeyPair, Keyring, VerifiedCache};
 use moonshot_types::time::{SimDuration, SimTime};
-use moonshot_types::{Block, NodeId, Payload, View};
+use moonshot_types::{
+    Block, NodeId, Payload, QuorumCertificate, SignedCommitVote, SignedTimeout, SignedVote,
+    TimeoutCertificate, View,
+};
 
 use crate::message::Message;
+use crate::verify::PreVerified;
 
 /// A protocol-level timer token.
 ///
@@ -67,6 +72,21 @@ pub trait ConsensusProtocol {
 
     /// Handles a delivered message from `from`.
     fn handle_message(&mut self, from: NodeId, message: Message, now: SimTime) -> Vec<Output>;
+
+    /// Handles a message whose cryptography was already checked off-thread
+    /// (see [`crate::verify::MessageVerifier`]). The default conservatively
+    /// re-verifies by falling back to [`ConsensusProtocol::handle_message`];
+    /// protocols in this crate override it to skip their inline signature
+    /// checks, which is what lets verification legally run on reader
+    /// threads while the state transition stays on the driver.
+    fn handle_preverified(
+        &mut self,
+        from: NodeId,
+        message: PreVerified,
+        now: SimTime,
+    ) -> Vec<Output> {
+        self.handle_message(from, message.into_inner(), now)
+    }
 
     /// Handles an expired timer. Stale tokens must be ignored.
     fn handle_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<Output>;
@@ -134,6 +154,17 @@ pub struct NodeConfig {
     pub verify_signatures: bool,
     /// Retry behaviour for block fetches (see [`crate::sync::RetryPolicy`]).
     pub fetch_retry: crate::sync::RetryPolicy,
+    /// The cache of already-verified certificate digests, shared with any
+    /// off-thread [`crate::verify::MessageVerifier`] so a certificate
+    /// checked on a reader thread is a cache hit everywhere else.
+    pub verified_cache: Arc<VerifiedCache>,
+    /// While `true`, the `check_*` helpers pass unconditionally. Set (and
+    /// restored) by [`ConsensusProtocol::handle_preverified`] overrides
+    /// around a state transition whose message already cleared an
+    /// off-thread [`crate::verify::MessageVerifier`]. Unlike flipping
+    /// [`NodeConfig::verify_signatures`], this leaves certificate *marking*
+    /// active, so locally assembled certificates still land in the cache.
+    pub skip_inline_checks: bool,
 }
 
 impl NodeConfig {
@@ -148,6 +179,57 @@ impl NodeConfig {
             payloads: PayloadSource::Empty,
             verify_signatures: true,
             fetch_retry: crate::sync::RetryPolicy::auto(),
+            verified_cache: Arc::new(VerifiedCache::default()),
+            skip_inline_checks: false,
+        }
+    }
+
+    /// Whether the inline `check_*` helpers should actually verify: not
+    /// when verification is globally off, and not while handling a message
+    /// that already cleared an off-thread verifier.
+    fn inline_checks(&self) -> bool {
+        self.verify_signatures && !self.skip_inline_checks
+    }
+
+    /// Checks a quorum certificate through the verified-certificate cache.
+    /// Always true when signature verification is disabled.
+    pub fn check_qc(&self, qc: &QuorumCertificate) -> bool {
+        !self.inline_checks() || qc.verify_cached(&self.keyring, &self.verified_cache).is_ok()
+    }
+
+    /// Checks a timeout certificate through the cache.
+    pub fn check_tc(&self, tc: &TimeoutCertificate) -> bool {
+        !self.inline_checks() || tc.verify_cached(&self.keyring, &self.verified_cache).is_ok()
+    }
+
+    /// Checks a signed vote through the cache.
+    pub fn check_vote(&self, sv: &SignedVote) -> bool {
+        !self.inline_checks() || sv.verify_cached(&self.keyring, &self.verified_cache)
+    }
+
+    /// Checks a signed timeout (and its embedded lock QC) through the cache.
+    pub fn check_timeout(&self, st: &SignedTimeout) -> bool {
+        !self.inline_checks() || st.verify_cached(&self.keyring, &self.verified_cache)
+    }
+
+    /// Checks a signed commit vote through the cache.
+    pub fn check_commit_vote(&self, cv: &SignedCommitVote) -> bool {
+        !self.inline_checks() || cv.verify_cached(&self.keyring, &self.verified_cache)
+    }
+
+    /// Records a locally assembled QC as verified. Certificates built from
+    /// individually checked votes need no raw verification, but inserting
+    /// them keeps later deliveries of the same certificate cache hits.
+    pub fn mark_verified_qc(&self, qc: &QuorumCertificate) {
+        if self.verify_signatures && !qc.is_genesis() {
+            self.verified_cache.insert(qc.cache_key(), qc.view().0);
+        }
+    }
+
+    /// Records a locally assembled TC as verified.
+    pub fn mark_verified_tc(&self, tc: &TimeoutCertificate) {
+        if self.verify_signatures {
+            self.verified_cache.insert(tc.cache_key(), tc.view().0);
         }
     }
 

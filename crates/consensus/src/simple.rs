@@ -28,6 +28,7 @@ use crate::chainstate::ChainState;
 use crate::sync::{self, BlockFetcher};
 use crate::message::Message;
 use crate::protocol::{ConsensusProtocol, NodeConfig, Output, TimerToken};
+use crate::verify::PreVerified;
 
 /// How many views of vote/timeout state to retain behind the current view.
 const GC_MARGIN: u64 = 4;
@@ -152,7 +153,7 @@ impl SimpleMoonshot {
         {
             return;
         }
-        if self.cfg.verify_signatures && qc.verify(&self.cfg.keyring).is_err() {
+        if !self.cfg.check_qc(qc) {
             return;
         }
         let reg = self.chain.register_qc(qc);
@@ -172,7 +173,7 @@ impl SimpleMoonshot {
     }
 
     fn on_tc(&mut self, tc: &TimeoutCertificate, verify: bool, now: SimTime, out: &mut Vec<Output>) {
-        if verify && self.cfg.verify_signatures && tc.verify(&self.cfg.keyring).is_err() {
+        if verify && !self.cfg.check_tc(tc) {
             return;
         }
         if let Some(qc) = tc.high_qc() {
@@ -231,6 +232,7 @@ impl SimpleMoonshot {
 
     fn gc(&mut self) {
         let horizon = View(self.view.0.saturating_sub(GC_MARGIN));
+        self.cfg.verified_cache.gc_below(horizon.0);
         self.votes.gc(horizon);
         self.timeouts.gc(horizon);
         self.chain.gc(horizon);
@@ -434,7 +436,7 @@ impl SimpleMoonshot {
     }
 
     fn on_timeout_msg(&mut self, st: SignedTimeout, now: SimTime, out: &mut Vec<Output>) {
-        if self.cfg.verify_signatures && !st.verify(&self.cfg.keyring) {
+        if !self.cfg.check_timeout(&st) {
             return;
         }
         let view = st.view();
@@ -445,6 +447,7 @@ impl SimpleMoonshot {
             self.send_timeout(view, out);
         }
         if let Some(tc) = progress.certificate {
+            self.cfg.mark_verified_tc(&tc);
             self.on_tc(&tc, false, now, out);
         }
     }
@@ -477,10 +480,9 @@ impl ConsensusProtocol for SimpleMoonshot {
                 self.on_compact_propose(from, block_id, justify, view, now, &mut out)
             }
             Message::Vote(sv) => {
-                if sv.vote.kind == VoteKind::Normal
-                    && (!self.cfg.verify_signatures || sv.verify(&self.cfg.keyring))
-                {
+                if sv.vote.kind == VoteKind::Normal && self.cfg.check_vote(&sv) {
                     if let Some(qc) = self.votes.add(sv, &self.cfg.keyring) {
+                        self.cfg.mark_verified_qc(&qc);
                         self.on_qc(&qc, now, &mut out);
                     }
                 }
@@ -501,6 +503,19 @@ impl ConsensusProtocol for SimpleMoonshot {
             // Not part of Simple Moonshot.
             Message::FbPropose { .. } | Message::CommitVote(_) => {}
         }
+        out
+    }
+
+    fn handle_preverified(
+        &mut self,
+        from: NodeId,
+        message: PreVerified,
+        now: SimTime,
+    ) -> Vec<Output> {
+        let saved = self.cfg.skip_inline_checks;
+        self.cfg.skip_inline_checks = true;
+        let out = self.handle_message(from, message.into_inner(), now);
+        self.cfg.skip_inline_checks = saved;
         out
     }
 

@@ -1,0 +1,320 @@
+//! Off-thread message verification: the `PreVerified` seam.
+//!
+//! Protocol state transitions in this crate are cheap — the expensive part
+//! of `handle_message` is checking signatures on votes, timeouts and the
+//! certificates embedded in proposals. That check is *pure*: it needs the
+//! PKI and the verified-certificate cache, but no protocol state. This
+//! module splits it out so it can legally run on the transport's per-peer
+//! reader threads (or any verify pool), handing the driver thread only
+//! messages wrapped in [`PreVerified`].
+//!
+//! The contract: a [`PreVerified`] value is only constructed by
+//! [`MessageVerifier::verify`] after every signature in the message checked
+//! out, or by [`PreVerified::trusted`] for messages that need no check
+//! (loopback copies of messages this node itself signed). Protocols accept
+//! it via [`ConsensusProtocol::handle_preverified`] and skip their inline
+//! crypto, so a correctly wired runtime performs **zero** signature
+//! verifications on the driver thread.
+//!
+//! The verifier shares its [`VerifiedCache`] with the protocol's
+//! [`NodeConfig`](crate::NodeConfig), so a certificate checked on one
+//! reader thread is a cache hit on every other thread — each unique QC/TC
+//! costs one raw multisig verification per node, total.
+//!
+//! [`ConsensusProtocol::handle_preverified`]: crate::ConsensusProtocol::handle_preverified
+
+use std::fmt;
+use std::sync::Arc;
+
+use moonshot_crypto::{Keyring, VerifiedCache};
+
+use crate::message::Message;
+use crate::protocol::NodeConfig;
+
+/// A message whose cryptography has already been checked.
+///
+/// Deliberately opaque: the only ways in are [`MessageVerifier::verify`]
+/// and [`PreVerified::trusted`], which keeps "was this verified?" a type
+/// system question instead of a runtime flag.
+#[derive(Clone, Debug)]
+pub struct PreVerified(Message);
+
+impl PreVerified {
+    /// Wraps a message that needs no verification: one this node generated
+    /// itself (loopback copies of its own multicasts) or one from a context
+    /// where verification is disabled.
+    pub fn trusted(message: Message) -> PreVerified {
+        PreVerified(message)
+    }
+
+    /// The wrapped message.
+    pub fn message(&self) -> &Message {
+        &self.0
+    }
+
+    /// Unwraps the message.
+    pub fn into_inner(self) -> Message {
+        self.0
+    }
+}
+
+/// Why a message failed verification. The offending message is dropped —
+/// a Byzantine sender can always produce garbage, so there is nothing to
+/// do but count it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A vote, timeout or commit-vote signature failed.
+    BadSignature(&'static str),
+    /// An embedded or standalone certificate failed to verify.
+    BadCertificate(&'static str),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadSignature(what) => write!(f, "invalid signature on {what}"),
+            VerifyError::BadCertificate(what) => write!(f, "invalid certificate in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies messages against the PKI, routing certificates through a
+/// shared [`VerifiedCache`]. `Send + Sync`: one instance serves every
+/// reader thread of a node.
+#[derive(Clone, Debug)]
+pub struct MessageVerifier {
+    ring: Keyring,
+    cache: Arc<VerifiedCache>,
+    enabled: bool,
+}
+
+impl MessageVerifier {
+    /// A verifier over `ring`, sharing `cache` with the protocol. With
+    /// `enabled = false`, [`MessageVerifier::verify`] waves everything
+    /// through — the hook for experiments that disable cryptography.
+    pub fn new(ring: Keyring, cache: Arc<VerifiedCache>, enabled: bool) -> MessageVerifier {
+        MessageVerifier { ring, cache, enabled }
+    }
+
+    /// A verifier wired to `cfg`'s keyring, cache and `verify_signatures`
+    /// flag — the one-liner the node runtime uses.
+    pub fn for_config(cfg: &NodeConfig) -> MessageVerifier {
+        MessageVerifier::new(
+            cfg.keyring.clone(),
+            cfg.verified_cache.clone(),
+            cfg.verify_signatures,
+        )
+    }
+
+    /// Whether verification is actually performed.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Checks every signature in `message` and wraps it on success.
+    ///
+    /// Block *content* (hash links, payload digests) is not checked here —
+    /// that is protocol state validation and stays in the state machine.
+    ///
+    /// # Errors
+    ///
+    /// The first failing signature or certificate; the caller drops the
+    /// message and should count the event.
+    pub fn verify(&self, message: Message) -> Result<PreVerified, VerifyError> {
+        if !self.enabled {
+            return Ok(PreVerified(message));
+        }
+        let ring = &self.ring;
+        let cache = &self.cache;
+        match &message {
+            // Optimistic proposals carry no certificate: the block's vote
+            // eligibility is protocol state, not cryptography.
+            Message::OptPropose { .. } => {}
+            Message::Propose { justify, .. } | Message::CompactPropose { justify, .. } => {
+                if justify.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("propose justify"));
+                }
+            }
+            Message::FbPropose { justify, tc, .. } => {
+                if justify.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("fb-propose justify"));
+                }
+                if tc.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("fb-propose tc"));
+                }
+            }
+            Message::Vote(sv) => {
+                if !sv.verify_cached(ring, cache) {
+                    return Err(VerifyError::BadSignature("vote"));
+                }
+            }
+            Message::Timeout(st) => {
+                if !st.verify_cached(ring, cache) {
+                    return Err(VerifyError::BadSignature("timeout"));
+                }
+            }
+            Message::Certificate(qc) => {
+                if qc.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("certificate"));
+                }
+            }
+            Message::TimeoutCert(tc) => {
+                if tc.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("timeout-cert"));
+                }
+            }
+            Message::Status { lock, .. } => {
+                if lock.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("status lock"));
+                }
+            }
+            Message::CommitVote(cv) => {
+                if !cv.verify_cached(ring, cache) {
+                    return Err(VerifyError::BadSignature("commit-vote"));
+                }
+            }
+            // Fetches carry blocks, not signatures; responses are validated
+            // against the requested digest by the sync layer.
+            Message::BlockRequest { .. } | Message::BlockResponse { .. } => {}
+        }
+        Ok(PreVerified(message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moonshot_crypto::KeyPair;
+    use moonshot_types::{
+        Block, NodeId, Payload, QuorumCertificate, SignedTimeout, SignedVote, View, Vote,
+        VoteKind,
+    };
+
+    fn ring() -> Keyring {
+        Keyring::simulated(4)
+    }
+
+    fn verifier() -> MessageVerifier {
+        MessageVerifier::new(ring(), Arc::new(VerifiedCache::default()), true)
+    }
+
+    fn block() -> Block {
+        Block::build(View(1), NodeId(0), &Block::genesis(), Payload::empty())
+    }
+
+    fn qc_for(b: &Block) -> QuorumCertificate {
+        let votes: Vec<SignedVote> = (0..3u16)
+            .map(|i| {
+                SignedVote::sign(
+                    Vote {
+                        kind: VoteKind::Normal,
+                        block_id: b.id(),
+                        block_height: b.height(),
+                        view: b.view(),
+                    },
+                    NodeId(i),
+                    &KeyPair::from_seed(i as u64),
+                )
+            })
+            .collect();
+        QuorumCertificate::from_votes(&votes, &ring()).unwrap()
+    }
+
+    #[test]
+    fn valid_messages_pass_and_share_the_cache() {
+        let v = verifier();
+        let b = block();
+        let qc = qc_for(&b);
+        assert!(v.verify(Message::Certificate(qc.clone())).is_ok());
+        // The same QC embedded in a proposal is now a cache hit.
+        let next = Block::build(View(2), NodeId(1), &b, Payload::empty());
+        let m = Message::Propose { block: next, justify: qc, view: View(2) };
+        assert!(v.verify(m).is_ok());
+        let s = v.cache.stats();
+        assert!(s.hits >= 1, "expected a cache hit: {s:?}");
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn forged_vote_rejected() {
+        let v = verifier();
+        let b = block();
+        // Signed with node 2's key but claiming to be node 1.
+        let sv = SignedVote::sign(
+            Vote {
+                kind: VoteKind::Normal,
+                block_id: b.id(),
+                block_height: b.height(),
+                view: b.view(),
+            },
+            NodeId(1),
+            &KeyPair::from_seed(2),
+        );
+        assert_eq!(
+            v.verify(Message::Vote(sv)).unwrap_err(),
+            VerifyError::BadSignature("vote")
+        );
+    }
+
+    #[test]
+    fn forged_certificate_rejected_and_not_cached() {
+        let v = verifier();
+        let b = block();
+        let qc = qc_for(&b);
+        let other = Block::build(View(1), NodeId(1), &Block::genesis(), Payload::from(vec![1]));
+        let forged = QuorumCertificate::from_parts(
+            VoteKind::Normal,
+            other.id(),
+            other.height(),
+            View(1),
+            qc.proof().clone(),
+        );
+        for _ in 0..2 {
+            assert!(v.verify(Message::Certificate(forged.clone())).is_err());
+        }
+        let s = v.cache.stats();
+        assert_eq!(s.rejects, 2);
+        assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn timeout_with_mismatched_lock_rejected() {
+        let v = verifier();
+        let b = block();
+        let qc = qc_for(&b);
+        let mut st = SignedTimeout::sign(View(5), Some(qc), NodeId(0), &KeyPair::from_seed(0));
+        st.lock = Some(QuorumCertificate::genesis());
+        assert_eq!(
+            v.verify(Message::Timeout(st)).unwrap_err(),
+            VerifyError::BadSignature("timeout")
+        );
+    }
+
+    #[test]
+    fn disabled_verifier_waves_everything_through() {
+        let v = MessageVerifier::new(ring(), Arc::new(VerifiedCache::default()), false);
+        let b = block();
+        let sv = SignedVote::sign(
+            Vote {
+                kind: VoteKind::Normal,
+                block_id: b.id(),
+                block_height: b.height(),
+                view: b.view(),
+            },
+            NodeId(1),
+            &KeyPair::from_seed(2), // forged, but verification is off
+        );
+        assert!(v.verify(Message::Vote(sv)).is_ok());
+        assert_eq!(v.cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn preverified_roundtrip() {
+        let m = Message::BlockRequest { block_id: block().id() };
+        let pv = PreVerified::trusted(m.clone());
+        assert_eq!(pv.message().tag(), "block-request");
+        assert_eq!(pv.into_inner(), m);
+    }
+}

@@ -10,7 +10,10 @@
 //!   quorum arithmetic (`n`, `f`, `2f+1`, `f+1`);
 //! * [`signature`] — a keyed-hash authenticator with ED25519-compatible wire
 //!   sizes (see the module docs for the substitution rationale);
-//! * [`multisig`] — signature aggregates for block and timeout certificates.
+//! * [`multisig`] — signature aggregates for block and timeout certificates;
+//! * [`cache`] — a bounded [`cache::VerifiedCache`] of already-verified
+//!   certificate digests plus a [`cache::batch_verify`] entry point, so each
+//!   unique certificate costs one raw verification per node.
 //!
 //! # Examples
 //!
@@ -32,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod cache;
 pub mod keys;
 pub mod multisig;
 pub mod sha256;
 pub mod signature;
 
+pub use cache::{batch_verify, BatchItem, CacheStats, VerifiedCache};
 pub use keys::{KeyPair, Keyring, PublicKey, SecretKey, SignerIndex};
 pub use multisig::{MultiSig, MultiSigError};
 pub use sha256::{Digest, Sha256};

@@ -3,18 +3,28 @@
 //! ```text
 //! cluster [--n 4] [--duration-secs 10] [--delta-ms 50] [--payload 0]
 //!         [--protocol sm|pm|cm|jolteon]   # default: all four
-//!         [--out-dir results] [--min-commits 0]
+//!         [--verify both|reader|inline|off]   # default: both
+//!         [--out-dir results] [--min-commits 0] [--bench-json <path>]
 //! ```
 //!
-//! For every selected protocol this spins up an `--n`-validator cluster on
-//! loopback, lets it run for the wall-clock duration, then stops it and:
+//! Signature verification is **enabled** by default. `--verify both` runs
+//! every selected protocol twice — once verifying inline on the driver
+//! thread (the baseline) and once on the transport's reader threads with
+//! the verified-certificate cache (the fast path) — so one invocation
+//! produces the before/after comparison.
+//!
+//! For every (protocol, verify-mode) pair this spins up an
+//! `--n`-validator cluster on loopback, lets it run for the wall-clock
+//! duration, then stops it and:
 //!
 //! * replays the merged trace through the invariant checker (any safety
 //!   violation fails the run),
 //! * writes the merged trace to `<out-dir>/cluster-<label>.trace.jsonl`,
 //! * appends a row to `<out-dir>/cluster.csv` and an object to
 //!   `<out-dir>/cluster.json` with real throughput and p50/p99 commit
-//!   latency.
+//!   latency,
+//! * writes the whole comparison to `--bench-json` (default
+//!   `BENCH_cluster.json`).
 //!
 //! Exits nonzero on invariant violations or when fewer than
 //! `--min-commits` blocks were quorum-committed — which is exactly what
@@ -23,7 +33,7 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use moonshot_node::{Cluster, ClusterSpec, ProtocolChoice};
+use moonshot_node::{Cluster, ClusterSpec, ProtocolChoice, VerifyMode};
 use moonshot_telemetry::json::JsonObject;
 use moonshot_telemetry::{Histogram, JsonlSink, TraceSink};
 use moonshot_types::time::SimDuration;
@@ -33,7 +43,8 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 struct RunRow {
-    label: &'static str,
+    label: String,
+    verify: &'static str,
     committed_blocks: u64,
     blocks_per_sec: f64,
     throughput_bps: f64,
@@ -51,6 +62,7 @@ fn main() -> ExitCode {
     let payload: u64 = flag(&args, "--payload").and_then(|v| v.parse().ok()).unwrap_or(0);
     let min_commits: u64 = flag(&args, "--min-commits").and_then(|v| v.parse().ok()).unwrap_or(0);
     let out_dir = flag(&args, "--out-dir").unwrap_or_else(|| "results".into());
+    let bench_json = flag(&args, "--bench-json").unwrap_or_else(|| "BENCH_cluster.json".into());
     let protocols: Vec<ProtocolChoice> = match flag(&args, "--protocol") {
         Some(p) => match p.parse() {
             Ok(p) => vec![p],
@@ -61,6 +73,18 @@ fn main() -> ExitCode {
         },
         None => ProtocolChoice::ALL.to_vec(),
     };
+    // "both" runs inline (before) then reader (after) for each protocol, so
+    // one invocation produces the verification fast-path comparison.
+    let modes: Vec<VerifyMode> = match flag(&args, "--verify").as_deref() {
+        None | Some("both") => vec![VerifyMode::Inline, VerifyMode::Reader],
+        Some(m) => match m.parse() {
+            Ok(m) => vec![m],
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("error: cannot create {out_dir}: {e}");
@@ -70,14 +94,19 @@ fn main() -> ExitCode {
     let mut rows: Vec<RunRow> = Vec::new();
     let mut failed = false;
 
-    for protocol in protocols {
+    for (protocol, verify) in
+        protocols.iter().flat_map(|p| modes.iter().map(move |m| (*p, *m)))
+    {
+        let label = format!("{}-{}", protocol.label(), verify.label());
         eprintln!(
-            "cluster: {} n={n} delta={delta_ms}ms payload={payload}B for {duration_secs}s",
-            protocol.name()
+            "cluster: {} verify={} n={n} delta={delta_ms}ms payload={payload}B for {duration_secs}s",
+            protocol.name(),
+            verify.label()
         );
         let mut spec = ClusterSpec::new(n, protocol);
         spec.delta = SimDuration::from_millis(delta_ms);
         spec.payload_bytes = payload;
+        spec.verify = verify;
         let cluster = match Cluster::launch(spec) {
             Ok(c) => c,
             Err(e) => {
@@ -93,7 +122,7 @@ fn main() -> ExitCode {
         let elapsed = report.elapsed.as_secs_f64();
 
         // Record the merged trace so the checker can be re-run offline.
-        let trace_path = format!("{out_dir}/cluster-{}.trace.jsonl", protocol.label());
+        let trace_path = format!("{out_dir}/cluster-{label}.trace.jsonl");
         match JsonlSink::create(std::path::Path::new(&trace_path)) {
             Ok(mut sink) => {
                 for rec in &report.records {
@@ -135,13 +164,19 @@ fn main() -> ExitCode {
         let p99_ms = hist.quantile(0.99).unwrap_or(0) as f64 / 1000.0;
         let blocks_per_sec = committed as f64 / elapsed;
         let throughput_bps = (committed * payload) as f64 / elapsed;
+        let cache_hits: u64 =
+            report.reports.iter().map(|r| r.metrics.counter("verify.cache_hits")).sum();
+        let cache_misses: u64 =
+            report.reports.iter().map(|r| r.metrics.counter("verify.cache_misses")).sum();
         eprintln!(
             "  {committed} blocks quorum-committed ({blocks_per_sec:.1}/s), \
-             commit latency p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms"
+             commit latency p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms, \
+             cache {cache_hits} hits / {cache_misses} raw verifications"
         );
 
         let mut o = JsonObject::new();
         o.field_str("protocol", protocol.label());
+        o.field_str("verify", verify.label());
         o.field_u64("n", n as u64);
         o.field_u64("payload_bytes", payload);
         o.field_f64("duration_secs", elapsed);
@@ -151,6 +186,8 @@ fn main() -> ExitCode {
         o.field_f64("commit_p50_ms", p50_ms);
         o.field_f64("commit_p99_ms", p99_ms);
         o.field_u64("invariant_violations", violations);
+        o.field_u64("cache_hits", cache_hits);
+        o.field_u64("cache_misses", cache_misses);
         o.field_raw(
             "nodes",
             &moonshot_telemetry::json::array(
@@ -158,7 +195,8 @@ fn main() -> ExitCode {
             ),
         );
         rows.push(RunRow {
-            label: protocol.label(),
+            label,
+            verify: verify.label(),
             committed_blocks: committed,
             blocks_per_sec,
             throughput_bps,
@@ -171,13 +209,19 @@ fn main() -> ExitCode {
     // CSV mirrors the simulator's results/ conventions so plots can diff
     // real-cluster numbers against DES numbers.
     let mut csv = String::from(
-        "protocol,n,payload_bytes,duration_secs,committed_blocks,blocks_per_sec,\
+        "protocol,verify,n,payload_bytes,duration_secs,committed_blocks,blocks_per_sec,\
          throughput_bps,commit_p50_ms,commit_p99_ms\n",
     );
     for r in &rows {
         csv.push_str(&format!(
-            "{},{n},{payload},{duration_secs},{},{:.3},{:.3},{:.3},{:.3}\n",
-            r.label, r.committed_blocks, r.blocks_per_sec, r.throughput_bps, r.p50_ms, r.p99_ms
+            "{},{},{n},{payload},{duration_secs},{},{:.3},{:.3},{:.3},{:.3}\n",
+            r.label,
+            r.verify,
+            r.committed_blocks,
+            r.blocks_per_sec,
+            r.throughput_bps,
+            r.p50_ms,
+            r.p99_ms
         ));
     }
     let json = format!(
@@ -188,11 +232,17 @@ fn main() -> ExitCode {
         eprintln!("error: cannot write {out_dir}/cluster.csv: {e}");
         return ExitCode::FAILURE;
     }
-    if let Err(e) = std::fs::write(format!("{out_dir}/cluster.json"), json) {
+    if let Err(e) = std::fs::write(format!("{out_dir}/cluster.json"), &json) {
         eprintln!("error: cannot write {out_dir}/cluster.json: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("wrote {out_dir}/cluster.csv and {out_dir}/cluster.json");
+    // The repo-root benchmark record: the same runs, one file, so the
+    // verify-on before/after numbers are versioned alongside the code.
+    if let Err(e) = std::fs::write(&bench_json, &json) {
+        eprintln!("error: cannot write {bench_json}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_dir}/cluster.csv, {out_dir}/cluster.json and {bench_json}");
 
     if failed {
         ExitCode::FAILURE

@@ -15,7 +15,9 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use moonshot_node::{node_config, ClusterConfig, NodeHandle, ProtocolChoice, TransportConfig};
+use moonshot_node::{
+    node_config, ClusterConfig, NodeHandle, ProtocolChoice, TransportConfig, VerifyMode,
+};
 use moonshot_telemetry::{JsonlSink, NullSink, TraceSink};
 use moonshot_types::time::SimDuration;
 use moonshot_types::NodeId;
@@ -26,7 +28,8 @@ fn usage() -> ExitCode {
          moonshot-node keygen --n <validators>\n  \
          moonshot-node config --n <validators> [--base-port 7000]\n  \
          moonshot-node run --config <file> --id <n> --protocol <sm|pm|cm|jolteon>\n      \
-         [--delta-ms 50] [--payload <bytes>] [--duration-secs 0] [--trace <file.jsonl>]"
+         [--delta-ms 50] [--payload <bytes>] [--duration-secs 0] [--trace <file.jsonl>]\n      \
+         [--verify reader|inline|off]"
     );
     ExitCode::from(2)
 }
@@ -90,6 +93,14 @@ fn run(args: &[String]) -> ExitCode {
     };
     let delta_ms: u64 = flag(args, "--delta-ms").and_then(|v| v.parse().ok()).unwrap_or(50);
     let payload: u64 = flag(args, "--payload").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let verify: VerifyMode = match flag(args, "--verify").map(|v| v.parse()) {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        None => VerifyMode::default(),
+    };
     let duration_secs: u64 =
         flag(args, "--duration-secs").and_then(|v| v.parse().ok()).unwrap_or(0);
 
@@ -127,14 +138,19 @@ fn run(args: &[String]) -> ExitCode {
         None => Arc::new(Mutex::new(NullSink)) as Arc<Mutex<dyn TraceSink + Send>>,
     };
 
-    let protocol_box =
-        protocol.build(node_config(node, cluster.n(), SimDuration::from_millis(delta_ms), payload));
+    let mut node_cfg =
+        node_config(node, cluster.n(), SimDuration::from_millis(delta_ms), payload);
+    let verifier = verify.configure(&mut node_cfg);
+    let cache = node_cfg.verified_cache.clone();
+    let mut transport = TransportConfig::new(node, listen, cluster.nodes.clone());
+    transport.verifier = verifier;
     let handle = match NodeHandle::start(
-        protocol_box,
-        TransportConfig::new(node, listen, cluster.nodes.clone()),
+        protocol.build(node_cfg),
+        transport,
         None,
         Instant::now(),
         sink,
+        cache,
     ) {
         Ok(h) => h,
         Err(e) => {

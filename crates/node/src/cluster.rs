@@ -14,7 +14,7 @@ use moonshot_telemetry::{RingBufferSink, TraceEvent, TraceRecord, TraceSink};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::NodeId;
 
-use crate::config::{node_config, ProtocolChoice};
+use crate::config::{node_config, ProtocolChoice, VerifyMode};
 use crate::runtime::{NodeHandle, NodeReport, SharedSink};
 use crate::transport::TransportConfig;
 
@@ -31,11 +31,14 @@ pub struct ClusterSpec {
     pub payload_bytes: u64,
     /// Per-node trace ring capacity (records).
     pub trace_capacity: usize,
+    /// Where signature verification runs (reader threads, inline on the
+    /// driver, or nowhere).
+    pub verify: VerifyMode,
 }
 
 impl ClusterSpec {
     /// A spec with bench defaults: Δ = 50 ms, empty payloads, 64 Ki-record
-    /// trace rings.
+    /// trace rings, reader-thread verification.
     pub fn new(n: usize, protocol: ProtocolChoice) -> Self {
         ClusterSpec {
             n,
@@ -43,6 +46,7 @@ impl ClusterSpec {
             delta: SimDuration::from_millis(50),
             payload_bytes: 0,
             trace_capacity: 64 * 1024,
+            verify: VerifyMode::Reader,
         }
     }
 }
@@ -81,12 +85,18 @@ impl Cluster {
         let mut handles = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
             let id = NodeId(i as u16);
+            let mut cfg = node_config(id, spec.n, spec.delta, spec.payload_bytes);
+            let verifier = spec.verify.configure(&mut cfg);
+            let cache = cfg.verified_cache.clone();
+            let mut transport = TransportConfig::new(id, peers[i].1, peers.clone());
+            transport.verifier = verifier;
             let handle = NodeHandle::start(
-                spec.protocol.build(node_config(id, spec.n, spec.delta, spec.payload_bytes)),
-                TransportConfig::new(id, peers[i].1, peers.clone()),
+                spec.protocol.build(cfg),
+                transport,
                 Some(listener),
                 epoch,
                 sinks[i].clone() as SharedSink,
+                cache,
             )?;
             handles.push(Some(handle));
         }
@@ -140,12 +150,18 @@ impl Cluster {
             .unwrap()
             .record(TraceRecord { at, event: TraceEvent::NodeRestarted { node: id } });
         let spec = &self.spec;
+        let mut cfg = node_config(id, spec.n, spec.delta, spec.payload_bytes);
+        let verifier = spec.verify.configure(&mut cfg);
+        let cache = cfg.verified_cache.clone();
+        let mut transport = TransportConfig::new(id, self.peers[idx].1, self.peers.clone());
+        transport.verifier = verifier;
         let handle = NodeHandle::start(
-            spec.protocol.build(node_config(id, spec.n, spec.delta, spec.payload_bytes)),
-            TransportConfig::new(id, self.peers[idx].1, self.peers.clone()),
+            spec.protocol.build(cfg),
+            transport,
             None,
             self.epoch,
             self.sinks[idx].clone() as SharedSink,
+            cache,
         )?;
         self.handles[idx] = Some(handle);
         Ok(())
@@ -262,5 +278,38 @@ mod tests {
         assert!(summary.commits > 0);
         assert!(report.quorum_committed_blocks() >= 5);
         assert!(!report.commit_latencies_us().is_empty());
+    }
+
+    /// Reader-mode verification end to end: with signatures on, the
+    /// cluster must still commit; duplicate certificate deliveries must be
+    /// cache hits (each unique QC/TC costs one raw verification — the
+    /// `misses` counter — per node); and the driver must have received
+    /// only pre-verified messages, i.e. performed zero signature checks
+    /// itself.
+    #[test]
+    fn reader_verified_cluster_commits_with_cache_hits() {
+        let mut spec = ClusterSpec::new(4, ProtocolChoice::Pipelined);
+        spec.verify = VerifyMode::Reader;
+        let cluster = Cluster::launch(spec).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(20);
+        while cluster.quorum_committed_height() < 5 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let height = cluster.quorum_committed_height();
+        let report = cluster.stop();
+        assert!(height >= 5, "cluster only reached quorum height {height}");
+        report.check_invariants().expect("no safety violations");
+        for r in &report.reports {
+            let hits = r.metrics.counter("verify.cache_hits");
+            let misses = r.metrics.counter("verify.cache_misses");
+            assert!(hits > 0, "node {}: no cache hits (hits={hits} misses={misses})", r.node);
+            assert_eq!(
+                r.metrics.counter("driver.unverified_messages"),
+                0,
+                "node {}: driver handled unverified messages",
+                r.node
+            );
+            assert!(r.metrics.counter("driver.batches") > 0);
+        }
     }
 }

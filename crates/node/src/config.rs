@@ -9,10 +9,11 @@
 
 use std::net::SocketAddr;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use moonshot_consensus::{
-    CommitMoonshot, ConsensusProtocol, Jolteon, NodeConfig, PayloadSource, PipelinedMoonshot,
-    SimpleMoonshot,
+    CommitMoonshot, ConsensusProtocol, Jolteon, MessageVerifier, NodeConfig, PayloadSource,
+    PipelinedMoonshot, SimpleMoonshot,
 };
 use moonshot_crypto::KeyPair;
 use moonshot_types::time::SimDuration;
@@ -82,6 +83,66 @@ impl FromStr for ProtocolChoice {
             "cm" | "commit" | "commit-moonshot" => Ok(ProtocolChoice::Commit),
             "j" | "jolteon" => Ok(ProtocolChoice::Jolteon),
             other => Err(format!("unknown protocol {other:?} (want sm|pm|cm|jolteon)")),
+        }
+    }
+}
+
+/// Where signature verification runs for a networked node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Verify on the transport's per-peer reader threads; the driver
+    /// receives pre-verified messages and performs zero signature checks
+    /// itself. The default.
+    #[default]
+    Reader,
+    /// Verify inline on the driver thread (the pre-fast-path behaviour —
+    /// kept as the benchmark baseline).
+    Inline,
+    /// No verification anywhere (honest-cluster experiments that trade
+    /// fidelity for speed).
+    Off,
+}
+
+impl VerifyMode {
+    /// Short label for results rows (`reader`, `inline`, `off`).
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyMode::Reader => "reader",
+            VerifyMode::Inline => "inline",
+            VerifyMode::Off => "off",
+        }
+    }
+
+    /// Applies this mode to `cfg` and returns the transport verifier to
+    /// install, if any. Must run before the protocol is built (the config
+    /// is consumed by `build`).
+    pub fn configure(self, cfg: &mut NodeConfig) -> Option<Arc<MessageVerifier>> {
+        match self {
+            VerifyMode::Reader => {
+                cfg.verify_signatures = true;
+                Some(Arc::new(MessageVerifier::for_config(cfg)))
+            }
+            VerifyMode::Inline => {
+                cfg.verify_signatures = true;
+                None
+            }
+            VerifyMode::Off => {
+                cfg.verify_signatures = false;
+                None
+            }
+        }
+    }
+}
+
+impl FromStr for VerifyMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reader" => Ok(VerifyMode::Reader),
+            "inline" => Ok(VerifyMode::Inline),
+            "off" | "none" => Ok(VerifyMode::Off),
+            other => Err(format!("unknown verify mode {other:?} (want reader|inline|off)")),
         }
     }
 }

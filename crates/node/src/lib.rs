@@ -31,6 +31,6 @@ pub mod timer;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterReport, ClusterSpec};
-pub use config::{node_config, ClusterConfig, ProtocolChoice};
+pub use config::{node_config, ClusterConfig, ProtocolChoice, VerifyMode};
 pub use runtime::{NodeHandle, NodeReport, SharedSink};
 pub use transport::{Inbound, PeerMetrics, Transport, TransportConfig};

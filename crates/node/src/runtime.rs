@@ -23,7 +23,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use moonshot_consensus::{CommittedBlock, ConsensusProtocol, Output, ProtocolObserver};
+use moonshot_consensus::{CommittedBlock, ConsensusProtocol, Output, PreVerified, ProtocolObserver};
+use moonshot_crypto::VerifiedCache;
 use moonshot_telemetry::{MetricsRegistry, TraceSink};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{NodeId, View};
@@ -38,6 +39,12 @@ pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
 
 /// Longest the driver sleeps before re-checking timers and shutdown.
 const MAX_WAIT: Duration = Duration::from_millis(50);
+
+/// Most messages drained from the inbound channel per driver iteration.
+/// Bounds how long the timer sweep can be starved by a message flood while
+/// still amortizing the sweep (and the `next_deadline` probe) over a whole
+/// batch instead of paying it per message.
+const BATCH_LIMIT: usize = 256;
 
 /// What the driver thread hands back when it stops.
 #[derive(Debug)]
@@ -85,12 +92,16 @@ impl NodeHandle {
     ///
     /// `epoch` is the cluster-wide time origin; every trace timestamp is
     /// microseconds since it.
+    /// `cache` is the protocol's verified-certificate cache (clone
+    /// `NodeConfig::verified_cache` before `build` consumes the config);
+    /// the driver snapshots its hit/miss counters into the final report.
     pub fn start(
         mut protocol: Box<dyn ConsensusProtocol + Send>,
         cfg: TransportConfig,
         listener: Option<TcpListener>,
         epoch: Instant,
         sink: SharedSink,
+        cache: Arc<VerifiedCache>,
     ) -> std::io::Result<NodeHandle> {
         let node = cfg.node_id;
         let (tx, rx) = mpsc::channel::<Inbound>();
@@ -118,8 +129,11 @@ impl NodeHandle {
                         epoch,
                         commits: Vec::new(),
                         committed_height,
+                        cache,
                         messages_handled: 0,
                         timers_fired: 0,
+                        batches: 0,
+                        unverified_messages: 0,
                     };
                     run_driver(driver, &mut *protocol, rx, shutdown)
                 })
@@ -140,8 +154,9 @@ impl NodeHandle {
     }
 
     /// Injects a message as if received from `from` (tests, local clients).
+    /// Injected messages are unverified: the protocol checks them inline.
     pub fn inject(&self, from: NodeId, msg: moonshot_consensus::Message) {
-        let _ = self.inbound.send(Inbound { from, msg });
+        let _ = self.inbound.send(Inbound { from, msg, verified: false });
     }
 
     /// Stops the driver and transport, returning the final report.
@@ -161,8 +176,11 @@ struct Driver {
     epoch: Instant,
     commits: Vec<CommittedBlock>,
     committed_height: Arc<AtomicU64>,
+    cache: Arc<VerifiedCache>,
     messages_handled: u64,
     timers_fired: u64,
+    batches: u64,
+    unverified_messages: u64,
 }
 
 /// The driver loop, owning the [`Driver`] so the transport can be consumed
@@ -194,13 +212,23 @@ fn run_driver(
             }
             None => MAX_WAIT,
         };
+        // Batch-drain: after the blocking receive, pull whatever else is
+        // already queued (bounded) so one timer sweep serves the whole
+        // batch instead of running between every two messages.
         match rx.recv_timeout(wait) {
-            Ok(Inbound { from, msg }) => {
-                driver.messages_handled += 1;
-                let t = driver.now();
-                driver.observer.on_message_received(from, &msg, t, &mut driver.sink);
-                let outputs = protocol.handle_message(from, msg, t);
-                driver.process(protocol, outputs, t);
+            Ok(inbound) => {
+                driver.batches += 1;
+                driver.dispatch(protocol, inbound);
+                let mut drained = 1;
+                while drained < BATCH_LIMIT {
+                    match rx.try_recv() {
+                        Ok(inbound) => {
+                            driver.dispatch(protocol, inbound);
+                            drained += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -212,7 +240,16 @@ fn run_driver(
     metrics.incr("driver.messages_handled", driver.messages_handled);
     metrics.incr("driver.timers_fired", driver.timers_fired);
     metrics.incr("driver.commits", driver.commits.len() as u64);
+    metrics.incr("driver.batches", driver.batches);
+    metrics.incr("driver.unverified_messages", driver.unverified_messages);
     metrics.set_gauge("driver.timers_armed", driver.wheel.len() as f64);
+    let cache = driver.cache.stats();
+    metrics.incr("verify.cache_hits", cache.hits);
+    metrics.incr("verify.cache_misses", cache.misses);
+    metrics.incr("verify.cache_inserts", cache.inserts);
+    metrics.incr("verify.cache_rejects", cache.rejects);
+    metrics.incr("verify.cache_evictions", cache.evictions);
+    metrics.set_gauge("verify.cache_len", cache.len as f64);
     driver.transport.snapshot_metrics(&mut metrics);
 
     driver.transport.stop();
@@ -230,13 +267,33 @@ impl Driver {
         SimTime(self.epoch.elapsed().as_micros() as u64)
     }
 
+    /// Feeds one inbound message to the protocol. Messages the transport
+    /// already verified go through `handle_preverified` — the driver thread
+    /// itself performs no signature checks for them.
+    fn dispatch(&mut self, protocol: &mut dyn ConsensusProtocol, inbound: Inbound) {
+        let Inbound { from, msg, verified } = inbound;
+        self.messages_handled += 1;
+        let t = self.now();
+        self.observer.on_message_received(from, &msg, t, &mut self.sink);
+        let outputs = if verified {
+            protocol.handle_preverified(from, PreVerified::trusted(msg), t)
+        } else {
+            self.unverified_messages += 1;
+            protocol.handle_message(from, msg, t)
+        };
+        self.process(protocol, outputs, t);
+    }
+
     fn process(&mut self, protocol: &mut dyn ConsensusProtocol, outputs: Vec<Output>, t: SimTime) {
         self.observer.on_outputs(&outputs, protocol.current_view(), t, &mut self.sink);
         for out in outputs {
             match out {
                 Output::Send(to, msg) => {
                     if to == self.node {
-                        let _ = self.loopback.send(Inbound { from: self.node, msg });
+                        // Loopback of a self-signed message: trivially
+                        // verified.
+                        let _ =
+                            self.loopback.send(Inbound { from: self.node, msg, verified: true });
                     } else {
                         self.transport.send(to, Arc::new(encode_message(&msg)));
                     }
@@ -245,7 +302,7 @@ impl Driver {
                     // Encode once; every peer queue shares the same bytes.
                     let frame = Arc::new(encode_message(&msg));
                     self.transport.broadcast(frame);
-                    let _ = self.loopback.send(Inbound { from: self.node, msg });
+                    let _ = self.loopback.send(Inbound { from: self.node, msg, verified: true });
                 }
                 Output::SetTimer { token, after } => {
                     self.wheel.arm(t + after, token);

@@ -39,6 +39,10 @@ pub struct TimerWheel {
     /// Entries beyond the horizon, waiting to be slotted.
     overflow: Vec<(u64, TimerToken)>,
     len: usize,
+    /// Cached earliest armed deadline (µs), kept in sync by `arm`/`expire`
+    /// so the driver's per-iteration `next_deadline` probe is O(1) instead
+    /// of a scan over every slot.
+    earliest: Option<u64>,
 }
 
 impl TimerWheel {
@@ -54,6 +58,7 @@ impl TimerWheel {
             cursor: 0,
             overflow: Vec::new(),
             len: 0,
+            earliest: None,
         }
     }
 
@@ -77,6 +82,7 @@ impl TimerWheel {
     pub fn arm(&mut self, deadline: SimTime, token: TimerToken) {
         self.len += 1;
         let deadline = deadline.0;
+        self.earliest = Some(self.earliest.map_or(deadline, |e| e.min(deadline)));
         let horizon = self.granularity_us * self.slots.len() as u64;
         if deadline >= self.cursor_time + horizon {
             self.overflow.push((deadline, token));
@@ -90,16 +96,22 @@ impl TimerWheel {
         self.slots[slot].push((deadline, token));
     }
 
-    /// The earliest armed deadline, if any. Linear in armed timers, which a
-    /// consensus node keeps in the single digits.
+    /// The earliest armed deadline, if any. O(1): reads the cached minimum
+    /// maintained by [`arm`](TimerWheel::arm) and
+    /// [`expire`](TimerWheel::expire).
     pub fn next_deadline(&self) -> Option<SimTime> {
+        self.earliest.map(SimTime)
+    }
+
+    /// Recomputes the earliest deadline by scanning slots and overflow —
+    /// only needed after `expire` removed entries.
+    fn scan_earliest(&self) -> Option<u64> {
         self.slots
             .iter()
             .flatten()
             .chain(self.overflow.iter())
             .map(|(d, _)| *d)
             .min()
-            .map(SimTime)
     }
 
     /// Fires every timer with `deadline ≤ now`, earliest first, advancing
@@ -167,6 +179,13 @@ impl TimerWheel {
             self.arm(SimTime(deadline), token);
         }
 
+        // Firing entries may have carried the cached minimum; requeues went
+        // back through `arm` (which only lowers it), so a rescan is needed
+        // exactly when something fired.
+        if !due.is_empty() {
+            self.earliest = self.scan_earliest();
+        }
+
         due.sort_by_key(|(d, _)| *d);
         due.into_iter().map(|(_, t)| t).collect()
     }
@@ -229,6 +248,38 @@ mod tests {
         let _ = w.expire(SimTime(100_000)); // advance cursor
         w.arm(SimTime(1_000), vt(9)); // long past
         assert_eq!(w.expire(SimTime(100_001)), vec![vt(9)]);
+    }
+
+    /// The cached-earliest fast path must agree with a linear scan across
+    /// arbitrary interleavings of arms, expirations and clock jumps.
+    #[test]
+    fn next_deadline_matches_linear_scan_over_random_sequences() {
+        for seed in 0..8u64 {
+            let mut rng = moonshot_rng::DetRng::seed_from_u64(0x71e1 + seed);
+            let mut w = TimerWheel::new(SimDuration::from_millis(1), 32); // 32ms horizon
+            let mut now = 0u64;
+            let mut reference: Vec<u64> = Vec::new();
+            for step in 0..500u64 {
+                if rng.gen_bool(0.6) {
+                    // Arm somewhere from the past to far beyond the horizon.
+                    let deadline = now.saturating_sub(2_000) + rng.gen_below(200_000);
+                    w.arm(SimTime(deadline), vt(step));
+                    reference.push(deadline);
+                } else {
+                    now += rng.gen_below(40_000); // may jump whole rotations
+                    let fired = w.expire(SimTime(now)).len();
+                    let before = reference.len();
+                    reference.retain(|d| *d > now);
+                    assert_eq!(fired, before - reference.len(), "seed {seed} step {step}");
+                }
+                assert_eq!(
+                    w.next_deadline(),
+                    reference.iter().min().copied().map(SimTime),
+                    "seed {seed} step {step} now {now}"
+                );
+                assert_eq!(w.len(), reference.len());
+            }
+        }
     }
 
     #[test]

@@ -26,9 +26,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use moonshot_consensus::Message;
+use moonshot_consensus::{Message, MessageVerifier};
 use moonshot_telemetry::MetricsRegistry;
 use moonshot_types::NodeId;
 use moonshot_wire::{encode_frame, Frame, FrameReader};
@@ -41,6 +41,11 @@ pub struct Inbound {
     pub from: NodeId,
     /// The consensus message.
     pub msg: Message,
+    /// Whether every signature in `msg` was already checked (on a reader
+    /// thread, or trivially for loopback copies of this node's own
+    /// messages). The driver routes `verified` messages through
+    /// `handle_preverified`, skipping inline crypto.
+    pub verified: bool,
 }
 
 /// Transport configuration for one node.
@@ -58,6 +63,12 @@ pub struct TransportConfig {
     pub reconnect_base: Duration,
     /// Reconnect delay ceiling.
     pub reconnect_max: Duration,
+    /// When set, reader threads verify every decoded message before
+    /// handing it to the driver: failures are dropped (and counted in
+    /// [`PeerMetrics::verify_failures`]), successes arrive with
+    /// [`Inbound::verified`] set. When `None`, messages are delivered
+    /// unverified and the driver checks them inline.
+    pub verifier: Option<Arc<MessageVerifier>>,
 }
 
 impl TransportConfig {
@@ -71,7 +82,14 @@ impl TransportConfig {
             queue_capacity: 1024,
             reconnect_base: Duration::from_millis(100),
             reconnect_max: Duration::from_secs(5),
+            verifier: None,
         }
+    }
+
+    /// Enables off-thread verification with `verifier` (builder-style).
+    pub fn with_verifier(mut self, verifier: Arc<MessageVerifier>) -> Self {
+        self.verifier = Some(verifier);
+        self
     }
 }
 
@@ -96,6 +114,9 @@ pub struct PeerMetrics {
     pub queue_depth: AtomicU64,
     /// Frames from this peer the decoder rejected (connection then dropped).
     pub decode_errors: AtomicU64,
+    /// Messages from this peer dropped by reader-thread signature
+    /// verification (bad signature or certificate).
+    pub verify_failures: AtomicU64,
 }
 
 struct OutboundQueue {
@@ -133,14 +154,23 @@ impl OutboundQueue {
         (dropped, depth)
     }
 
-    /// Waits up to `wait` for a frame.
+    /// Waits up to `wait` for a frame. Loops on the condvar until a frame
+    /// arrives or the deadline passes — a spurious wakeup (or a notify that
+    /// raced with another consumer) must not cut the wait short.
     fn pop(&self, wait: Duration) -> Option<Arc<Vec<u8>>> {
+        let deadline = Instant::now() + wait;
         let mut inner = self.frames.lock().unwrap();
-        if inner.queue.is_empty() {
-            let (guard, _) = self.signal.wait_timeout(inner, wait).unwrap();
+        loop {
+            if let Some(frame) = inner.queue.pop_front() {
+                return Some(frame);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.signal.wait_timeout(inner, deadline - now).unwrap();
             inner = guard;
         }
-        inner.queue.pop_front()
     }
 
     fn depth(&self) -> u64 {
@@ -216,11 +246,12 @@ impl Transport {
             let readers = readers.clone();
             let inbound = inbound.clone();
             let metrics_map = peer_metrics.clone();
+            let verifier = cfg.verifier.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("accept-{}", cfg.node_id))
                     .spawn(move || {
-                        accept_loop(listener, shutdown, readers, inbound, metrics_map);
+                        accept_loop(listener, shutdown, readers, inbound, metrics_map, verifier);
                     })
                     .expect("spawn acceptor"),
             );
@@ -299,6 +330,10 @@ impl Transport {
                 &format!("net.peer{}.decode_errors", id.0),
                 m.decode_errors.load(Ordering::Relaxed),
             );
+            reg.incr(
+                &format!("net.peer{}.verify_failures", id.0),
+                m.verify_failures.load(Ordering::Relaxed),
+            );
         }
         for (i, name) in
             ["bytes_out", "frames_out", "bytes_in", "frames_in", "dropped_frames", "reconnects"]
@@ -336,6 +371,7 @@ fn accept_loop(
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     inbound: Sender<Inbound>,
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
+    verifier: Option<Arc<MessageVerifier>>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -343,9 +379,10 @@ fn accept_loop(
                 let shutdown = shutdown.clone();
                 let inbound = inbound.clone();
                 let metrics = metrics.clone();
+                let verifier = verifier.clone();
                 let handle = std::thread::Builder::new()
                     .name("read".into())
-                    .spawn(move || reader_loop(stream, shutdown, inbound, metrics))
+                    .spawn(move || reader_loop(stream, shutdown, inbound, metrics, verifier))
                     .expect("spawn reader");
                 readers.lock().unwrap().push(handle);
             }
@@ -360,6 +397,7 @@ fn reader_loop(
     shutdown: Arc<AtomicBool>,
     inbound: Sender<Inbound>,
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
+    verifier: Option<Arc<MessageVerifier>>,
 ) {
     let mut stream = stream;
     let _ = stream.set_read_timeout(Some(POLL));
@@ -403,7 +441,23 @@ fn reader_loop(
                     if let Some(m) = metrics.get(&id) {
                         m.frames_in.fetch_add(1, Ordering::Relaxed);
                     }
-                    if inbound.send(Inbound { from: id, msg }).is_err() {
+                    // Signature checking happens here, on the reader
+                    // thread, so the driver never touches ED25519. A
+                    // message that fails is Byzantine garbage: drop it,
+                    // count it, keep the connection (framing is intact).
+                    let (msg, verified) = match &verifier {
+                        Some(v) => match v.verify(msg) {
+                            Ok(pv) => (pv.into_inner(), true),
+                            Err(_) => {
+                                if let Some(m) = metrics.get(&id) {
+                                    m.verify_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                                continue;
+                            }
+                        },
+                        None => (msg, false),
+                    };
+                    if inbound.send(Inbound { from: id, msg, verified }).is_err() {
                         return; // driver gone
                     }
                 }
@@ -488,6 +542,26 @@ mod tests {
         assert_eq!((dropped, depth), (1, 2));
         assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 2); // 1 was dropped
         assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn pop_survives_spurious_wakeups_until_deadline_or_frame() {
+        let q = Arc::new(OutboundQueue::new(4));
+        let q2 = q.clone();
+        let waiter = std::thread::spawn(move || q2.pop(Duration::from_millis(500)));
+        // A notify with an empty queue (indistinguishable from a spurious
+        // wakeup on the waiter side) must not make pop return None early.
+        std::thread::sleep(Duration::from_millis(50));
+        q.signal.notify_all();
+        std::thread::sleep(Duration::from_millis(50));
+        q.push(Arc::new(vec![42]));
+        let got = waiter.join().unwrap();
+        assert_eq!(got.expect("frame after spurious wakeup")[0], 42);
+
+        // With nothing pushed, pop waits out the full deadline.
+        let start = Instant::now();
+        assert!(q.pop(Duration::from_millis(50)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(50));
     }
 
     #[test]

@@ -255,6 +255,8 @@ impl RunConfig {
             payloads,
             verify_signatures: self.verify_signatures,
             fetch_retry: moonshot_consensus::RetryPolicy::auto(),
+            verified_cache: std::sync::Arc::new(moonshot_crypto::VerifiedCache::default()),
+            skip_inline_checks: false,
         };
         match self.protocol {
             ProtocolKind::SimpleMoonshot => Box::new(SimpleMoonshot::new(cfg)),

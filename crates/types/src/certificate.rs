@@ -13,7 +13,9 @@
 
 use std::fmt;
 
-use moonshot_crypto::{KeyPair, Keyring, MultiSig, MultiSigError, Signature};
+use moonshot_crypto::{
+    Digest, KeyPair, Keyring, MultiSig, MultiSigError, Sha256, Signature, VerifiedCache,
+};
 
 use crate::block::{Block, BlockId};
 use crate::ids::{Height, NodeId, View};
@@ -136,6 +138,48 @@ impl QuorumCertificate {
         Ok(qc)
     }
 
+    /// Assembles a certificate from votes whose signatures were already
+    /// verified individually (the vote-aggregation path: protocols check
+    /// each vote before buffering it). Performs the same structural checks
+    /// as [`QuorumCertificate::from_votes`] — matching content, distinct
+    /// voters, quorum — but no signature cryptography, so it is safe on the
+    /// driver thread's hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::MismatchedVote`] if the votes disagree,
+    /// [`CertificateError::Proof`] on duplicates or below-quorum input.
+    pub fn from_votes_preverified(
+        votes: &[SignedVote],
+        ring: &Keyring,
+    ) -> Result<QuorumCertificate, CertificateError> {
+        let need = ring.quorum_threshold();
+        let first = votes
+            .first()
+            .ok_or(CertificateError::Proof(MultiSigError::BelowThreshold { have: 0, need }))?;
+        let template = first.vote;
+        let mut proof = MultiSig::new();
+        for sv in votes {
+            if sv.vote != template {
+                return Err(CertificateError::MismatchedVote);
+            }
+            proof.add(sv.voter.signer_index(), sv.signature)?;
+        }
+        if proof.len() < need {
+            return Err(CertificateError::Proof(MultiSigError::BelowThreshold {
+                have: proof.len(),
+                need,
+            }));
+        }
+        Ok(QuorumCertificate {
+            kind: template.kind,
+            block_id: template.block_id,
+            block_height: template.block_height,
+            view: template.view,
+            proof,
+        })
+    }
+
     /// Fully verifies the certificate: quorum of valid signatures over the
     /// canonical vote bytes. The genesis certificate is always valid.
     ///
@@ -154,6 +198,55 @@ impl QuorumCertificate {
         };
         self.proof.verify_quorum(ring, &vote.signing_bytes())?;
         Ok(())
+    }
+
+    /// The digest keying this certificate in a [`VerifiedCache`]. Covers the
+    /// certified content *and* the full proof bytes, so a different (e.g.
+    /// forged) proof over the same block can never alias a cached entry.
+    pub fn cache_key(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"moonshot-qc-cache");
+        h.update(&[self.kind as u8]);
+        h.update(self.block_id.as_bytes());
+        h.update(&self.block_height.0.to_le_bytes());
+        h.update(&self.view.0.to_le_bytes());
+        for (signer, sig) in self.proof.iter() {
+            h.update(&signer.to_le_bytes());
+            h.update(&sig.to_bytes());
+        }
+        h.finalize()
+    }
+
+    /// [`QuorumCertificate::verify`] routed through a [`VerifiedCache`]: a
+    /// certificate already in the cache costs one digest and a map lookup;
+    /// a miss runs the raw quorum verification and caches success. Failures
+    /// are never cached.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::Proof`] describing the first failure.
+    pub fn verify_cached(
+        &self,
+        ring: &Keyring,
+        cache: &VerifiedCache,
+    ) -> Result<(), CertificateError> {
+        if self.is_genesis() {
+            return Ok(());
+        }
+        let key = self.cache_key();
+        if cache.contains(&key) {
+            return Ok(());
+        }
+        match self.verify(ring) {
+            Ok(()) => {
+                cache.insert(key, self.view.0);
+                Ok(())
+            }
+            Err(e) => {
+                cache.note_rejected();
+                Err(e)
+            }
+        }
     }
 
     /// Whether this is the implicit genesis certificate.
@@ -315,6 +408,26 @@ impl SignedTimeout {
         }
     }
 
+    /// [`SignedTimeout::verify`] with the embedded lock certificate routed
+    /// through a [`VerifiedCache`]. The timeout's own signature is always
+    /// checked raw (each node sends at most one timeout per view, so there
+    /// is nothing to cache), but the attached lock QC is usually one the
+    /// node has already seen.
+    pub fn verify_cached(&self, ring: &Keyring, cache: &VerifiedCache) -> bool {
+        if !ring.verify(
+            self.sender.signer_index(),
+            &self.content.signing_bytes(),
+            &self.signature,
+        ) {
+            return false;
+        }
+        match (&self.content.lock_view, &self.lock) {
+            (None, None) => true,
+            (Some(v), Some(qc)) => *v == qc.view() && qc.verify_cached(ring, cache).is_ok(),
+            _ => false,
+        }
+    }
+
     /// The view being timed out.
     pub fn view(&self) -> View {
         self.content.view
@@ -403,6 +516,49 @@ impl TimeoutCertificate {
         Ok(tc)
     }
 
+    /// Assembles a TC from timeouts that were already verified individually
+    /// (the timeout-aggregation path). Performs the structural checks —
+    /// same view, distinct senders, quorum, highest-lock extraction — but
+    /// no signature cryptography.
+    ///
+    /// # Errors
+    ///
+    /// Fails on below-quorum input, duplicate senders or mismatched views.
+    pub fn from_timeouts_preverified(
+        timeouts: &[SignedTimeout],
+        ring: &Keyring,
+    ) -> Result<TimeoutCertificate, CertificateError> {
+        let need = ring.quorum_threshold();
+        let first = timeouts
+            .first()
+            .ok_or(CertificateError::BelowThreshold { have: 0, need })?;
+        let view = first.view();
+        let mut entries: Vec<TimeoutEntry> = Vec::with_capacity(timeouts.len());
+        let mut high_qc: Option<QuorumCertificate> = None;
+        for t in timeouts {
+            if t.view() != view {
+                return Err(CertificateError::MismatchedVote);
+            }
+            if entries.iter().any(|e| e.sender == t.sender) {
+                return Err(CertificateError::DuplicateSigner(t.sender));
+            }
+            entries.push(TimeoutEntry {
+                sender: t.sender,
+                lock_view: t.content.lock_view,
+                signature: t.signature,
+            });
+            if let Some(qc) = &t.lock {
+                if high_qc.as_ref().is_none_or(|h| qc.rank() > h.rank()) {
+                    high_qc = Some(qc.clone());
+                }
+            }
+        }
+        if entries.len() < need {
+            return Err(CertificateError::BelowThreshold { have: entries.len(), need });
+        }
+        Ok(TimeoutCertificate { view, entries, high_qc })
+    }
+
     /// Fully verifies the TC: quorum of distinct valid timeout signatures for
     /// this view, and the embedded high-QC matches the maximum signed lock
     /// view (and itself verifies).
@@ -411,6 +567,74 @@ impl TimeoutCertificate {
     ///
     /// See [`TimeoutCertificate::from_timeouts`].
     pub fn verify(&self, ring: &Keyring) -> Result<(), CertificateError> {
+        self.verify_with(ring, |qc| qc.verify(ring))
+    }
+
+    /// The digest keying this TC in a [`VerifiedCache`]. Covers the view,
+    /// every entry (sender, lock view, signature bytes) and the embedded
+    /// high-QC's own cache key.
+    pub fn cache_key(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"moonshot-tc-cache");
+        h.update(&self.view.0.to_le_bytes());
+        for e in &self.entries {
+            h.update(&e.sender.signer_index().to_le_bytes());
+            match e.lock_view {
+                Some(v) => {
+                    h.update(&[1]);
+                    h.update(&v.0.to_le_bytes());
+                }
+                None => h.update(&[0]),
+            }
+            h.update(&e.signature.to_bytes());
+        }
+        match &self.high_qc {
+            Some(qc) => {
+                h.update(&[1]);
+                h.update(qc.cache_key().as_bytes());
+            }
+            None => h.update(&[0]),
+        }
+        h.finalize()
+    }
+
+    /// [`TimeoutCertificate::verify`] routed through a [`VerifiedCache`]: a
+    /// TC already in the cache skips all signature checks, and on a miss
+    /// the embedded high-QC is itself checked through the cache (it is
+    /// usually a certificate the node has already verified). Success is
+    /// cached; failures never are.
+    ///
+    /// # Errors
+    ///
+    /// See [`TimeoutCertificate::from_timeouts`].
+    pub fn verify_cached(
+        &self,
+        ring: &Keyring,
+        cache: &VerifiedCache,
+    ) -> Result<(), CertificateError> {
+        let key = self.cache_key();
+        if cache.contains(&key) {
+            return Ok(());
+        }
+        match self.verify_with(ring, |qc| qc.verify_cached(ring, cache)) {
+            Ok(()) => {
+                cache.insert(key, self.view.0);
+                Ok(())
+            }
+            Err(e) => {
+                cache.note_rejected();
+                Err(e)
+            }
+        }
+    }
+
+    /// The verification skeleton, parametrized on how the embedded high-QC
+    /// is checked so the cached and uncached paths share one definition.
+    fn verify_with(
+        &self,
+        ring: &Keyring,
+        check_qc: impl Fn(&QuorumCertificate) -> Result<(), CertificateError>,
+    ) -> Result<(), CertificateError> {
         let need = ring.quorum_threshold();
         if self.entries.len() < need {
             return Err(CertificateError::BelowThreshold { have: self.entries.len(), need });
@@ -434,7 +658,7 @@ impl TimeoutCertificate {
         match (&self.high_qc, max_lock) {
             (None, None) => Ok(()),
             (Some(qc), Some(max)) if qc.view() == max => {
-                qc.verify(ring)?;
+                check_qc(qc)?;
                 Ok(())
             }
             _ => Err(CertificateError::HighQcMismatch),
@@ -751,6 +975,142 @@ mod tests {
         assert_eq!(EntryCertificate::Block(q1).completed_view(), View(1));
         let tc = TimeoutCertificate::from_timeouts(&timeouts(7, None, &[0, 1, 2]), &ring()).unwrap();
         assert_eq!(EntryCertificate::Timeout(tc).completed_view(), View(7));
+    }
+
+    #[test]
+    fn preverified_assembly_matches_checked_assembly() {
+        let b = block_at_view(1);
+        let votes = votes_for(&b, VoteKind::Normal, &[0, 1, 2]);
+        let checked = QuorumCertificate::from_votes(&votes, &ring()).unwrap();
+        let pre = QuorumCertificate::from_votes_preverified(&votes, &ring()).unwrap();
+        assert_eq!(checked, pre);
+        assert!(QuorumCertificate::from_votes_preverified(&votes[..2], &ring()).is_err());
+
+        let ts = timeouts(3, None, &[0, 1, 2]);
+        let checked = TimeoutCertificate::from_timeouts(&ts, &ring()).unwrap();
+        let pre = TimeoutCertificate::from_timeouts_preverified(&ts, &ring()).unwrap();
+        assert_eq!(checked, pre);
+        assert!(TimeoutCertificate::from_timeouts_preverified(&ts[..2], &ring()).is_err());
+    }
+
+    #[test]
+    fn duplicate_qc_delivery_verifies_raw_exactly_once() {
+        let cache = VerifiedCache::default();
+        let b = block_at_view(1);
+        let qc =
+            QuorumCertificate::from_votes(&votes_for(&b, VoteKind::Normal, &[0, 1, 2]), &ring())
+                .unwrap();
+        // First delivery: one miss, one raw quorum verification, cached.
+        assert!(qc.verify_cached(&ring(), &cache).is_ok());
+        // Re-deliveries (same cert embedded in proposals, certificates,
+        // timeouts...) are pure cache hits.
+        for _ in 0..5 {
+            assert!(qc.verify_cached(&ring(), &cache).is_ok());
+        }
+        let s = cache.stats();
+        assert!(s.hits > 0);
+        // misses == raw multisig verifications: exactly one per unique cert.
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn forged_qc_rejected_after_miss_and_never_cached() {
+        let cache = VerifiedCache::default();
+        let b = block_at_view(1);
+        let qc =
+            QuorumCertificate::from_votes(&votes_for(&b, VoteKind::Normal, &[0, 1, 2]), &ring())
+                .unwrap();
+        // Forge: reuse the valid proof for a different block's certificate.
+        let other = Block::build(View(1), NodeId(1), &Block::genesis(), Payload::from(vec![7]));
+        let forged = QuorumCertificate::from_parts(
+            VoteKind::Normal,
+            other.id(),
+            other.height(),
+            View(1),
+            qc.proof().clone(),
+        );
+        assert_ne!(forged.cache_key(), qc.cache_key());
+        for _ in 0..3 {
+            assert!(forged.verify_cached(&ring(), &cache).is_err());
+        }
+        let s = cache.stats();
+        // Every delivery is a fresh miss + reject: failures are never cached.
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.rejects, 3);
+        assert_eq!(s.len, 0);
+        // The genuine certificate still verifies and caches normally.
+        assert!(qc.verify_cached(&ring(), &cache).is_ok());
+        assert!(qc.verify_cached(&ring(), &cache).is_ok());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn forged_proof_does_not_alias_cached_body() {
+        let cache = VerifiedCache::default();
+        let b = block_at_view(1);
+        let qc =
+            QuorumCertificate::from_votes(&votes_for(&b, VoteKind::Normal, &[0, 1, 2]), &ring())
+                .unwrap();
+        assert!(qc.verify_cached(&ring(), &cache).is_ok());
+        // Same certified content, different (garbage) proof: the key covers
+        // the proof bytes, so this cannot ride the cached entry.
+        let mut bad_proof = MultiSig::new();
+        for i in 0..3u16 {
+            bad_proof.add(i, kp(i).sign(b"not the vote bytes")).unwrap();
+        }
+        let forged = QuorumCertificate::from_parts(
+            qc.kind(),
+            qc.block_id(),
+            qc.block_height(),
+            qc.view(),
+            bad_proof,
+        );
+        assert_ne!(forged.cache_key(), qc.cache_key());
+        assert!(forged.verify_cached(&ring(), &cache).is_err());
+    }
+
+    #[test]
+    fn tc_verify_cached_hits_and_routes_inner_qc() {
+        let cache = VerifiedCache::default();
+        let b1 = block_at_view(1);
+        let q1 =
+            QuorumCertificate::from_votes(&votes_for(&b1, VoteKind::Normal, &[0, 1, 2]), &ring())
+                .unwrap();
+        // The node verified the lock QC earlier (e.g. from a proposal).
+        assert!(q1.verify_cached(&ring(), &cache).is_ok());
+        let tc =
+            TimeoutCertificate::from_timeouts(&timeouts(5, Some(&q1), &[0, 1, 2]), &ring())
+                .unwrap();
+        assert!(tc.verify_cached(&ring(), &cache).is_ok());
+        // The TC miss routed its embedded high-QC through the cache: hit.
+        let s = cache.stats();
+        assert!(s.hits >= 1, "inner QC should hit: {s:?}");
+        assert!(tc.verify_cached(&ring(), &cache).is_ok());
+        assert_eq!(cache.stats().hits, s.hits + 1);
+        // A tampered TC is a miss + reject, never cached.
+        let mut stripped = tc.clone();
+        stripped.high_qc = None;
+        assert!(stripped.verify_cached(&ring(), &cache).is_err());
+        assert_eq!(cache.stats().rejects, 1);
+    }
+
+    #[test]
+    fn timeout_verify_cached_checks_signature_and_lock() {
+        let cache = VerifiedCache::default();
+        let b1 = block_at_view(1);
+        let q1 =
+            QuorumCertificate::from_votes(&votes_for(&b1, VoteKind::Normal, &[0, 1, 2]), &ring())
+                .unwrap();
+        let t = SignedTimeout::sign(View(5), Some(q1), NodeId(0), &kp(0));
+        assert!(t.verify_cached(&ring(), &cache));
+        let mut bad = t.clone();
+        bad.lock = Some(QuorumCertificate::genesis());
+        assert!(!bad.verify_cached(&ring(), &cache));
+        let mut wrong_author = t.clone();
+        wrong_author.sender = NodeId(1);
+        assert!(!wrong_author.verify_cached(&ring(), &cache));
     }
 
     #[test]

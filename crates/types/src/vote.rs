@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use moonshot_crypto::{KeyPair, Keyring, Signature};
+use moonshot_crypto::{Digest, KeyPair, Keyring, Signature, VerifiedCache};
 
 use crate::block::BlockId;
 use crate::ids::{Height, NodeId, View};
@@ -93,6 +93,34 @@ impl SignedVote {
     pub fn verify(&self, ring: &Keyring) -> bool {
         ring.verify(self.voter.signer_index(), &self.vote.signing_bytes(), &self.signature)
     }
+
+    /// The digest keying this vote in a [`VerifiedCache`]: content, voter
+    /// and signature bytes.
+    pub fn cache_key(&self) -> Digest {
+        Digest::hash_parts(&[
+            b"moonshot-vote-cache",
+            &self.vote.signing_bytes(),
+            &self.voter.signer_index().to_le_bytes(),
+            &self.signature.to_bytes(),
+        ])
+    }
+
+    /// [`SignedVote::verify`] routed through a [`VerifiedCache`], so a vote
+    /// re-delivered (loopback, replays, fetch responses) is a hash lookup.
+    /// Failed verifications are never cached.
+    pub fn verify_cached(&self, ring: &Keyring, cache: &VerifiedCache) -> bool {
+        let key = self.cache_key();
+        if cache.contains(&key) {
+            return true;
+        }
+        if self.verify(ring) {
+            cache.insert(key, self.vote.view.0);
+            true
+        } else {
+            cache.note_rejected();
+            false
+        }
+    }
 }
 
 impl WireSize for SignedVote {
@@ -146,6 +174,32 @@ impl SignedCommitVote {
     /// Verifies the signature against the PKI.
     pub fn verify(&self, ring: &Keyring) -> bool {
         ring.verify(self.voter.signer_index(), &self.vote.signing_bytes(), &self.signature)
+    }
+
+    /// The digest keying this commit vote in a [`VerifiedCache`].
+    pub fn cache_key(&self) -> Digest {
+        Digest::hash_parts(&[
+            b"moonshot-commit-vote-cache",
+            &self.vote.signing_bytes(),
+            &self.voter.signer_index().to_le_bytes(),
+            &self.signature.to_bytes(),
+        ])
+    }
+
+    /// [`SignedCommitVote::verify`] routed through a [`VerifiedCache`].
+    /// Failed verifications are never cached.
+    pub fn verify_cached(&self, ring: &Keyring, cache: &VerifiedCache) -> bool {
+        let key = self.cache_key();
+        if cache.contains(&key) {
+            return true;
+        }
+        if self.verify(ring) {
+            cache.insert(key, self.vote.view.0);
+            true
+        } else {
+            cache.note_rejected();
+            false
+        }
     }
 }
 

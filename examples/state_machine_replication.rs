@@ -77,6 +77,10 @@ fn main() {
                 payloads: PayloadSource::Custom(Box::new(command_batch)),
                 verify_signatures: true,
                 fetch_retry: moonshot::consensus::RetryPolicy::auto(),
+                verified_cache: std::sync::Arc::new(
+                    moonshot::crypto::VerifiedCache::default(),
+                ),
+                skip_inline_checks: false,
             };
             // Adapter: intercept commits through a wrapper protocol.
             struct Hooked<F: FnMut(Vec<u8>)> {
