@@ -275,6 +275,7 @@ impl Jolteon {
             && block.proposer() == self.cfg.leader(pv)
             && block.view() == pv
             && block.header_is_valid()
+            && self.cfg.check_payload(block)
     }
 
     fn cast_vote(&mut self, block: &Block, out: &mut Vec<Output>) {
@@ -431,7 +432,9 @@ impl ConsensusProtocol for Jolteon {
                 out.extend(sync::serve_request(&self.chain.tree, from, block_id));
             }
             Message::BlockResponse { block } => {
-                if sync::validate_response(&block, |v| self.cfg.leader(v)) {
+                if sync::validate_response(&block, |v| self.cfg.leader(v))
+                    && self.cfg.check_payload(&block)
+                {
                     self.fetcher.fulfilled(block.id());
                     self.store_block(block, now, &mut out);
                 }

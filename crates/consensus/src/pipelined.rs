@@ -387,6 +387,7 @@ impl PipelinedMoonshot {
             && block.proposer() == self.cfg.leader(pv)
             && block.view() == pv
             && block.header_is_valid()
+            && self.cfg.check_payload(block)
     }
 
     fn on_opt_propose(
@@ -661,7 +662,9 @@ impl ConsensusProtocol for PipelinedMoonshot {
                 out.extend(sync::serve_request(&self.chain.tree, from, block_id));
             }
             Message::BlockResponse { block } => {
-                if sync::validate_response(&block, |v| self.cfg.leader(v)) {
+                if sync::validate_response(&block, |v| self.cfg.leader(v))
+                    && self.cfg.check_payload(&block)
+                {
                     self.fetcher.fulfilled(block.id());
                     self.store_block(block, now, &mut out);
                 }
@@ -816,6 +819,51 @@ mod tests {
             })
             .collect();
         LocalNet::with_uniform_latency(nodes, SimDuration::from_millis(latency_ms))
+    }
+
+    /// Inline-path payload integrity: a proposal whose payload bytes were
+    /// swapped under an honest digest (and therefore an honest-looking
+    /// block id) must be dropped without a vote, while the byte-identical
+    /// honest proposal is voted for.
+    #[test]
+    fn inline_path_drops_tampered_payload_proposal() {
+        use moonshot_types::Payload;
+        let count_votes = |outs: &[Output]| {
+            outs.iter()
+                .filter(|o| {
+                    matches!(
+                        o,
+                        Output::Multicast(Message::Vote(_)) | Output::Send(_, Message::Vote(_))
+                    )
+                })
+                .count()
+        };
+        let honest_payload = Payload::from(vec![1u8; 128]);
+        let tampered_payload = Payload::data_prehashed(
+            std::sync::Arc::from(vec![2u8; 128]),
+            honest_payload.digest(),
+        );
+        let now = SimTime(0);
+        for (payload, expect_vote) in [(tampered_payload, false), (honest_payload, true)] {
+            let cfg =
+                NodeConfig::simulated(NodeId(0), 4, SimDuration::from_millis(50));
+            let mut p = PipelinedMoonshot::new(cfg);
+            let _ = p.start(now);
+            let v = p.current_view();
+            let leader = p.cfg.leader(v);
+            let block = Block::build(v, leader, &Block::genesis(), payload);
+            assert!(block.header_is_valid());
+            let outs = p.handle_message(
+                leader,
+                Message::OptPropose { view: v, block },
+                now,
+            );
+            assert_eq!(
+                count_votes(&outs) > 0,
+                expect_vote,
+                "tampered proposals must not be voted for; honest ones must"
+            );
+        }
     }
 
     #[test]

@@ -217,6 +217,14 @@ impl NodeConfig {
         !self.inline_checks() || cv.verify_cached(&self.keyring, &self.verified_cache)
     }
 
+    /// Checks that a received block's payload bytes hash to the digest its
+    /// id commits to. Skipped (like the other inline checks) for messages
+    /// that already cleared an off-thread verifier, so the driver never
+    /// hashes payload bytes in reader-verified deployments.
+    pub fn check_payload(&self, block: &Block) -> bool {
+        !self.inline_checks() || block.payload().digest_matches_bytes()
+    }
+
     /// Records a locally assembled QC as verified. Certificates built from
     /// individually checked votes need no raw verification, but inserting
     /// them keeps later deliveries of the same certificate cache hits.

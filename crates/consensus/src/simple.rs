@@ -418,6 +418,7 @@ impl SimpleMoonshot {
             && block.proposer() == self.cfg.leader(pv)
             && block.view() == pv
             && block.header_is_valid()
+            && self.cfg.check_payload(block)
     }
 
     fn buffer(&mut self, view: View, from: NodeId, msg: Message) {
@@ -495,7 +496,9 @@ impl ConsensusProtocol for SimpleMoonshot {
                 out.extend(sync::serve_request(&self.chain.tree, from, block_id));
             }
             Message::BlockResponse { block } => {
-                if sync::validate_response(&block, |v| self.cfg.leader(v)) {
+                if sync::validate_response(&block, |v| self.cfg.leader(v))
+                    && self.cfg.check_payload(&block)
+                {
                     self.fetcher.fulfilled(block.id());
                     self.store_block(block, now, &mut out);
                 }

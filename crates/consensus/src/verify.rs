@@ -67,6 +67,10 @@ pub enum VerifyError {
     BadSignature(&'static str),
     /// An embedded or standalone certificate failed to verify.
     BadCertificate(&'static str),
+    /// A carried block's payload bytes do not hash to the digest its block
+    /// id commits to — a Byzantine leader shipping arbitrary bytes under a
+    /// structurally valid block.
+    BadPayload(&'static str),
 }
 
 impl fmt::Display for VerifyError {
@@ -74,6 +78,7 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::BadSignature(what) => write!(f, "invalid signature on {what}"),
             VerifyError::BadCertificate(what) => write!(f, "invalid certificate in {what}"),
+            VerifyError::BadPayload(what) => write!(f, "payload/digest mismatch in {what}"),
         }
     }
 }
@@ -113,10 +118,13 @@ impl MessageVerifier {
         self.enabled
     }
 
-    /// Checks every signature in `message` and wraps it on success.
+    /// Checks every signature in `message` — and, for messages carrying a
+    /// full block, that the payload bytes hash to the digest the block id
+    /// commits to — wrapping the message on success.
     ///
-    /// Block *content* (hash links, payload digests) is not checked here —
-    /// that is protocol state validation and stays in the state machine.
+    /// Block *chain* content (hash links, proposer/leader matching) is not
+    /// checked here — that is protocol state validation and stays in the
+    /// state machine.
     ///
     /// # Errors
     ///
@@ -130,14 +138,30 @@ impl MessageVerifier {
         let cache = &self.cache;
         match &message {
             // Optimistic proposals carry no certificate: the block's vote
-            // eligibility is protocol state, not cryptography.
-            Message::OptPropose { .. } => {}
-            Message::Propose { justify, .. } | Message::CompactPropose { justify, .. } => {
+            // eligibility is protocol state, not cryptography. The payload,
+            // however, must hash to what the block id commits to.
+            Message::OptPropose { block, .. } => {
+                if !block.payload().digest_matches_bytes() {
+                    return Err(VerifyError::BadPayload("opt-propose block"));
+                }
+            }
+            Message::Propose { justify, block, .. } => {
+                if !block.payload().digest_matches_bytes() {
+                    return Err(VerifyError::BadPayload("propose block"));
+                }
                 if justify.verify_cached(ring, cache).is_err() {
                     return Err(VerifyError::BadCertificate("propose justify"));
                 }
             }
-            Message::FbPropose { justify, tc, .. } => {
+            Message::CompactPropose { justify, .. } => {
+                if justify.verify_cached(ring, cache).is_err() {
+                    return Err(VerifyError::BadCertificate("propose justify"));
+                }
+            }
+            Message::FbPropose { justify, tc, block, .. } => {
+                if !block.payload().digest_matches_bytes() {
+                    return Err(VerifyError::BadPayload("fb-propose block"));
+                }
                 if justify.verify_cached(ring, cache).is_err() {
                     return Err(VerifyError::BadCertificate("fb-propose justify"));
                 }
@@ -175,9 +199,16 @@ impl MessageVerifier {
                     return Err(VerifyError::BadSignature("commit-vote"));
                 }
             }
-            // Fetches carry blocks, not signatures; responses are validated
-            // against the requested digest by the sync layer.
-            Message::BlockRequest { .. } | Message::BlockResponse { .. } => {}
+            // Requests carry only a digest. Responses carry a full block:
+            // chain validation stays in the sync layer, but the payload
+            // integrity check belongs here with the rest of the
+            // content-vs-commitment cryptography.
+            Message::BlockRequest { .. } => {}
+            Message::BlockResponse { block, .. } => {
+                if !block.payload().digest_matches_bytes() {
+                    return Err(VerifyError::BadPayload("block-response"));
+                }
+            }
         }
         Ok(PreVerified(message))
     }
@@ -308,6 +339,46 @@ mod tests {
         );
         assert!(v.verify(Message::Vote(sv)).is_ok());
         assert_eq!(v.cache.stats().misses, 0);
+    }
+
+    /// A block with `bytes` swapped in under the digest (and therefore the
+    /// block id) of an honest payload — what a Byzantine leader can ship
+    /// under a perfectly valid-looking block.
+    fn tampered_block(view: View, proposer: NodeId, parent: &Block) -> Block {
+        let honest = Payload::from(vec![7u8; 256]);
+        let tampered =
+            Payload::data_prehashed(std::sync::Arc::from(vec![8u8; 256]), honest.digest());
+        Block::build(view, proposer, parent, tampered)
+    }
+
+    #[test]
+    fn tampered_payload_rejected_in_proposals() {
+        let v = verifier();
+        let bad = tampered_block(View(1), NodeId(0), &Block::genesis());
+        // The block header itself is structurally fine — only the byte
+        // check catches the tampering.
+        assert!(bad.header_is_valid());
+        assert_eq!(
+            v.verify(Message::OptPropose { view: View(1), block: bad.clone() }).unwrap_err(),
+            VerifyError::BadPayload("opt-propose block")
+        );
+        let qc = qc_for(&block());
+        assert_eq!(
+            v.verify(Message::Propose { view: View(1), block: bad.clone(), justify: qc })
+                .unwrap_err(),
+            VerifyError::BadPayload("propose block")
+        );
+        assert_eq!(
+            v.verify(Message::BlockResponse { block: bad }).unwrap_err(),
+            VerifyError::BadPayload("block-response")
+        );
+    }
+
+    #[test]
+    fn honest_data_payload_passes() {
+        let v = verifier();
+        let b = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::from(vec![7u8; 256]));
+        assert!(v.verify(Message::OptPropose { view: View(1), block: b }).is_ok());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! The off-driver batch assembler.
+//!
+//! The driver hot loop must never hash megabytes. The assembler is a
+//! background thread that keeps the *next* proposal payload ready: it
+//! drains the mempool, frames the batch ([`crate::batch`]), hashes it once
+//! on its own thread, and parks the finished `Payload` in a
+//! [`PreparedSlot`]. When the node becomes leader, its payload source is a
+//! single lock-and-take of that slot — an `Arc` swap, after which the
+//! assembler immediately starts preparing the next batch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use moonshot_types::Payload;
+
+use crate::batch::encode_batch;
+use crate::pool::Mempool;
+
+/// A fully assembled, pre-hashed payload waiting to be proposed.
+#[derive(Clone, Debug)]
+pub struct PreparedPayload {
+    /// The framed batch as a data payload with its digest already cached.
+    pub payload: Payload,
+    /// How many transactions the batch carries.
+    pub tx_count: u64,
+}
+
+/// The handoff cell between the assembler thread and the driver's payload
+/// source. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct PreparedSlot(Arc<Mutex<Option<PreparedPayload>>>);
+
+impl PreparedSlot {
+    /// Takes the prepared payload, leaving the slot empty for the
+    /// assembler to refill. This is the only payload work the driver does.
+    pub fn take(&self) -> Option<PreparedPayload> {
+        self.0.lock().unwrap().take()
+    }
+
+    fn put(&self, prepared: PreparedPayload) {
+        *self.0.lock().unwrap() = Some(prepared);
+    }
+
+    fn is_full(&self) -> bool {
+        self.0.lock().unwrap().is_some()
+    }
+}
+
+/// Background thread keeping [`PreparedSlot`] topped up from a [`Mempool`].
+#[derive(Debug)]
+pub struct BatchAssembler {
+    slot: PreparedSlot,
+    shutdown: Arc<AtomicBool>,
+    batches: Arc<AtomicU64>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl BatchAssembler {
+    /// Spawns the assembler. `max_batch_bytes` bounds the framed batch
+    /// (the payload-per-block target of the run).
+    pub fn start(pool: Arc<Mempool>, max_batch_bytes: usize) -> BatchAssembler {
+        let slot = PreparedSlot::default();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let batches = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let slot = slot.clone();
+            let shutdown = shutdown.clone();
+            let batches = batches.clone();
+            thread::Builder::new()
+                .name("batch-assembler".into())
+                .spawn(move || run(pool, slot, shutdown, batches, max_batch_bytes))
+                .expect("spawn batch assembler")
+        };
+        BatchAssembler { slot, shutdown, batches, thread: Some(thread) }
+    }
+
+    /// The handoff cell to wire into the leader's payload source.
+    pub fn slot(&self) -> PreparedSlot {
+        self.slot.clone()
+    }
+
+    /// Batches assembled so far.
+    pub fn batches_assembled(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for BatchAssembler {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run(
+    pool: Arc<Mempool>,
+    slot: PreparedSlot,
+    shutdown: Arc<AtomicBool>,
+    batches: Arc<AtomicU64>,
+    max_batch_bytes: usize,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        if slot.is_full() || pool.is_empty() {
+            // Either the next payload is already staged or there is nothing
+            // to stage; both resolve in well under a block period.
+            thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        let txs = pool.drain_for_batch(max_batch_bytes);
+        if txs.is_empty() {
+            continue;
+        }
+        let tx_count = txs.len() as u64;
+        // The one and only content hash of this batch happens here, on the
+        // assembler thread — Payload::data charges *this* thread's counter.
+        let payload = Payload::data(encode_batch(&txs));
+        slot.put(PreparedPayload { payload, tx_count });
+        batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{batch_txs, make_tx, tx_timestamp_us};
+    use crate::pool::MempoolConfig;
+    use std::time::Instant;
+
+    #[test]
+    fn assembler_stages_prehashed_batches_off_thread() {
+        let pool = Arc::new(Mempool::new(MempoolConfig::default()));
+        let assembler = BatchAssembler::start(pool.clone(), 1_800);
+        let slot = assembler.slot();
+        for seq in 0..40u64 {
+            pool.submit(make_tx(500 + seq, 1, seq, 180)).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut collected: Vec<Vec<u8>> = Vec::new();
+        while collected.len() < 40 && Instant::now() < deadline {
+            let hashes_before = moonshot_types::payload::data_hashes_on_thread();
+            match slot.take() {
+                Some(prepared) => {
+                    // Taking the slot — the driver-side operation — must
+                    // not hash anything on this thread.
+                    assert_eq!(
+                        moonshot_types::payload::data_hashes_on_thread(),
+                        hashes_before
+                    );
+                    assert!(prepared.payload.digest_matches_bytes());
+                    assert!(prepared.payload.size() <= 1_800);
+                    let bytes = prepared.payload.data_bytes().unwrap();
+                    let txs: Vec<Vec<u8>> =
+                        batch_txs(bytes).map(|t| t.to_vec()).collect();
+                    assert_eq!(txs.len() as u64, prepared.tx_count);
+                    collected.extend(txs);
+                }
+                None => thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        assert_eq!(collected.len(), 40, "assembler never delivered all txs");
+        let mut stamps: Vec<u64> =
+            collected.iter().map(|t| tx_timestamp_us(t).unwrap()).collect();
+        stamps.sort_unstable();
+        assert_eq!(stamps, (500..540).collect::<Vec<u64>>());
+        assert!(assembler.batches_assembled() >= 5, "1.8kB cap forces multiple batches");
+    }
+}

@@ -1,0 +1,36 @@
+//! The transaction ingress path for the Moonshot runtime.
+//!
+//! The paper's evaluation synthesizes payloads at the leader (§VI); this
+//! crate replaces that stand-in with a real data path while keeping the
+//! driver hot loop free of payload work:
+//!
+//! * [`pool`] — a lock-striped, sharded [`Mempool`]: N shards keyed by
+//!   transaction hash, each a `Mutex<VecDeque>`, with byte- and
+//!   count-budgeted admission (backpressure rejects new submissions, queued
+//!   transactions are never dropped) and a bounded digest-based dedup
+//!   window per shard.
+//! * [`batch`] — the payload framing: a block payload is a sequence of
+//!   `u32`-length-prefixed transactions, with each transaction's leading 8
+//!   bytes carrying its client submit timestamp so submit→commit latency
+//!   can be recovered from committed blocks alone.
+//! * [`assembler`] — an off-driver [`BatchAssembler`] thread that drains
+//!   the pool, frames the next batch and hashes it **once on its own
+//!   thread**, parking the result in a [`PreparedSlot`]. The leader's
+//!   payload source is then a single lock-and-take: proposal assembly on
+//!   the driver never hashes payload bytes (asserted end to end by the
+//!   runtime's `driver.payload_hashes == 0` counter).
+//!
+//! The crate is std-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod assembler;
+pub mod batch;
+pub mod pool;
+
+pub use assembler::{BatchAssembler, PreparedPayload, PreparedSlot};
+pub use batch::{
+    batch_txs, encode_batch, make_tx, tx_timestamp_us, BATCH_TX_OVERHEAD, TX_TIMESTAMP_BYTES,
+};
+pub use pool::{Mempool, MempoolConfig, MempoolCounters, SubmitError, Tx};

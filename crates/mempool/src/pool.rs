@@ -1,0 +1,371 @@
+//! The sharded ingress queue.
+//!
+//! Submissions hash their bytes once (on the submitting thread — a client
+//! thread or a transport reader thread, never the driver) and land in the
+//! shard their digest selects. Each shard is an independent
+//! `Mutex<VecDeque>`, so concurrent submitters contend only 1/N of the
+//! time, and the batch assembler drains shards round-robin without ever
+//! holding more than one lock.
+//!
+//! Admission is budgeted per shard in both transactions and bytes.
+//! Backpressure is *rejection of the new* submission — queued transactions
+//! are never silently dropped, so a client that sees `Full` can retry and
+//! every accepted transaction either commits or is still pending.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use moonshot_crypto::Digest;
+
+use crate::batch::BATCH_TX_OVERHEAD;
+
+/// One transaction: opaque bytes plus their digest, hashed once at
+/// submission and shared zero-copy from here to the committed block.
+#[derive(Clone, Debug)]
+pub struct Tx {
+    /// The raw transaction bytes.
+    pub bytes: Arc<[u8]>,
+    /// Content digest, computed once by [`Tx::new`].
+    pub digest: Digest,
+}
+
+impl Tx {
+    /// Wraps and hashes transaction bytes (on the calling thread).
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Tx {
+        let bytes = bytes.into();
+        let digest = Digest::hash_parts(&[b"moonshot-tx", &bytes]);
+        Tx { bytes, digest }
+    }
+}
+
+/// Admission failure reasons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Zero-length transactions carry nothing and are rejected outright.
+    Empty,
+    /// The target shard is at its transaction- or byte-budget; retry later.
+    Full,
+    /// A transaction with the same digest is pending or recently seen.
+    Duplicate,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Empty => write!(f, "empty transaction"),
+            SubmitError::Full => write!(f, "mempool shard full (backpressure)"),
+            SubmitError::Duplicate => write!(f, "duplicate transaction"),
+        }
+    }
+}
+
+/// Sizing knobs for a [`Mempool`].
+#[derive(Clone, Copy, Debug)]
+pub struct MempoolConfig {
+    /// Number of lock stripes. More shards = less submit contention.
+    pub shards: usize,
+    /// Pending-transaction budget across the whole pool.
+    pub max_txs: usize,
+    /// Pending-byte budget across the whole pool.
+    pub max_bytes: usize,
+    /// Recently-seen digests remembered per shard for deduplication. The
+    /// window covers both pending and recently drained transactions, so a
+    /// duplicate submitted while the original is in flight is still caught.
+    pub dedup_window: usize,
+}
+
+impl Default for MempoolConfig {
+    fn default() -> Self {
+        MempoolConfig {
+            shards: 8,
+            max_txs: 64 * 1024,
+            max_bytes: 32 * 1024 * 1024,
+            dedup_window: 8 * 1024,
+        }
+    }
+}
+
+/// Monotone admission counters, snapshotted into node metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolCounters {
+    /// Transactions admitted.
+    pub accepted: u64,
+    /// Transactions rejected by budget backpressure (or empty).
+    pub rejected: u64,
+    /// Transactions dropped as duplicates of a recently seen digest.
+    pub deduped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    txs: VecDeque<Tx>,
+    bytes: usize,
+    seen: HashSet<Digest>,
+    seen_order: VecDeque<Digest>,
+}
+
+/// The lock-striped, sharded ingress queue.
+pub struct Mempool {
+    cfg: MempoolConfig,
+    per_shard_txs: usize,
+    per_shard_bytes: usize,
+    shards: Vec<Mutex<Shard>>,
+    /// Round-robin drain cursor so no shard starves.
+    drain_cursor: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    deduped: AtomicU64,
+    pending_txs: AtomicU64,
+    pending_bytes: AtomicU64,
+}
+
+impl Mempool {
+    /// An empty pool with the given budgets.
+    pub fn new(cfg: MempoolConfig) -> Mempool {
+        assert!(cfg.shards > 0, "mempool needs at least one shard");
+        let shards = (0..cfg.shards).map(|_| Mutex::new(Shard::default())).collect();
+        Mempool {
+            per_shard_txs: cfg.max_txs.div_ceil(cfg.shards).max(1),
+            per_shard_bytes: cfg.max_bytes.div_ceil(cfg.shards).max(1),
+            cfg,
+            shards,
+            drain_cursor: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            pending_txs: AtomicU64::new(0),
+            pending_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this pool was built with.
+    pub fn config(&self) -> &MempoolConfig {
+        &self.cfg
+    }
+
+    fn shard_index(&self, digest: &Digest) -> usize {
+        let mut k = [0u8; 8];
+        k.copy_from_slice(&digest.as_bytes()[..8]);
+        (u64::from_le_bytes(k) % self.cfg.shards as u64) as usize
+    }
+
+    /// Admits one transaction, hashing it on the calling thread. Errors are
+    /// backpressure ([`SubmitError::Full`]), dedup, or an empty submission.
+    pub fn submit(&self, bytes: impl Into<Arc<[u8]>>) -> Result<(), SubmitError> {
+        let tx = Tx::new(bytes);
+        if tx.bytes.is_empty() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Empty);
+        }
+        let len = tx.bytes.len();
+        let idx = self.shard_index(&tx.digest);
+        let mut shard = self.shards[idx].lock().unwrap();
+        if shard.seen.contains(&tx.digest) {
+            self.deduped.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Duplicate);
+        }
+        if shard.txs.len() >= self.per_shard_txs || shard.bytes + len > self.per_shard_bytes {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Full);
+        }
+        shard.seen.insert(tx.digest);
+        shard.seen_order.push_back(tx.digest);
+        while shard.seen_order.len() > self.cfg.dedup_window {
+            if let Some(old) = shard.seen_order.pop_front() {
+                shard.seen.remove(&old);
+            }
+        }
+        shard.bytes += len;
+        shard.txs.push_back(tx);
+        drop(shard);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.pending_txs.fetch_add(1, Ordering::Relaxed);
+        self.pending_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pops transactions round-robin across shards until the batch — with
+    /// its per-transaction framing overhead — would exceed `max_batch_bytes`
+    /// or the pool is empty. Holds at most one shard lock at a time.
+    pub fn drain_for_batch(&self, max_batch_bytes: usize) -> Vec<Tx> {
+        let mut out = Vec::new();
+        let mut budget = max_batch_bytes;
+        let start = self.drain_cursor.fetch_add(1, Ordering::Relaxed);
+        let mut exhausted = 0usize;
+        let mut i = start;
+        while exhausted < self.cfg.shards {
+            let shard_idx = i % self.cfg.shards;
+            i += 1;
+            let mut shard = self.shards[shard_idx].lock().unwrap();
+            match shard.txs.front() {
+                Some(front) if front.bytes.len() + BATCH_TX_OVERHEAD <= budget => {
+                    let tx = shard.txs.pop_front().unwrap();
+                    let len = tx.bytes.len();
+                    shard.bytes -= len;
+                    drop(shard);
+                    budget -= len + BATCH_TX_OVERHEAD;
+                    self.pending_txs.fetch_sub(1, Ordering::Relaxed);
+                    self.pending_bytes.fetch_sub(len as u64, Ordering::Relaxed);
+                    out.push(tx);
+                    exhausted = 0;
+                }
+                Some(_) => {
+                    // Head doesn't fit the remaining budget; treat this
+                    // shard as done for this batch (FIFO per shard — we
+                    // don't reorder around a large transaction).
+                    exhausted += 1;
+                }
+                None => exhausted += 1,
+            }
+        }
+        out
+    }
+
+    /// Pending transactions.
+    pub fn len(&self) -> u64 {
+        self.pending_txs.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pending bytes.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of admission counters.
+    pub fn counters(&self) -> MempoolCounters {
+        MempoolCounters {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pending-transaction count per shard (diagnostics and balance tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().unwrap().txs.len()).collect()
+    }
+}
+
+impl fmt::Debug for Mempool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mempool")
+            .field("shards", &self.cfg.shards)
+            .field("pending_txs", &self.len())
+            .field("pending_bytes", &self.pending_bytes())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx_bytes(tag: u64, size: usize) -> Vec<u8> {
+        let mut v = vec![0u8; size.max(8)];
+        v[..8].copy_from_slice(&tag.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn duplicate_submissions_are_deduped() {
+        let pool = Mempool::new(MempoolConfig::default());
+        assert_eq!(pool.submit(tx_bytes(1, 64)), Ok(()));
+        assert_eq!(pool.submit(tx_bytes(1, 64)), Err(SubmitError::Duplicate));
+        assert_eq!(pool.submit(tx_bytes(2, 64)), Ok(()));
+        let c = pool.counters();
+        assert_eq!((c.accepted, c.deduped, c.rejected), (2, 1, 0));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn dedup_window_covers_drained_transactions() {
+        let pool = Mempool::new(MempoolConfig::default());
+        pool.submit(tx_bytes(7, 64)).unwrap();
+        let drained = pool.drain_for_batch(1 << 20);
+        assert_eq!(drained.len(), 1);
+        assert!(pool.is_empty());
+        // The tx left the pool but its digest is still in the window: a
+        // replay while the original is in flight must not be re-admitted.
+        assert_eq!(pool.submit(tx_bytes(7, 64)), Err(SubmitError::Duplicate));
+    }
+
+    #[test]
+    fn byte_budget_backpressure_rejects_new_without_dropping_old() {
+        let cfg = MempoolConfig { shards: 1, max_txs: 1000, max_bytes: 1000, dedup_window: 64 };
+        let pool = Mempool::new(cfg);
+        let mut admitted = 0u64;
+        let mut first_err = None;
+        for i in 0..100u64 {
+            match pool.submit(tx_bytes(i, 300)) {
+                Ok(()) => admitted += 1,
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(admitted, 3); // 3 × 300 = 900 ≤ 1000, the 4th would burst
+        assert_eq!(first_err, Some(SubmitError::Full));
+        assert_eq!(pool.len(), 3, "queued txs must survive backpressure");
+        assert!(pool.counters().rejected >= 1);
+        // Draining frees budget: admission works again.
+        assert_eq!(pool.drain_for_batch(1 << 20).len(), 3);
+        assert_eq!(pool.submit(tx_bytes(200, 300)), Ok(()));
+    }
+
+    #[test]
+    fn count_budget_backpressure() {
+        let cfg = MempoolConfig { shards: 1, max_txs: 2, max_bytes: 1 << 20, dedup_window: 64 };
+        let pool = Mempool::new(cfg);
+        pool.submit(tx_bytes(1, 32)).unwrap();
+        pool.submit(tx_bytes(2, 32)).unwrap();
+        assert_eq!(pool.submit(tx_bytes(3, 32)), Err(SubmitError::Full));
+    }
+
+    #[test]
+    fn empty_transactions_rejected() {
+        let pool = Mempool::new(MempoolConfig::default());
+        assert_eq!(pool.submit(Vec::new()), Err(SubmitError::Empty));
+        assert_eq!(pool.counters().rejected, 1);
+    }
+
+    #[test]
+    fn digest_sharding_balances_load() {
+        let cfg = MempoolConfig { shards: 8, ..MempoolConfig::default() };
+        let pool = Mempool::new(cfg);
+        for i in 0..4000u64 {
+            pool.submit(tx_bytes(i, 64)).unwrap();
+        }
+        let lens = pool.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 4000);
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        // Hash sharding: every shard gets traffic, and no shard carries
+        // more than twice its fair share (500 each here).
+        assert!(min > 0, "a shard got no transactions: {lens:?}");
+        assert!(max <= 1000, "shard imbalance: {lens:?}");
+    }
+
+    #[test]
+    fn drain_respects_batch_budget_and_keeps_fifo_per_shard() {
+        let cfg = MempoolConfig { shards: 1, ..MempoolConfig::default() };
+        let pool = Mempool::new(cfg);
+        for i in 0..10u64 {
+            pool.submit(tx_bytes(i, 100)).unwrap();
+        }
+        let batch = pool.drain_for_batch(3 * (100 + BATCH_TX_OVERHEAD));
+        assert_eq!(batch.len(), 3);
+        for (i, tx) in batch.iter().enumerate() {
+            assert_eq!(&tx.bytes[..8], &(i as u64).to_le_bytes());
+        }
+        assert_eq!(pool.len(), 7);
+    }
+}

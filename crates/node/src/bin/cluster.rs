@@ -4,6 +4,8 @@
 //! cluster [--n 4] [--duration-secs 10] [--delta-ms 50] [--payload 0]
 //!         [--protocol sm|pm|cm|jolteon]   # default: all four
 //!         [--verify both|reader|inline|off]   # default: both
+//!         [--load <batch-bytes>] [--tx-bytes 180] [--tx-rate 0]
+//!         [--payload-sweep]
 //!         [--out-dir results] [--min-commits 0] [--bench-json <path>]
 //! ```
 //!
@@ -13,16 +15,28 @@
 //! the verified-certificate cache (the fast path) — so one invocation
 //! produces the before/after comparison.
 //!
-//! For every (protocol, verify-mode) pair this spins up an
-//! `--n`-validator cluster on loopback, lets it run for the wall-clock
-//! duration, then stops it and:
+//! `--load <batch-bytes>` switches payloads from synthetic to **real**:
+//! every node gets a mempool and a batch-assembler thread, an in-process
+//! load generator submits `--tx-bytes` transactions round-robin (at
+//! `--tx-rate` per second, 0 = saturate), and throughput is measured from
+//! the payload bytes of quorum-committed blocks — not inferred from a
+//! configured payload size.
+//!
+//! `--payload-sweep` reruns the paper's Fig-8 payload axis on real
+//! sockets: one loaded run per batch size in {1.8 kB, 18 kB, 180 kB}
+//! (Pipelined Moonshot, reader verification unless `--protocol`/`--verify`
+//! narrow it), recording genuine `throughput_bps` per size.
+//!
+//! For every run this spins up an `--n`-validator cluster on loopback,
+//! lets it run for the wall-clock duration, then stops it and:
 //!
 //! * replays the merged trace through the invariant checker (any safety
 //!   violation fails the run),
 //! * writes the merged trace to `<out-dir>/cluster-<label>.trace.jsonl`,
 //! * appends a row to `<out-dir>/cluster.csv` and an object to
-//!   `<out-dir>/cluster.json` with real throughput and p50/p99 commit
-//!   latency,
+//!   `<out-dir>/cluster.json` with real throughput, p50/p99 commit
+//!   latency, and (loaded runs) submit→commit transaction latency plus
+//!   mempool admission counters,
 //! * writes the whole comparison to `--bench-json` (default
 //!   `BENCH_cluster.json`).
 //!
@@ -33,7 +47,7 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use moonshot_node::{Cluster, ClusterSpec, ProtocolChoice, VerifyMode};
+use moonshot_node::{Cluster, ClusterSpec, LoadSpec, ProtocolChoice, VerifyMode};
 use moonshot_telemetry::json::JsonObject;
 use moonshot_telemetry::{Histogram, JsonlSink, TraceSink};
 use moonshot_types::time::SimDuration;
@@ -42,16 +56,37 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// One cluster run to execute.
+struct RunPlan {
+    protocol: ProtocolChoice,
+    verify: VerifyMode,
+    /// Synthetic payload bytes (ignored when `load` is set).
+    payload_bytes: u64,
+    load: Option<LoadSpec>,
+}
+
 struct RunRow {
     label: String,
     verify: &'static str,
+    payload_label: u64,
     committed_blocks: u64,
     blocks_per_sec: f64,
+    committed_payload_bytes: u64,
     throughput_bps: f64,
     p50_ms: f64,
     p99_ms: f64,
+    txs_committed: u64,
+    tx_p50_ms: f64,
+    tx_p99_ms: f64,
     json: String,
 }
+
+/// The Fig-8 payload axis replayed on real sockets (bytes per block).
+const SWEEP_SIZES: [usize; 3] = [1_800, 18_000, 180_000];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,17 +96,21 @@ fn main() -> ExitCode {
     let delta_ms: u64 = flag(&args, "--delta-ms").and_then(|v| v.parse().ok()).unwrap_or(50);
     let payload: u64 = flag(&args, "--payload").and_then(|v| v.parse().ok()).unwrap_or(0);
     let min_commits: u64 = flag(&args, "--min-commits").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let tx_bytes: usize = flag(&args, "--tx-bytes").and_then(|v| v.parse().ok()).unwrap_or(180);
+    let tx_rate: u64 = flag(&args, "--tx-rate").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let load_batch: Option<usize> = flag(&args, "--load").and_then(|v| v.parse().ok());
+    let sweep = has_flag(&args, "--payload-sweep");
     let out_dir = flag(&args, "--out-dir").unwrap_or_else(|| "results".into());
     let bench_json = flag(&args, "--bench-json").unwrap_or_else(|| "BENCH_cluster.json".into());
-    let protocols: Vec<ProtocolChoice> = match flag(&args, "--protocol") {
+    let protocol_flag: Option<ProtocolChoice> = match flag(&args, "--protocol") {
         Some(p) => match p.parse() {
-            Ok(p) => vec![p],
+            Ok(p) => Some(p),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         },
-        None => ProtocolChoice::ALL.to_vec(),
+        None => None,
     };
     // "both" runs inline (before) then reader (after) for each protocol, so
     // one invocation produces the verification fast-path comparison.
@@ -86,6 +125,44 @@ fn main() -> ExitCode {
         },
     };
 
+    let make_load = |batch_bytes: usize| {
+        let mut l = LoadSpec::new(batch_bytes);
+        l.tx_bytes = tx_bytes;
+        l.txs_per_sec = tx_rate;
+        l
+    };
+    let plans: Vec<RunPlan> = if sweep {
+        // The sweep compares payload sizes, not protocols × verify modes:
+        // default to the paper's headline protocol on the fast path, one
+        // run per size, unless the flags narrow it differently.
+        let protocol = protocol_flag.unwrap_or(ProtocolChoice::Pipelined);
+        let verify = if flag(&args, "--verify").is_some() { modes[0] } else { VerifyMode::Reader };
+        SWEEP_SIZES
+            .iter()
+            .map(|&size| RunPlan {
+                protocol,
+                verify,
+                payload_bytes: size as u64,
+                load: Some(make_load(size)),
+            })
+            .collect()
+    } else {
+        let protocols: Vec<ProtocolChoice> = match protocol_flag {
+            Some(p) => vec![p],
+            None => ProtocolChoice::ALL.to_vec(),
+        };
+        protocols
+            .iter()
+            .flat_map(|p| modes.iter().map(move |m| (*p, *m)))
+            .map(|(protocol, verify)| RunPlan {
+                protocol,
+                verify,
+                payload_bytes: load_batch.map(|b| b as u64).unwrap_or(payload),
+                load: load_batch.map(make_load),
+            })
+            .collect()
+    };
+
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("error: cannot create {out_dir}: {e}");
         return ExitCode::FAILURE;
@@ -94,19 +171,23 @@ fn main() -> ExitCode {
     let mut rows: Vec<RunRow> = Vec::new();
     let mut failed = false;
 
-    for (protocol, verify) in
-        protocols.iter().flat_map(|p| modes.iter().map(move |m| (*p, *m)))
-    {
-        let label = format!("{}-{}", protocol.label(), verify.label());
+    for plan in &plans {
+        let RunPlan { protocol, verify, payload_bytes, load } = plan;
+        let label = match load {
+            Some(l) => format!("{}-{}-{}B", protocol.label(), verify.label(), l.batch_bytes),
+            None => format!("{}-{}", protocol.label(), verify.label()),
+        };
         eprintln!(
-            "cluster: {} verify={} n={n} delta={delta_ms}ms payload={payload}B for {duration_secs}s",
+            "cluster: {} verify={} n={n} delta={delta_ms}ms payload={payload_bytes}B{} for {duration_secs}s",
             protocol.name(),
-            verify.label()
+            verify.label(),
+            if load.is_some() { " (real txs)" } else { "" },
         );
-        let mut spec = ClusterSpec::new(n, protocol);
+        let mut spec = ClusterSpec::new(n, *protocol);
         spec.delta = SimDuration::from_millis(delta_ms);
-        spec.payload_bytes = payload;
-        spec.verify = verify;
+        spec.payload_bytes = *payload_bytes;
+        spec.verify = *verify;
+        spec.load = load.clone();
         let cluster = match Cluster::launch(spec) {
             Ok(c) => c,
             Err(e) => {
@@ -163,28 +244,63 @@ fn main() -> ExitCode {
         let p50_ms = hist.quantile(0.50).unwrap_or(0) as f64 / 1000.0;
         let p99_ms = hist.quantile(0.99).unwrap_or(0) as f64 / 1000.0;
         let blocks_per_sec = committed as f64 / elapsed;
-        let throughput_bps = (committed * payload) as f64 / elapsed;
+        // Throughput is measured, not inferred: payload bytes of every
+        // distinct quorum-committed block (real batches and synthetic
+        // payloads alike), over the wall-clock run time.
+        let committed_payload_bytes = report.committed_payload_bytes();
+        let throughput_bps = committed_payload_bytes as f64 / elapsed;
         let cache_hits: u64 =
             report.reports.iter().map(|r| r.metrics.counter("verify.cache_hits")).sum();
         let cache_misses: u64 =
             report.reports.iter().map(|r| r.metrics.counter("verify.cache_misses")).sum();
+        let sum_metric = |name: &str| -> u64 {
+            report.reports.iter().map(|r| r.metrics.counter(name)).sum()
+        };
+        let payload_hashes = sum_metric("driver.payload_hashes");
+        let txs_committed = report.txs_committed();
+        let mut tx_hist = Histogram::for_tx_latency_us();
+        for us in report.tx_latencies_us() {
+            tx_hist.record(us);
+        }
+        let tx_p50_ms = tx_hist.quantile(0.50).unwrap_or(0) as f64 / 1000.0;
+        let tx_p99_ms = tx_hist.quantile(0.99).unwrap_or(0) as f64 / 1000.0;
         eprintln!(
             "  {committed} blocks quorum-committed ({blocks_per_sec:.1}/s), \
-             commit latency p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms, \
-             cache {cache_hits} hits / {cache_misses} raw verifications"
+             {:.1} kB/s goodput, commit latency p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms, \
+             cache {cache_hits} hits / {cache_misses} raw verifications",
+            throughput_bps / 1000.0
         );
+        if load.is_some() {
+            eprintln!(
+                "  {txs_committed} txs committed, tx latency p50 {tx_p50_ms:.1}ms \
+                 p99 {tx_p99_ms:.1}ms; mempool accepted={} rejected={} deduped={}; \
+                 driver payload hashes={payload_hashes}",
+                sum_metric("mempool.accepted"),
+                sum_metric("mempool.rejected"),
+                sum_metric("mempool.deduped"),
+            );
+        }
 
         let mut o = JsonObject::new();
         o.field_str("protocol", protocol.label());
         o.field_str("verify", verify.label());
         o.field_u64("n", n as u64);
-        o.field_u64("payload_bytes", payload);
+        o.field_u64("payload_bytes", *payload_bytes);
         o.field_f64("duration_secs", elapsed);
         o.field_u64("committed_blocks", committed);
         o.field_f64("blocks_per_sec", blocks_per_sec);
+        o.field_u64("committed_payload_bytes", committed_payload_bytes);
         o.field_f64("throughput_bps", throughput_bps);
         o.field_f64("commit_p50_ms", p50_ms);
         o.field_f64("commit_p99_ms", p99_ms);
+        o.field_u64("txs_committed", txs_committed);
+        o.field_f64("tx_latency_p50_ms", tx_p50_ms);
+        o.field_f64("tx_latency_p99_ms", tx_p99_ms);
+        o.field_u64("txs_submitted", report.client.map(|c| c.submitted).unwrap_or(0));
+        o.field_u64("mempool_accepted", sum_metric("mempool.accepted"));
+        o.field_u64("mempool_rejected", sum_metric("mempool.rejected"));
+        o.field_u64("mempool_deduped", sum_metric("mempool.deduped"));
+        o.field_u64("driver_payload_hashes", payload_hashes);
         o.field_u64("invariant_violations", violations);
         o.field_u64("cache_hits", cache_hits);
         o.field_u64("cache_misses", cache_misses);
@@ -197,11 +313,16 @@ fn main() -> ExitCode {
         rows.push(RunRow {
             label,
             verify: verify.label(),
+            payload_label: *payload_bytes,
             committed_blocks: committed,
             blocks_per_sec,
+            committed_payload_bytes,
             throughput_bps,
             p50_ms,
             p99_ms,
+            txs_committed,
+            tx_p50_ms,
+            tx_p99_ms,
             json: o.finish(),
         });
     }
@@ -210,18 +331,24 @@ fn main() -> ExitCode {
     // real-cluster numbers against DES numbers.
     let mut csv = String::from(
         "protocol,verify,n,payload_bytes,duration_secs,committed_blocks,blocks_per_sec,\
-         throughput_bps,commit_p50_ms,commit_p99_ms\n",
+         committed_payload_bytes,throughput_bps,commit_p50_ms,commit_p99_ms,\
+         txs_committed,tx_p50_ms,tx_p99_ms\n",
     );
     for r in &rows {
         csv.push_str(&format!(
-            "{},{},{n},{payload},{duration_secs},{},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{n},{},{duration_secs},{},{:.3},{},{:.3},{:.3},{:.3},{},{:.3},{:.3}\n",
             r.label,
             r.verify,
+            r.payload_label,
             r.committed_blocks,
             r.blocks_per_sec,
+            r.committed_payload_bytes,
             r.throughput_bps,
             r.p50_ms,
-            r.p99_ms
+            r.p99_ms,
+            r.txs_committed,
+            r.tx_p50_ms,
+            r.tx_p99_ms
         ));
     }
     let json = format!(
@@ -243,6 +370,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out_dir}/cluster.csv, {out_dir}/cluster.json and {bench_json}");
+
+    // The sweep's headline check: real goodput must grow with batch size
+    // (the paper's Fig-8 shape). Flat or shrinking means the data path is
+    // broken somewhere between submit and commit.
+    if sweep {
+        let monotone = rows.windows(2).all(|w| w[1].throughput_bps > w[0].throughput_bps);
+        let nonzero = rows.iter().all(|r| r.throughput_bps > 0.0);
+        if !nonzero || !monotone {
+            eprintln!(
+                "FAIL: payload sweep expects nonzero, monotonically increasing throughput; got {:?}",
+                rows.iter().map(|r| r.throughput_bps).collect::<Vec<_>>()
+            );
+            failed = true;
+        }
+    }
 
     if failed {
         ExitCode::FAILURE

@@ -4,12 +4,19 @@
 //! moonshot-node keygen --n 4
 //! moonshot-node config --n 4 --base-port 7000
 //! moonshot-node run --config cluster.conf --id 0 --protocol pm \
-//!     [--delta-ms 50] [--payload 0] [--duration-secs 0] [--trace out.jsonl]
+//!     [--delta-ms 50] [--payload 0] [--duration-secs 0] [--trace out.jsonl] \
+//!     [--load <batch-bytes>]
 //! ```
 //!
 //! `run` starts the node and, with `--duration-secs 0` (the default), runs
 //! until the process is killed; otherwise it stops after the given
 //! duration and prints the node's JSON summary on stdout.
+//!
+//! `--load <batch-bytes>` gives the node a real data path: a sharded
+//! mempool fed by `SubmitTx` frames (any TCP client may connect and
+//! submit — no hello required) and a batch-assembler thread that stages
+//! pre-hashed payloads of up to `batch-bytes` for the blocks this node
+//! proposes. Without it, payloads are synthetic (`--payload` bytes).
 
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -29,7 +36,7 @@ fn usage() -> ExitCode {
          moonshot-node config --n <validators> [--base-port 7000]\n  \
          moonshot-node run --config <file> --id <n> --protocol <sm|pm|cm|jolteon>\n      \
          [--delta-ms 50] [--payload <bytes>] [--duration-secs 0] [--trace <file.jsonl>]\n      \
-         [--verify reader|inline|off]"
+         [--verify reader|inline|off] [--load <batch-bytes>]"
     );
     ExitCode::from(2)
 }
@@ -103,6 +110,7 @@ fn run(args: &[String]) -> ExitCode {
     };
     let duration_secs: u64 =
         flag(args, "--duration-secs").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let load_batch: Option<usize> = flag(args, "--load").and_then(|v| v.parse().ok());
 
     let text = match std::fs::read_to_string(&cfg_path) {
         Ok(t) => t,
@@ -144,6 +152,19 @@ fn run(args: &[String]) -> ExitCode {
     let cache = node_cfg.verified_cache.clone();
     let mut transport = TransportConfig::new(node, listen, cluster.nodes.clone());
     transport.verifier = verifier;
+    // The real data path: mempool (fed by SubmitTx frames on reader
+    // threads) + batch assembler staging pre-hashed payloads. The
+    // assembler must outlive the node, so it's held here until shutdown.
+    let _assembler = load_batch.map(|batch_bytes| {
+        let pool = Arc::new(moonshot_mempool::Mempool::new(Default::default()));
+        let assembler = moonshot_mempool::BatchAssembler::start(pool.clone(), batch_bytes);
+        let slot = assembler.slot();
+        node_cfg.payloads = moonshot_consensus::PayloadSource::Custom(Box::new(move |_| {
+            slot.take().map(|p| p.payload).unwrap_or_else(moonshot_types::Payload::empty)
+        }));
+        transport.mempool = Some(pool);
+        assembler
+    });
     let handle = match NodeHandle::start(
         protocol.build(node_cfg),
         transport,

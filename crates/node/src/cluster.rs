@@ -10,10 +10,13 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use moonshot_consensus::PayloadSource;
+use moonshot_mempool::{batch_txs, tx_timestamp_us, BatchAssembler, Mempool, MempoolConfig};
 use moonshot_telemetry::{RingBufferSink, TraceEvent, TraceRecord, TraceSink};
 use moonshot_types::time::{SimDuration, SimTime};
-use moonshot_types::NodeId;
+use moonshot_types::{BlockId, NodeId, Payload};
 
+use crate::client::{ClientStats, ClientTarget, TxClient, TxClientConfig};
 use crate::config::{node_config, ProtocolChoice, VerifyMode};
 use crate::runtime::{NodeHandle, NodeReport, SharedSink};
 use crate::transport::TransportConfig;
@@ -34,6 +37,35 @@ pub struct ClusterSpec {
     /// Where signature verification runs (reader threads, inline on the
     /// driver, or nowhere).
     pub verify: VerifyMode,
+    /// When set, each node gets a real data path — mempool, batch
+    /// assembler, `SubmitTx` ingest — instead of synthetic payloads, and
+    /// (optionally) an in-process load generator feeds the cluster.
+    /// `payload_bytes` is ignored while loaded: block payloads are whatever
+    /// batches the assemblers stage.
+    pub load: Option<LoadSpec>,
+}
+
+/// Real-transaction load parameters for a cluster.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Upper bound on assembled batch size — the knob that plays the role
+    /// of the paper's payload-size axis once payloads are real.
+    pub batch_bytes: usize,
+    /// Bytes per generated transaction (the paper's items are 180 B).
+    pub tx_bytes: usize,
+    /// Generator target rate; `0` = saturate (admission is the throttle).
+    pub txs_per_sec: u64,
+    /// Spawn the in-process [`TxClient`]. Disable to drive the mempools
+    /// externally (TCP clients or tests submitting by hand).
+    pub spawn_client: bool,
+}
+
+impl LoadSpec {
+    /// A load spec with paper-shaped defaults: 180-byte transactions,
+    /// unthrottled in-process generator, `batch_bytes` per block.
+    pub fn new(batch_bytes: usize) -> LoadSpec {
+        LoadSpec { batch_bytes, tx_bytes: 180, txs_per_sec: 0, spawn_client: true }
+    }
 }
 
 impl ClusterSpec {
@@ -47,6 +79,7 @@ impl ClusterSpec {
             payload_bytes: 0,
             trace_capacity: 64 * 1024,
             verify: VerifyMode::Reader,
+            load: None,
         }
     }
 }
@@ -63,6 +96,14 @@ pub struct Cluster {
     sinks: Vec<Arc<Mutex<RingBufferSink>>>,
     /// Reports of stopped incarnations (kill-and-restart runs).
     dead_reports: Vec<NodeReport>,
+    /// One mempool per node (empty when the cluster runs synthetic
+    /// payloads). Kept across restarts: pending transactions survive a
+    /// node's crash because admission lives outside the driver.
+    pools: Vec<Arc<Mempool>>,
+    /// One batch assembler per node, paired with `pools`.
+    assemblers: Vec<BatchAssembler>,
+    /// The in-process load generator, when the spec asked for one.
+    client: Option<TxClient>,
 }
 
 impl Cluster {
@@ -82,6 +123,23 @@ impl Cluster {
             .map(|_| Arc::new(Mutex::new(RingBufferSink::new(spec.trace_capacity))))
             .collect();
 
+        // Real data path: one mempool + batch assembler per node, created
+        // before the nodes so each node's payload source can capture its
+        // assembler's slot.
+        let (pools, assemblers) = match &spec.load {
+            Some(load) => {
+                let pools: Vec<Arc<Mempool>> = (0..spec.n)
+                    .map(|_| Arc::new(Mempool::new(MempoolConfig::default())))
+                    .collect();
+                let assemblers: Vec<BatchAssembler> = pools
+                    .iter()
+                    .map(|p| BatchAssembler::start(p.clone(), load.batch_bytes))
+                    .collect();
+                (pools, assemblers)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+
         let mut handles = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
             let id = NodeId(i as u16);
@@ -90,6 +148,9 @@ impl Cluster {
             let cache = cfg.verified_cache.clone();
             let mut transport = TransportConfig::new(id, peers[i].1, peers.clone());
             transport.verifier = verifier;
+            if spec.load.is_some() {
+                wire_data_path(&mut cfg, &mut transport, &pools[i], &assemblers[i]);
+            }
             let handle = NodeHandle::start(
                 spec.protocol.build(cfg),
                 transport,
@@ -100,7 +161,29 @@ impl Cluster {
             )?;
             handles.push(Some(handle));
         }
-        Ok(Cluster { spec, epoch, peers, handles, sinks, dead_reports: Vec::new() })
+        let client = match &spec.load {
+            Some(load) if load.spawn_client => Some(TxClient::start(
+                TxClientConfig {
+                    client_id: 0,
+                    tx_bytes: load.tx_bytes,
+                    txs_per_sec: load.txs_per_sec,
+                },
+                ClientTarget::InProcess(pools.clone()),
+                epoch,
+            )),
+            _ => None,
+        };
+        Ok(Cluster {
+            spec,
+            epoch,
+            peers,
+            handles,
+            sinks,
+            dead_reports: Vec::new(),
+            pools,
+            assemblers,
+            client,
+        })
     }
 
     /// The shared time origin.
@@ -111,6 +194,12 @@ impl Cluster {
     /// `(id, addr)` of every validator.
     pub fn peers(&self) -> &[(NodeId, SocketAddr)] {
         &self.peers
+    }
+
+    /// Per-node mempool handles (empty without a [`LoadSpec`]). Tests and
+    /// external clients submit transactions through these.
+    pub fn mempools(&self) -> &[Arc<Mempool>] {
+        &self.pools
     }
 
     /// Highest committed height per live node (killed nodes report 0).
@@ -155,6 +244,12 @@ impl Cluster {
         let cache = cfg.verified_cache.clone();
         let mut transport = TransportConfig::new(id, self.peers[idx].1, self.peers.clone());
         transport.verifier = verifier;
+        if spec.load.is_some() {
+            // The node's mempool and assembler outlived the crash; the
+            // fresh incarnation picks up the staged batches where the old
+            // one left off.
+            wire_data_path(&mut cfg, &mut transport, &self.pools[idx], &self.assemblers[idx]);
+        }
         let handle = NodeHandle::start(
             spec.protocol.build(cfg),
             transport,
@@ -168,8 +263,11 @@ impl Cluster {
     }
 
     /// Stops every node and collects reports plus the merged, time-sorted
-    /// trace.
+    /// trace. Teardown order matters: client first (no new submissions),
+    /// then assemblers (no new batches), then the nodes.
     pub fn stop(mut self) -> ClusterReport {
+        let client = self.client.take().map(TxClient::stop);
+        drop(std::mem::take(&mut self.assemblers));
         let mut reports = std::mem::take(&mut self.dead_reports);
         for handle in self.handles.drain(..).flatten() {
             reports.push(handle.stop());
@@ -186,8 +284,28 @@ impl Cluster {
             elapsed: self.epoch.elapsed(),
             reports,
             records,
+            client,
         }
     }
+}
+
+/// Points a node's payload source at its assembler's prepared slot and its
+/// transport at its mempool. This is the tentpole's hot-loop contract: the
+/// closure the driver runs at proposal time is a single `Arc` swap —
+/// `PreparedSlot::take` — with the batch already encoded and hashed on the
+/// assembler thread. If no batch is staged (idle cluster or the assembler
+/// lost the race), the block goes out empty rather than stalling the view.
+fn wire_data_path(
+    cfg: &mut moonshot_consensus::NodeConfig,
+    transport: &mut TransportConfig,
+    pool: &Arc<Mempool>,
+    assembler: &BatchAssembler,
+) {
+    let slot = assembler.slot();
+    cfg.payloads = PayloadSource::Custom(Box::new(move |_| {
+        slot.take().map(|p| p.payload).unwrap_or_else(Payload::empty)
+    }));
+    transport.mempool = Some(pool.clone());
 }
 
 /// Everything a finished cluster run produced.
@@ -201,6 +319,8 @@ pub struct ClusterReport {
     pub reports: Vec<NodeReport>,
     /// Merged trace, sorted by timestamp.
     pub records: Vec<TraceRecord>,
+    /// Load-generator counters, when the cluster ran one.
+    pub client: Option<ClientStats>,
 }
 
 impl ClusterReport {
@@ -254,6 +374,74 @@ impl ClusterReport {
         out.sort_unstable();
         out
     }
+
+    /// Every quorum-committed block's payload, with the time the block was
+    /// first committed anywhere in the cluster. Payload bytes come from the
+    /// node reports (the trace stores only block ids); a block is skipped
+    /// if no surviving report carries it, which only happens when commits
+    /// outrun the trace-ring capacity.
+    fn quorum_committed_payloads(&self) -> Vec<(&Payload, SimTime)> {
+        use std::collections::{HashMap, HashSet};
+        let quorum = 2 * ((self.n - 1) / 3) + 1;
+        let mut committers: HashMap<BlockId, HashSet<NodeId>> = HashMap::new();
+        let mut first_commit: HashMap<BlockId, SimTime> = HashMap::new();
+        for rec in &self.records {
+            if let TraceEvent::BlockCommitted { node, block, .. } = rec.event {
+                committers.entry(block).or_default().insert(node);
+                first_commit.entry(block).or_insert(rec.at);
+            }
+        }
+        let mut payloads: HashMap<BlockId, &Payload> = HashMap::new();
+        for report in &self.reports {
+            for c in &report.commits {
+                payloads.entry(c.block.id()).or_insert_with(|| c.block.payload());
+            }
+        }
+        committers
+            .iter()
+            .filter(|(_, nodes)| nodes.len() >= quorum)
+            .filter_map(|(id, _)| {
+                payloads.get(id).map(|p| (*p, first_commit[id]))
+            })
+            .collect()
+    }
+
+    /// Total payload bytes in quorum-committed blocks — the numerator of
+    /// real `throughput_bps` (each distinct block counted once, no matter
+    /// how many nodes committed it).
+    pub fn committed_payload_bytes(&self) -> u64 {
+        self.quorum_committed_payloads().iter().map(|(p, _)| p.size()).sum()
+    }
+
+    /// Transactions inside quorum-committed `Data` payloads (0 for
+    /// synthetic-payload runs: there is nothing to count).
+    pub fn txs_committed(&self) -> u64 {
+        self.quorum_committed_payloads()
+            .iter()
+            .filter_map(|(p, _)| p.data_bytes())
+            .map(|bytes| batch_txs(bytes).count() as u64)
+            .sum()
+    }
+
+    /// Submit→commit latency per committed transaction, in microseconds,
+    /// sorted ascending. Every generated transaction embeds its submission
+    /// time (µs since the cluster epoch) in its first 8 bytes; commit time
+    /// is the block's first `BlockCommitted` trace record, on the same
+    /// clock. This is end-to-end client latency — queueing in the mempool
+    /// and the staged batch included — not just the block's commit latency.
+    pub fn tx_latencies_us(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for (payload, committed_at) in self.quorum_committed_payloads() {
+            let Some(bytes) = payload.data_bytes() else { continue };
+            for tx in batch_txs(bytes) {
+                if let Some(ts) = tx_timestamp_us(tx) {
+                    out.push(committed_at.0.saturating_sub(ts));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +466,93 @@ mod tests {
         assert!(summary.commits > 0);
         assert!(report.quorum_committed_blocks() >= 5);
         assert!(!report.commit_latencies_us().is_empty());
+    }
+
+    /// The tentpole end to end, across the paper's Fig-8 payload axis:
+    /// real transactions flow client → mempool → batch assembler → block →
+    /// wire → commit at 1.8 kB, 18 kB and 180 kB batches. Throughput must
+    /// be nonzero and the largest batch must beat the smallest (adjacent
+    /// cells can swap places under the CPU contention of a parallel test
+    /// run, so the strict per-step ordering is asserted only by the
+    /// `cluster --payload-sweep` binary on an otherwise idle machine), no
+    /// safety invariant may break, and — the hot-loop contract — the
+    /// driver thread must never hash payload bytes (assembler and reader
+    /// threads own all hashing in reader-verify mode).
+    #[test]
+    fn payload_sweep_commits_real_txs_with_monotone_throughput() {
+        let mut throughputs = Vec::new();
+        for batch_bytes in [1_800usize, 18_000, 180_000] {
+            let mut spec = ClusterSpec::new(4, ProtocolChoice::Pipelined);
+            spec.verify = VerifyMode::Reader;
+            spec.load = Some(LoadSpec::new(batch_bytes));
+            let cluster = Cluster::launch(spec).unwrap();
+            let deadline = Instant::now() + std::time::Duration::from_secs(30);
+            while cluster.quorum_committed_height() < 8 && Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            let report = cluster.stop();
+            report.check_invariants().expect("no safety violations");
+
+            let bytes = report.committed_payload_bytes();
+            let throughput = bytes as f64 / report.elapsed.as_secs_f64();
+            assert!(throughput > 0.0, "{batch_bytes}B: zero throughput");
+            assert!(report.txs_committed() > 0, "{batch_bytes}B: no txs committed");
+            let latencies = report.tx_latencies_us();
+            assert!(!latencies.is_empty(), "{batch_bytes}B: no tx latencies");
+            let stats = report.client.expect("load generator ran");
+            assert!(stats.submitted > 0);
+            for r in &report.reports {
+                assert_eq!(
+                    r.metrics.counter("driver.payload_hashes"),
+                    0,
+                    "node {}: driver hashed payload bytes on the hot loop",
+                    r.node
+                );
+                assert!(r.metrics.counter("mempool.accepted") > 0, "node {}: idle mempool", r.node);
+            }
+            throughputs.push(throughput);
+        }
+        assert!(
+            throughputs[2] > throughputs[0],
+            "180 kB batches should out-throughput 1.8 kB ones: {throughputs:?}"
+        );
+    }
+
+    /// The over-TCP submission path: an external client (no hello, not a
+    /// validator) writes `SubmitTx` frames at the nodes' listen sockets;
+    /// the reader threads feed the mempools and the transactions end up in
+    /// committed blocks.
+    #[test]
+    fn tcp_clients_submit_txs_that_commit() {
+        use crate::client::{ClientTarget, TxClient, TxClientConfig};
+
+        let mut spec = ClusterSpec::new(4, ProtocolChoice::Pipelined);
+        spec.verify = VerifyMode::Reader;
+        let mut load = LoadSpec::new(18_000);
+        load.spawn_client = false; // we drive load over real sockets instead
+        spec.load = Some(load);
+        let cluster = Cluster::launch(spec).unwrap();
+
+        let addrs = cluster.peers().iter().map(|(_, a)| *a).collect();
+        let client = TxClient::start(
+            TxClientConfig { client_id: 1, tx_bytes: 180, txs_per_sec: 2_000 },
+            ClientTarget::Tcp(addrs),
+            cluster.epoch(),
+        );
+
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while cluster.quorum_committed_height() < 8 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let accepted: u64 = cluster.mempools().iter().map(|p| p.counters().accepted).sum();
+        let stats = client.stop();
+        let report = cluster.stop();
+
+        report.check_invariants().expect("no safety violations");
+        assert!(stats.submitted > 0, "client wrote no frames");
+        assert!(accepted > 0, "no TCP submission reached a mempool");
+        assert!(report.txs_committed() > 0, "no TCP-submitted tx committed");
+        assert!(!report.tx_latencies_us().is_empty());
     }
 
     /// Reader-mode verification end to end: with signatures on, the

@@ -24,13 +24,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod runtime;
 pub mod timer;
 pub mod transport;
 
-pub use cluster::{Cluster, ClusterReport, ClusterSpec};
+pub use client::{ClientStats, ClientTarget, TxClient, TxClientConfig};
+pub use cluster::{Cluster, ClusterReport, ClusterSpec, LoadSpec};
 pub use config::{node_config, ClusterConfig, ProtocolChoice, VerifyMode};
 pub use runtime::{NodeHandle, NodeReport, SharedSink};
 pub use transport::{Inbound, PeerMetrics, Transport, TransportConfig};

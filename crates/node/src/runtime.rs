@@ -104,6 +104,7 @@ impl NodeHandle {
         cache: Arc<VerifiedCache>,
     ) -> std::io::Result<NodeHandle> {
         let node = cfg.node_id;
+        let mempool = cfg.mempool.clone();
         let (tx, rx) = mpsc::channel::<Inbound>();
         let transport = match listener {
             Some(l) => Transport::start_with_listener(cfg, l, tx.clone())?,
@@ -130,6 +131,7 @@ impl NodeHandle {
                         commits: Vec::new(),
                         committed_height,
                         cache,
+                        mempool,
                         messages_handled: 0,
                         timers_fired: 0,
                         batches: 0,
@@ -177,6 +179,9 @@ struct Driver {
     commits: Vec<CommittedBlock>,
     committed_height: Arc<AtomicU64>,
     cache: Arc<VerifiedCache>,
+    /// The node's mempool (if the data path is wired up), so its admission
+    /// counters land in the final report.
+    mempool: Option<Arc<moonshot_mempool::Mempool>>,
     messages_handled: u64,
     timers_fired: u64,
     batches: u64,
@@ -192,6 +197,13 @@ fn run_driver(
     rx: mpsc::Receiver<Inbound>,
     shutdown: Arc<AtomicBool>,
 ) -> NodeReport {
+    // Payload-hash accounting: `data_hashes_on_thread` counts how many
+    // times *this thread* hashed a `Payload::Data` body. The whole point of
+    // the pre-assembled batch pipeline is that the answer here is zero —
+    // hashing happens on the batch-assembler and reader threads, and the
+    // driver only swaps pre-hashed `Arc`s. The delta is reported as
+    // `driver.payload_hashes` so tests can assert it.
+    let payload_hash_baseline = moonshot_types::payload::data_hashes_on_thread();
     let t = driver.now();
     let outputs = protocol.start(t);
     driver.process(protocol, outputs, t);
@@ -242,6 +254,10 @@ fn run_driver(
     metrics.incr("driver.commits", driver.commits.len() as u64);
     metrics.incr("driver.batches", driver.batches);
     metrics.incr("driver.unverified_messages", driver.unverified_messages);
+    metrics.incr(
+        "driver.payload_hashes",
+        moonshot_types::payload::data_hashes_on_thread() - payload_hash_baseline,
+    );
     metrics.set_gauge("driver.timers_armed", driver.wheel.len() as f64);
     let cache = driver.cache.stats();
     metrics.incr("verify.cache_hits", cache.hits);
@@ -250,6 +266,13 @@ fn run_driver(
     metrics.incr("verify.cache_rejects", cache.rejects);
     metrics.incr("verify.cache_evictions", cache.evictions);
     metrics.set_gauge("verify.cache_len", cache.len as f64);
+    if let Some(pool) = &driver.mempool {
+        let c = pool.counters();
+        metrics.incr("mempool.accepted", c.accepted);
+        metrics.incr("mempool.rejected", c.rejected);
+        metrics.incr("mempool.deduped", c.deduped);
+        metrics.set_gauge("mempool.pending", pool.len() as f64);
+    }
     driver.transport.snapshot_metrics(&mut metrics);
 
     driver.transport.stop();

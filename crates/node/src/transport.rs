@@ -29,6 +29,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use moonshot_consensus::{Message, MessageVerifier};
+use moonshot_mempool::Mempool;
 use moonshot_telemetry::MetricsRegistry;
 use moonshot_types::NodeId;
 use moonshot_wire::{encode_frame, Frame, FrameReader};
@@ -59,6 +60,11 @@ pub struct TransportConfig {
     pub peers: Vec<(NodeId, SocketAddr)>,
     /// Outbound frames buffered per peer before drop-oldest kicks in.
     pub queue_capacity: usize,
+    /// Outbound *bytes* buffered per peer before drop-oldest kicks in.
+    /// With real payloads a frame can be megabytes, so a count-only bound
+    /// is no bound at all: 1024 queued 1.8 MB proposals would pin ~1.8 GB.
+    /// Whichever budget trips first evicts the oldest frames.
+    pub queue_byte_capacity: usize,
     /// First reconnect delay; doubles per consecutive failure.
     pub reconnect_base: Duration,
     /// Reconnect delay ceiling.
@@ -69,20 +75,26 @@ pub struct TransportConfig {
     /// [`Inbound::verified`] set. When `None`, messages are delivered
     /// unverified and the driver checks them inline.
     pub verifier: Option<Arc<MessageVerifier>>,
+    /// When set, `SubmitTx` frames from client connections are fed into
+    /// this mempool on the reader thread (hash + admission control there,
+    /// never on the driver). When `None`, submissions are ignored.
+    pub mempool: Option<Arc<Mempool>>,
 }
 
 impl TransportConfig {
-    /// A config with production-shaped defaults (1024-frame queues, 100 ms
-    /// base / 5 s max backoff).
+    /// A config with production-shaped defaults (1024-frame / 32 MiB
+    /// queues, 100 ms base / 5 s max backoff).
     pub fn new(node_id: NodeId, listen: SocketAddr, peers: Vec<(NodeId, SocketAddr)>) -> Self {
         TransportConfig {
             node_id,
             listen,
             peers,
             queue_capacity: 1024,
+            queue_byte_capacity: 32 * 1024 * 1024,
             reconnect_base: Duration::from_millis(100),
             reconnect_max: Duration::from_secs(5),
             verifier: None,
+            mempool: None,
         }
     }
 
@@ -123,30 +135,46 @@ struct OutboundQueue {
     frames: Mutex<VecFrames>,
     signal: Condvar,
     capacity: usize,
+    byte_capacity: usize,
 }
 
 struct VecFrames {
     queue: std::collections::VecDeque<Arc<Vec<u8>>>,
+    /// Running sum of queued frame lengths.
+    bytes: usize,
 }
 
 impl OutboundQueue {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, byte_capacity: usize) -> Self {
         OutboundQueue {
-            frames: Mutex::new(VecFrames { queue: std::collections::VecDeque::new() }),
+            frames: Mutex::new(VecFrames {
+                queue: std::collections::VecDeque::new(),
+                bytes: 0,
+            }),
             signal: Condvar::new(),
             capacity: capacity.max(1),
+            byte_capacity: byte_capacity.max(1),
         }
     }
 
-    /// Enqueues a frame, dropping the oldest if full. Returns the number of
-    /// frames dropped (0 or 1) and the new depth.
+    /// Enqueues a frame, dropping the oldest until both the frame-count and
+    /// byte budgets hold. The newest frame is always queued (so one frame
+    /// larger than the whole byte budget still gets sent; the queue's
+    /// memory is bounded by `max(byte_capacity, largest frame)`). Returns
+    /// the number of frames dropped and the new depth.
     fn push(&self, frame: Arc<Vec<u8>>) -> (u64, u64) {
         let mut inner = self.frames.lock().unwrap();
         let mut dropped = 0;
-        if inner.queue.len() >= self.capacity {
-            inner.queue.pop_front();
-            dropped = 1;
+        while !inner.queue.is_empty()
+            && (inner.queue.len() >= self.capacity
+                || inner.bytes + frame.len() > self.byte_capacity)
+        {
+            if let Some(old) = inner.queue.pop_front() {
+                inner.bytes -= old.len();
+                dropped += 1;
+            }
         }
+        inner.bytes += frame.len();
         inner.queue.push_back(frame);
         let depth = inner.queue.len() as u64;
         drop(inner);
@@ -162,6 +190,7 @@ impl OutboundQueue {
         let mut inner = self.frames.lock().unwrap();
         loop {
             if let Some(frame) = inner.queue.pop_front() {
+                inner.bytes -= frame.len();
                 return Some(frame);
             }
             let now = Instant::now();
@@ -175,6 +204,11 @@ impl OutboundQueue {
 
     fn depth(&self) -> u64 {
         self.frames.lock().unwrap().queue.len() as u64
+    }
+
+    /// Bytes currently buffered (tests and diagnostics).
+    fn buffered_bytes(&self) -> usize {
+        self.frames.lock().unwrap().bytes
     }
 }
 
@@ -234,7 +268,13 @@ impl Transport {
             peer_metrics.insert(*id, metrics.clone());
             peers.insert(
                 *id,
-                Peer { metrics, queue: Arc::new(OutboundQueue::new(cfg.queue_capacity)) },
+                Peer {
+                    metrics,
+                    queue: Arc::new(OutboundQueue::new(
+                        cfg.queue_capacity,
+                        cfg.queue_byte_capacity,
+                    )),
+                },
             );
         }
 
@@ -247,11 +287,20 @@ impl Transport {
             let inbound = inbound.clone();
             let metrics_map = peer_metrics.clone();
             let verifier = cfg.verifier.clone();
+            let mempool = cfg.mempool.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("accept-{}", cfg.node_id))
                     .spawn(move || {
-                        accept_loop(listener, shutdown, readers, inbound, metrics_map, verifier);
+                        accept_loop(
+                            listener,
+                            shutdown,
+                            readers,
+                            inbound,
+                            metrics_map,
+                            verifier,
+                            mempool,
+                        );
                     })
                     .expect("spawn acceptor"),
             );
@@ -326,6 +375,10 @@ impl Transport {
                 totals[i] += *v;
             }
             reg.set_gauge(&format!("net.peer{}.queue_depth", id.0), depth as f64);
+            reg.set_gauge(
+                &format!("net.peer{}.queue_bytes", id.0),
+                peer.queue.buffered_bytes() as f64,
+            );
             reg.incr(
                 &format!("net.peer{}.decode_errors", id.0),
                 m.decode_errors.load(Ordering::Relaxed),
@@ -372,6 +425,7 @@ fn accept_loop(
     inbound: Sender<Inbound>,
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
     verifier: Option<Arc<MessageVerifier>>,
+    mempool: Option<Arc<Mempool>>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -380,9 +434,12 @@ fn accept_loop(
                 let inbound = inbound.clone();
                 let metrics = metrics.clone();
                 let verifier = verifier.clone();
+                let mempool = mempool.clone();
                 let handle = std::thread::Builder::new()
                     .name("read".into())
-                    .spawn(move || reader_loop(stream, shutdown, inbound, metrics, verifier))
+                    .spawn(move || {
+                        reader_loop(stream, shutdown, inbound, metrics, verifier, mempool)
+                    })
                     .expect("spawn reader");
                 readers.lock().unwrap().push(handle);
             }
@@ -398,6 +455,7 @@ fn reader_loop(
     inbound: Sender<Inbound>,
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
     verifier: Option<Arc<MessageVerifier>>,
+    mempool: Option<Arc<Mempool>>,
 ) {
     let mut stream = stream;
     let _ = stream.set_read_timeout(Some(POLL));
@@ -433,6 +491,18 @@ fn reader_loop(
                         m.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                     }
                     from = Some(node);
+                }
+                Ok(Some(Frame::SubmitTx { tx })) => {
+                    // Client submissions need no hello: clients are not
+                    // validators and have no NodeId. Admission control,
+                    // dedup, and the tx hash all run here on the reader
+                    // thread — the driver never sees raw submissions. The
+                    // result is intentionally dropped: backpressure is
+                    // best-effort over one-way streams, and the mempool's
+                    // counters record every accept/reject/dedup.
+                    if let Some(pool) = &mempool {
+                        let _ = pool.submit(tx);
+                    }
                 }
                 Ok(Some(Frame::Consensus(msg))) => {
                     let Some(id) = from else {
@@ -534,7 +604,7 @@ mod tests {
 
     #[test]
     fn queue_drops_oldest_when_full() {
-        let q = OutboundQueue::new(2);
+        let q = OutboundQueue::new(2, usize::MAX);
         let f = |b: u8| Arc::new(vec![b]);
         assert_eq!(q.push(f(1)).0, 0);
         assert_eq!(q.push(f(2)).0, 0);
@@ -545,8 +615,43 @@ mod tests {
     }
 
     #[test]
+    fn queue_byte_budget_bounds_memory_under_large_frame_burst() {
+        // Regression: with real payloads a single frame can be ~1.8 MB, so
+        // a 1024-frame count budget alone would buffer gigabytes. The byte
+        // budget must evict the oldest frames instead.
+        const FRAME: usize = 1_800_000;
+        const BUDGET: usize = 8 * 1024 * 1024;
+        let q = OutboundQueue::new(1024, BUDGET);
+        let mut dropped_total = 0;
+        for i in 0..100u8 {
+            dropped_total += q.push(Arc::new(vec![i; FRAME])).0;
+        }
+        assert!(q.buffered_bytes() <= BUDGET, "buffered {} > budget", q.buffered_bytes());
+        assert!(dropped_total >= 95, "expected most frames evicted, dropped {dropped_total}");
+        // The freshest frame always survives, oldest go first: the head of
+        // the queue is the oldest *retained* frame and the newest is last.
+        let first = q.pop(Duration::ZERO).unwrap();
+        assert!(first[0] > 90);
+        let mut last = first[0];
+        while let Some(f) = q.pop(Duration::ZERO) {
+            last = f[0];
+        }
+        assert_eq!(last, 99, "newest frame must never be evicted");
+        assert_eq!(q.buffered_bytes(), 0);
+
+        // A frame larger than the whole byte budget is still queued (memory
+        // bound = max(budget, one frame)).
+        let q = OutboundQueue::new(1024, 1024);
+        q.push(Arc::new(vec![1; 4096]));
+        assert_eq!(q.depth(), 1);
+        let (dropped, depth) = q.push(Arc::new(vec![2; 8]));
+        assert_eq!((dropped, depth), (1, 1)); // oversized head evicted
+        assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 2);
+    }
+
+    #[test]
     fn pop_survives_spurious_wakeups_until_deadline_or_frame() {
-        let q = Arc::new(OutboundQueue::new(4));
+        let q = Arc::new(OutboundQueue::new(4, usize::MAX));
         let q2 = q.clone();
         let waiter = std::thread::spawn(move || q2.pop(Duration::from_millis(500)));
         // A notify with an empty queue (indistinguishable from a spurious

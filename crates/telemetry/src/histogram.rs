@@ -46,6 +46,14 @@ impl Histogram {
         Histogram::new(1_000, 60_000)
     }
 
+    /// Sized for submit→commit transaction latencies: client latency spans
+    /// mempool queueing plus a few view rounds, so 100 µs buckets up to
+    /// 10 s keep sub-millisecond resolution where loaded clusters actually
+    /// land without ballooning the bucket array.
+    pub fn for_tx_latency_us() -> Self {
+        Histogram::new(100, 100_000)
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         let idx = (value / self.bucket_width) as usize;
@@ -168,6 +176,19 @@ impl HistogramSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tx_latency_histogram_resolves_sub_millisecond_queueing() {
+        let mut h = Histogram::for_tx_latency_us();
+        h.record(250); // a tx committed 250 µs after submission
+        h.record(850);
+        h.record(12_000);
+        // 100 µs buckets: the median resolves to its 100 µs bucket edge (a
+        // 1 ms-bucket histogram would round the same sample up to 1000).
+        assert_eq!(h.quantile(0.0), Some(250)); // exact min
+        assert_eq!(h.quantile(0.5), Some(900)); // bucket [800, 900) upper edge
+        assert_eq!(h.max(), Some(12_000));
+    }
 
     #[test]
     fn empty_histogram_answers_none() {

@@ -3,12 +3,22 @@
 //! The paper's evaluation replaced the mempool by having leaders "create
 //! parametrically sized payloads during the block creation process, with
 //! individual payload items being 180 bytes in size" (§VI). A payload here is
-//! either real bytes (for small tests and examples) or a *synthetic* payload
-//! that records only its size and a content digest — so that simulating a
-//! 9 MB block does not allocate 9 MB, while the bandwidth model still charges
-//! for every byte.
+//! either real bytes (for the mempool-backed data path, tests and examples)
+//! or a *synthetic* payload that records only its size and a content digest —
+//! so that simulating a 9 MB block does not allocate 9 MB, while the
+//! bandwidth model still charges for every byte.
+//!
+//! Real payload bytes are carried as `Arc<[u8]>` with their digest computed
+//! **once** at construction and cached alongside the bytes. That makes
+//! cloning a payload through mempool → block → wire frame → per-peer writer
+//! queues a reference-count bump, and makes `Block::assemble` on the driver
+//! hot loop a cached-digest read, never a hash of megabytes. The
+//! [`data_hashes_on_thread`] counter counts every content hash the calling
+//! thread actually performed, so the runtime can assert the driver did none.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use moonshot_crypto::Digest;
 
@@ -17,11 +27,44 @@ use crate::wire::WireSize;
 /// Size of one payload item in bytes, as in the paper's evaluation.
 pub const PAYLOAD_ITEM_BYTES: u64 = 180;
 
+std::thread_local! {
+    static DATA_HASHES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many `Payload::Data` content hashes the **calling thread** has
+/// performed since it started. The node driver snapshots this around its
+/// hot loop to prove proposal assembly never hashes payload bytes (batch
+/// assembler threads and transport reader threads hash on their own
+/// threads and their own counters).
+pub fn data_hashes_on_thread() -> u64 {
+    DATA_HASHES.with(|c| c.get())
+}
+
+/// Hashes real payload bytes, charging the calling thread's hash counter.
+fn hash_data_bytes(bytes: &[u8]) -> Digest {
+    DATA_HASHES.with(|c| c.set(c.get() + 1));
+    Digest::hash_parts(&[b"moonshot-data-payload", bytes])
+}
+
+/// Digest of the empty payload, computed once per process (so `empty()` on
+/// the driver hot loop neither hashes nor charges the counter).
+fn empty_digest() -> Digest {
+    static EMPTY: OnceLock<Digest> = OnceLock::new();
+    *EMPTY.get_or_init(|| Digest::hash_parts(&[b"moonshot-data-payload", b""]))
+}
+
 /// The transactions carried by a block (`b_v` in the paper).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub enum Payload {
-    /// Real transaction bytes.
-    Data(Vec<u8>),
+    /// Real transaction bytes, shared zero-copy with the digest cached at
+    /// construction time. The digest is what the block id commits to;
+    /// [`Payload::digest_matches_bytes`] checks the bytes still match it.
+    Data {
+        /// The transaction bytes, shared across mempool, block, and frames.
+        bytes: Arc<[u8]>,
+        /// Cached content digest (hash of the bytes), computed once.
+        digest: Digest,
+    },
     /// A stand-in for `size` bytes of transactions with the given digest.
     Synthetic {
         /// Total payload size in bytes.
@@ -34,7 +77,22 @@ pub enum Payload {
 impl Payload {
     /// The empty payload.
     pub fn empty() -> Self {
-        Payload::Data(Vec::new())
+        Payload::Data { bytes: Arc::from([] as [u8; 0]), digest: empty_digest() }
+    }
+
+    /// Real payload bytes; hashes them once, here, on the calling thread.
+    pub fn data(bytes: impl Into<Arc<[u8]>>) -> Self {
+        let bytes = bytes.into();
+        let digest = hash_data_bytes(&bytes);
+        Payload::Data { bytes, digest }
+    }
+
+    /// Real payload bytes with a digest the caller already computed (batch
+    /// assembler handoff, wire decode). The digest is **trusted** — receive
+    /// paths must validate it with [`Payload::digest_matches_bytes`] before
+    /// acting on the block.
+    pub fn data_prehashed(bytes: Arc<[u8]>, digest: Digest) -> Self {
+        Payload::Data { bytes, digest }
     }
 
     /// A synthetic payload of `items` × 180-byte items, deterministically
@@ -60,7 +118,7 @@ impl Payload {
     /// Payload size in bytes.
     pub fn size(&self) -> u64 {
         match self {
-            Payload::Data(d) => d.len() as u64,
+            Payload::Data { bytes, .. } => bytes.len() as u64,
             Payload::Synthetic { size, .. } => *size,
         }
     }
@@ -70,11 +128,37 @@ impl Payload {
         self.size() / PAYLOAD_ITEM_BYTES
     }
 
-    /// Digest of the payload contents, used inside the block id.
+    /// Digest of the payload contents, used inside the block id. For real
+    /// data this reads the cached digest — it never re-hashes the bytes.
     pub fn digest(&self) -> Digest {
         match self {
-            Payload::Data(d) => Digest::hash_parts(&[b"moonshot-data-payload", d]),
+            Payload::Data { digest, .. } => *digest,
             Payload::Synthetic { digest, .. } => *digest,
+        }
+    }
+
+    /// The real transaction bytes, if this is a data payload.
+    pub fn data_bytes(&self) -> Option<&Arc<[u8]>> {
+        match self {
+            Payload::Data { bytes, .. } => Some(bytes),
+            Payload::Synthetic { .. } => None,
+        }
+    }
+
+    /// Re-hashes real payload bytes and compares against the carried
+    /// digest. `false` means the bytes were tampered with relative to what
+    /// the block id commits to. Synthetic payloads are their digest by
+    /// definition. Charges the calling thread's hash counter for data.
+    pub fn digest_matches_bytes(&self) -> bool {
+        match self {
+            Payload::Data { bytes, digest } => {
+                if bytes.is_empty() {
+                    *digest == empty_digest()
+                } else {
+                    hash_data_bytes(bytes) == *digest
+                }
+            }
+            Payload::Synthetic { .. } => true,
         }
     }
 }
@@ -85,14 +169,51 @@ impl Default for Payload {
     }
 }
 
+// Equality and hashing go through the cached digest, never the bytes —
+// comparing two 9 MB payloads must not scan 18 MB. Two data payloads with
+// equal digests are the same payload for block-identity purposes (that is
+// exactly what the block id commits to).
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Payload::Data { digest: a, .. }, Payload::Data { digest: b, .. }) => a == b,
+            (
+                Payload::Synthetic { size: sa, digest: a },
+                Payload::Synthetic { size: sb, digest: b },
+            ) => sa == sb && a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Payload {}
+
+impl Hash for Payload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Payload::Data { digest, .. } => {
+                state.write_u8(0);
+                digest.hash(state);
+            }
+            Payload::Synthetic { size, digest } => {
+                state.write_u8(1);
+                size.hash(state);
+                digest.hash(state);
+            }
+        }
+    }
+}
+
 impl WireSize for Payload {
     fn wire_size(&self) -> usize {
         // Matches the moonshot-wire codec exactly: a variant tag, then for
-        // real data a u32 length + the bytes, for synthetic payloads a u64
-        // size + the content digest + `size` filler bytes (a real transport
-        // genuinely carries the payload's bytes either way).
+        // real data a u32 length + the content digest + the bytes (the
+        // digest rides the wire so decoding never has to re-hash the
+        // payload), for synthetic payloads a u64 size + the content digest
+        // + `size` filler bytes (a real transport genuinely carries the
+        // payload's bytes either way).
         match self {
-            Payload::Data(d) => 1 + 4 + d.len(),
+            Payload::Data { bytes, .. } => 1 + 4 + 32 + bytes.len(),
             Payload::Synthetic { size, .. } => 1 + 8 + 32 + *size as usize,
         }
     }
@@ -101,7 +222,9 @@ impl WireSize for Payload {
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Payload::Data(d) => write!(f, "Payload::Data({} bytes)", d.len()),
+            Payload::Data { bytes, digest } => {
+                write!(f, "Payload::Data({} bytes, {})", bytes.len(), digest.short())
+            }
             Payload::Synthetic { size, digest } => {
                 write!(f, "Payload::Synthetic({size} bytes, {})", digest.short())
             }
@@ -111,7 +234,7 @@ impl fmt::Debug for Payload {
 
 impl From<Vec<u8>> for Payload {
     fn from(bytes: Vec<u8>) -> Self {
-        Payload::Data(bytes)
+        Payload::data(bytes)
     }
 }
 
@@ -122,8 +245,8 @@ mod tests {
     #[test]
     fn empty_payload_is_zero_sized() {
         assert_eq!(Payload::empty().size(), 0);
-        // The codec still frames an empty payload: tag + u32 length.
-        assert_eq!(Payload::empty().wire_size(), 5);
+        // The codec still frames an empty payload: tag + u32 length + digest.
+        assert_eq!(Payload::empty().wire_size(), 37);
         assert_eq!(Payload::empty().item_count(), 0);
     }
 
@@ -132,6 +255,9 @@ mod tests {
         let a = Payload::synthetic_bytes(1_800, 0);
         let b = Payload::synthetic_bytes(18_000, 0);
         assert_eq!(b.wire_size() - a.wire_size(), (18_000 - 1_800) as usize);
+        let c = Payload::from(vec![7u8; 100]);
+        let d = Payload::from(vec![7u8; 350]);
+        assert_eq!(d.wire_size() - c.wire_size(), 250);
     }
 
     #[test]
@@ -162,6 +288,38 @@ mod tests {
             Payload::from(vec![1, 2, 3]).digest(),
             Payload::from(vec![1, 2, 4]).digest()
         );
+    }
+
+    #[test]
+    fn data_digest_is_cached_not_recomputed() {
+        let p = Payload::from(vec![9u8; 4096]);
+        let before = data_hashes_on_thread();
+        let a = p.digest();
+        let b = p.clone().digest();
+        assert_eq!(a, b);
+        assert_eq!(data_hashes_on_thread(), before, "digest() must not re-hash");
+    }
+
+    #[test]
+    fn empty_payload_never_charges_the_hash_counter() {
+        let _ = Payload::empty(); // warm the OnceLock off the measurement
+        let before = data_hashes_on_thread();
+        let p = Payload::empty();
+        let _ = p.digest();
+        assert!(p.digest_matches_bytes());
+        assert_eq!(data_hashes_on_thread(), before);
+    }
+
+    #[test]
+    fn tampered_bytes_fail_digest_check() {
+        let honest = Payload::from(vec![1u8; 512]);
+        assert!(honest.digest_matches_bytes());
+        let tampered = Payload::data_prehashed(Arc::from(vec![2u8; 512]), honest.digest());
+        assert!(!tampered.digest_matches_bytes());
+        // Tampering is invisible to digest-based equality — that is the
+        // point: the block id commits to the digest, so integrity needs the
+        // explicit byte check.
+        assert_eq!(honest, tampered);
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub const MAX_FRAME_BODY: usize = 16 * 1024 * 1024;
 /// use tags 0..=11; transport-level frames start at 0x40.
 pub const TAG_HELLO: u8 = 0x40;
 
-/// A top-level frame: either the transport handshake or a consensus message.
+/// Type tag for [`Frame::SubmitTx`]: a client transaction submission.
+pub const TAG_SUBMIT_TX: u8 = 0x41;
+
+/// A top-level frame: the transport handshake, a client transaction
+/// submission, or a consensus message.
 // Frames are decoded and consumed immediately, never stored in bulk, so the
 // Hello/Consensus size gap costs nothing.
 #[allow(clippy::large_enum_variant)]
@@ -55,6 +59,14 @@ pub enum Frame {
     Hello {
         /// The sender's node id.
         node: NodeId,
+    },
+    /// One raw transaction submitted by a client. Clients are not
+    /// validators, so this frame needs no [`Frame::Hello`] preamble; the
+    /// receiving node feeds it straight into its mempool (admission control
+    /// — budgets, dedup — happens there, not on the wire).
+    SubmitTx {
+        /// The opaque transaction bytes.
+        tx: Vec<u8>,
     },
     /// A consensus protocol message.
     Consensus(Message),
@@ -123,35 +135,42 @@ const fn crc_table() -> [u32; 256] {
     table
 }
 
-fn seal(tag: u8, body: Vec<u8>) -> Vec<u8> {
-    debug_assert!(body.len() <= MAX_FRAME_BODY, "frame body exceeds cap");
-    let mut enc = Encoder::with_capacity(FRAME_HEADER_LEN + body.len());
+/// Encodes a frame body straight into the final buffer after a placeholder
+/// header, then backfills length and CRC in place. Body bytes — including
+/// multi-megabyte payloads — are written exactly once; there is no
+/// intermediate body `Vec` that gets copied behind a header.
+fn encode_sealed(tag: u8, size_hint: usize, build: impl FnOnce(&mut Encoder)) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(FRAME_HEADER_LEN + size_hint);
     enc.put_bytes(&FRAME_MAGIC);
     enc.put_u8(PROTOCOL_VERSION);
     enc.put_u8(tag);
     enc.put_u16(0); // flags
-    enc.put_u32(body.len() as u32);
-    enc.put_u32(crc32(&body));
-    enc.put_bytes(&body);
-    enc.finish()
+    enc.put_u32(0); // body length, backfilled below
+    enc.put_u32(0); // body CRC, backfilled below
+    build(&mut enc);
+    let mut buf = enc.finish();
+    let body_len = buf.len() - FRAME_HEADER_LEN;
+    debug_assert!(body_len <= MAX_FRAME_BODY, "frame body exceeds cap");
+    let crc = crc32(&buf[FRAME_HEADER_LEN..]);
+    buf[8..12].copy_from_slice(&(body_len as u32).to_le_bytes());
+    buf[12..16].copy_from_slice(&crc.to_le_bytes());
+    buf
 }
 
 /// Encodes a consensus message into one complete frame. The result's length
 /// equals `msg.wire_size()`.
 pub fn encode_message(msg: &Message) -> Vec<u8> {
-    let mut body = Encoder::new();
-    encode_message_body(msg, &mut body);
-    seal(message_tag(msg), body.finish())
+    use moonshot_types::WireSize;
+    encode_sealed(message_tag(msg), msg.wire_size().saturating_sub(FRAME_HEADER_LEN), |enc| {
+        encode_message_body(msg, enc)
+    })
 }
 
-/// Encodes any frame (handshake or consensus) into bytes.
+/// Encodes any frame (handshake, client submission or consensus) into bytes.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     match frame {
-        Frame::Hello { node } => {
-            let mut body = Encoder::new();
-            node.encode(&mut body);
-            seal(TAG_HELLO, body.finish())
-        }
+        Frame::Hello { node } => encode_sealed(TAG_HELLO, 2, |enc| node.encode(enc)),
+        Frame::SubmitTx { tx } => encode_sealed(TAG_SUBMIT_TX, tx.len(), |enc| enc.put_bytes(tx)),
         Frame::Consensus(msg) => encode_message(msg),
     }
 }
@@ -160,6 +179,10 @@ fn decode_body(tag: u8, body: &[u8]) -> Result<Frame, WireError> {
     let mut dec = Decoder::new(body);
     let frame = if tag == TAG_HELLO {
         Frame::Hello { node: NodeId::decode(&mut dec)? }
+    } else if tag == TAG_SUBMIT_TX {
+        // The whole body is the transaction; the frame header already
+        // bounds and checksums it.
+        Frame::SubmitTx { tx: dec.take(dec.remaining())?.to_vec() }
     } else {
         Frame::Consensus(decode_message_body(tag, &mut dec)?)
     };
@@ -334,6 +357,22 @@ mod tests {
             assert_eq!(out, frames);
             assert_eq!(reader.buffered(), 0);
         }
+    }
+
+    #[test]
+    fn submit_tx_roundtrips_and_survives_splits() {
+        let frame = Frame::SubmitTx { tx: (0u16..600).map(|i| i as u8).collect() };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        let mut reader = FrameReader::new();
+        for piece in bytes.chunks(13) {
+            reader.extend(piece);
+        }
+        assert_eq!(reader.next_frame().unwrap(), Some(frame));
+        // An empty submission is legal framing; admission control rejects it
+        // at the mempool, not the codec.
+        let empty = Frame::SubmitTx { tx: Vec::new() };
+        assert_eq!(decode_frame(&encode_frame(&empty)).unwrap(), empty);
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod messages;
 pub use codec::{Decode, Decoder, Encode, Encoder, WireError};
 pub use frame::{
     decode_frame, encode_frame, encode_message, Frame, FrameHeader, FrameReader, FRAME_HEADER_LEN,
-    MAX_FRAME_BODY, PROTOCOL_VERSION,
+    MAX_FRAME_BODY, PROTOCOL_VERSION, TAG_SUBMIT_TX,
 };

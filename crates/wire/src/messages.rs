@@ -14,6 +14,8 @@
 //! signature verification, which stays where it always was, in the protocol
 //! state machines).
 
+use std::sync::Arc;
+
 use moonshot_consensus::Message;
 use moonshot_crypto::signature::SIGNATURE_LEN;
 use moonshot_crypto::{Digest, MultiSig, Signature};
@@ -119,10 +121,15 @@ impl Decode for VoteKind {
 impl Encode for Payload {
     fn encode(&self, enc: &mut Encoder) {
         match self {
-            Payload::Data(d) => {
+            Payload::Data { bytes, digest } => {
+                // The cached digest rides the wire so the decoder can
+                // rebuild the payload without re-hashing it; receive paths
+                // validate bytes-vs-digest explicitly (verifier / inline
+                // proposal checks), not the codec.
                 enc.put_u8(PAYLOAD_DATA);
-                enc.put_u32(d.len() as u32);
-                enc.put_bytes(d);
+                enc.put_u32(bytes.len() as u32);
+                digest.encode(enc);
+                enc.put_bytes(bytes);
             }
             Payload::Synthetic { size, digest } => {
                 // A real link genuinely carries the payload's bytes: the
@@ -143,7 +150,11 @@ impl Decode for Payload {
         match dec.get_u8()? {
             PAYLOAD_DATA => {
                 let len = dec.get_count(1)?;
-                Ok(Payload::Data(dec.take(len)?.to_vec()))
+                let digest = Digest::decode(dec)?;
+                // One copy out of the frame buffer into the shared Arc; no
+                // hashing here (the carried digest is validated by the
+                // message verifier / inline proposal checks).
+                Ok(Payload::data_prehashed(Arc::from(dec.take(len)?), digest))
             }
             PAYLOAD_SYNTHETIC => {
                 let size = dec.get_u64()?;

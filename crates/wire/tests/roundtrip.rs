@@ -29,7 +29,7 @@ fn rand_payload(rng: &mut DetRng) -> Payload {
     match rng.gen_below(3) {
         0 => {
             let len = rng.gen_below(300) as usize;
-            Payload::Data(rng.gen_bytes(len))
+            Payload::data(rng.gen_bytes(len))
         }
         1 => Payload::empty(),
         _ => Payload::synthetic_items(rng.gen_below(50), rng.next_u64()),

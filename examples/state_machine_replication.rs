@@ -100,8 +100,8 @@ fn main() {
                     let outs = self.inner.handle_message(from, message, now);
                     for o in &outs {
                         if let moonshot::consensus::Output::Commit(c) = o {
-                            if let Payload::Data(bytes) = c.block.payload() {
-                                (self.hook)(bytes.clone());
+                            if let Some(bytes) = c.block.payload().data_bytes() {
+                                (self.hook)(bytes.to_vec());
                             }
                         }
                     }
