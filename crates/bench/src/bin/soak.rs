@@ -31,7 +31,8 @@ fn main() {
 
     println!("SOAK — protocol × adversary × fault matrix ({secs} s per cell)\n");
     let mut csv = String::from(
-        "protocol,adversary,faults,commits,commits_after_quiet,faults_injected,ok\n",
+        "protocol,adversary,faults,commits,commits_after_quiet,faults_injected,\
+         dropped_trace_events,ok\n",
     );
     let mut failed = 0usize;
     for r in &reports {
@@ -40,13 +41,14 @@ fn main() {
             println!("      violation: {v}");
         }
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{}\n",
             r.config.protocol.label(),
             r.config.adversary.label(),
             r.config.faults.label(),
             r.committed_blocks,
             r.commits_after_quiet,
             r.fault_stats.total(),
+            r.dropped_trace_events,
             r.passed(),
         ));
         if !r.passed() {

@@ -481,6 +481,10 @@ impl ConsensusProtocol for Jolteon {
         self.round
     }
 
+    fn locked_view(&self) -> View {
+        self.high_qc().view()
+    }
+
     fn name(&self) -> &'static str {
         if self.three_chain() {
             "hotstuff"

@@ -709,6 +709,10 @@ impl ConsensusProtocol for PipelinedMoonshot {
         self.view
     }
 
+    fn locked_view(&self) -> View {
+        self.lock().view()
+    }
+
     fn name(&self) -> &'static str {
         if self.opts.explicit_commits {
             "commit-moonshot"
@@ -784,6 +788,9 @@ impl ConsensusProtocol for CommitMoonshot {
     }
     fn current_view(&self) -> View {
         self.0.current_view()
+    }
+    fn locked_view(&self) -> View {
+        self.0.locked_view()
     }
     fn name(&self) -> &'static str {
         self.0.name()

@@ -554,6 +554,10 @@ impl ConsensusProtocol for SimpleMoonshot {
         self.view
     }
 
+    fn locked_view(&self) -> View {
+        self.lock().view()
+    }
+
     fn name(&self) -> &'static str {
         "simple-moonshot"
     }

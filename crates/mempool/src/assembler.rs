@@ -11,11 +11,11 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use moonshot_types::Payload;
 
-use crate::batch::encode_batch;
+use crate::batch::{encode_batch, tx_timestamp_us};
 use crate::pool::Mempool;
 
 /// A fully assembled, pre-hashed payload waiting to be proposed.
@@ -25,6 +25,16 @@ pub struct PreparedPayload {
     pub payload: Payload,
     /// How many transactions the batch carries.
     pub tx_count: u64,
+    /// When the batch was sealed, in microseconds since the assembler's
+    /// epoch (the cluster-wide time origin) — the `BatchSealed` stage
+    /// timestamp.
+    pub sealed_at_us: u64,
+    /// Per-transaction mempool-queue delay (seal time − embedded submit
+    /// timestamp, µs), computed here on the assembler thread so the driver
+    /// can fold the samples into `stage_latency_us.mempool_queue` without
+    /// re-reading payload bytes on the hot loop. Transactions without a
+    /// parseable timestamp are skipped.
+    pub queue_us: Vec<u64>,
 }
 
 /// The handoff cell between the assembler thread and the driver's payload
@@ -59,8 +69,11 @@ pub struct BatchAssembler {
 
 impl BatchAssembler {
     /// Spawns the assembler. `max_batch_bytes` bounds the framed batch
-    /// (the payload-per-block target of the run).
-    pub fn start(pool: Arc<Mempool>, max_batch_bytes: usize) -> BatchAssembler {
+    /// (the payload-per-block target of the run); `epoch` is the time
+    /// origin used for seal timestamps, which must match the one the
+    /// client load generator stamps transactions against for the
+    /// per-transaction queue delays to mean anything.
+    pub fn start(pool: Arc<Mempool>, max_batch_bytes: usize, epoch: Instant) -> BatchAssembler {
         let slot = PreparedSlot::default();
         let shutdown = Arc::new(AtomicBool::new(false));
         let batches = Arc::new(AtomicU64::new(0));
@@ -70,7 +83,7 @@ impl BatchAssembler {
             let batches = batches.clone();
             thread::Builder::new()
                 .name("batch-assembler".into())
-                .spawn(move || run(pool, slot, shutdown, batches, max_batch_bytes))
+                .spawn(move || run(pool, slot, shutdown, batches, max_batch_bytes, epoch))
                 .expect("spawn batch assembler")
         };
         BatchAssembler { slot, shutdown, batches, thread: Some(thread) }
@@ -102,6 +115,7 @@ fn run(
     shutdown: Arc<AtomicBool>,
     batches: Arc<AtomicU64>,
     max_batch_bytes: usize,
+    epoch: Instant,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         if slot.is_full() || pool.is_empty() {
@@ -115,10 +129,16 @@ fn run(
             continue;
         }
         let tx_count = txs.len() as u64;
+        let sealed_at_us = epoch.elapsed().as_micros() as u64;
+        let queue_us = txs
+            .iter()
+            .filter_map(|t| tx_timestamp_us(&t.bytes))
+            .map(|submitted| sealed_at_us.saturating_sub(submitted))
+            .collect();
         // The one and only content hash of this batch happens here, on the
         // assembler thread — Payload::data charges *this* thread's counter.
         let payload = Payload::data(encode_batch(&txs));
-        slot.put(PreparedPayload { payload, tx_count });
+        slot.put(PreparedPayload { payload, tx_count, sealed_at_us, queue_us });
         batches.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -133,13 +153,14 @@ mod tests {
     #[test]
     fn assembler_stages_prehashed_batches_off_thread() {
         let pool = Arc::new(Mempool::new(MempoolConfig::default()));
-        let assembler = BatchAssembler::start(pool.clone(), 1_800);
+        let assembler = BatchAssembler::start(pool.clone(), 1_800, Instant::now());
         let slot = assembler.slot();
         for seq in 0..40u64 {
             pool.submit(make_tx(500 + seq, 1, seq, 180)).unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut collected: Vec<Vec<u8>> = Vec::new();
+        let mut last_sealed_at = 0u64;
         while collected.len() < 40 && Instant::now() < deadline {
             let hashes_before = moonshot_types::payload::data_hashes_on_thread();
             match slot.take() {
@@ -152,6 +173,12 @@ mod tests {
                     );
                     assert!(prepared.payload.digest_matches_bytes());
                     assert!(prepared.payload.size() <= 1_800);
+                    // Seal timestamps come from the shared epoch and move
+                    // forward batch over batch; every tx in the batch gets
+                    // a queue-delay sample.
+                    assert!(prepared.sealed_at_us >= last_sealed_at);
+                    last_sealed_at = prepared.sealed_at_us;
+                    assert_eq!(prepared.queue_us.len() as u64, prepared.tx_count);
                     let bytes = prepared.payload.data_bytes().unwrap();
                     let txs: Vec<Vec<u8>> =
                         batch_txs(bytes).map(|t| t.to_vec()).collect();

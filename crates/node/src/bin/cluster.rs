@@ -30,13 +30,18 @@
 //! For every run this spins up an `--n`-validator cluster on loopback,
 //! lets it run for the wall-clock duration, then stops it and:
 //!
+//! * scrapes node 0's live introspection plane (`/status` + `/metrics`)
+//!   at half duration — the scrape is embedded in the output row, and a
+//!   loaded run **fails** unless every `stage_latency_us.*` histogram is
+//!   already present and nonzero mid-run,
 //! * replays the merged trace through the invariant checker (any safety
 //!   violation fails the run),
 //! * writes the merged trace to `<out-dir>/cluster-<label>.trace.jsonl`,
 //! * appends a row to `<out-dir>/cluster.csv` and an object to
 //!   `<out-dir>/cluster.json` with real throughput, p50/p99 commit
-//!   latency, and (loaded runs) submit→commit transaction latency plus
-//!   mempool admission counters,
+//!   latency, (loaded runs) submit→commit transaction latency plus
+//!   mempool admission counters, and the per-stage latency decomposition
+//!   (mempool-queue, propose-wait, vote-to-QC, QC-to-commit p50/p99),
 //! * writes the whole comparison to `--bench-json` (default
 //!   `BENCH_cluster.json`).
 //!
@@ -82,11 +87,43 @@ struct RunRow {
     txs_committed: u64,
     tx_p50_ms: f64,
     tx_p99_ms: f64,
+    /// Per-stage (p50, p99) in ms: mempool-queue, propose-wait,
+    /// vote-to-QC, QC-to-commit.
+    stages: [(f64, f64); 4],
     json: String,
 }
 
 /// The Fig-8 payload axis replayed on real sockets (bytes per block).
 const SWEEP_SIZES: [usize; 3] = [1_800, 18_000, 180_000];
+
+/// One live scrape of a node's introspection endpoint: writes `path` as a
+/// line, reads the one-line JSON answer. `None` on any socket error.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> Option<String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    stream.write_all(path.as_bytes()).ok()?;
+    stream.write_all(b"\n").ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    let line = line.trim().to_string();
+    (!line.is_empty()).then_some(line)
+}
+
+/// Pulls `"count":N` for histogram `name` out of a `/metrics` JSON line
+/// without a JSON parser — the registry serializes each histogram as
+/// `"<name>":{"count":N,...}`.
+fn hist_count(metrics_json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":{{\"count\":");
+    let start = metrics_json.find(&key)? + key.len();
+    let digits: String =
+        metrics_json[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// The four stage histograms every loaded run must be exporting, in
+/// pipeline order.
+const STAGES: [&str; 4] = ["mempool_queue", "propose_wait", "vote_to_qc", "qc_to_commit"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -195,9 +232,49 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Mid-run, scrape node 0's live introspection plane. The scrape is
+        // the proof the observability path works while the system is under
+        // load — a loaded run fails unless every stage histogram is
+        // already present and nonzero at half time.
+        let scrape_at = Instant::now() + Duration::from_secs(duration_secs) / 2;
         let stop_at = Instant::now() + Duration::from_secs(duration_secs);
+        let mut live_status: Option<String> = None;
+        let mut live_metrics: Option<String> = None;
         while Instant::now() < stop_at {
+            if live_status.is_none() && Instant::now() >= scrape_at {
+                if let Some(Some(addr)) = cluster.introspect_addrs().first() {
+                    live_status = scrape(*addr, "/status");
+                    live_metrics = scrape(*addr, "/metrics");
+                }
+            }
             std::thread::sleep(Duration::from_millis(100));
+        }
+        match (&live_status, &live_metrics) {
+            (Some(status), Some(metrics)) => {
+                eprintln!("  live /status @ t/2: {status}");
+                if !status.contains("\"current_view\":") || !status.contains("\"mempool_txs\":")
+                {
+                    eprintln!("  FAIL: live /status is missing current_view/mempool depth");
+                    failed = true;
+                }
+                if load.is_some() {
+                    for stage in STAGES {
+                        let count =
+                            hist_count(metrics, &format!("stage_latency_us.{stage}"));
+                        if count.unwrap_or(0) == 0 {
+                            eprintln!(
+                                "  FAIL: live /metrics has no samples for \
+                                 stage_latency_us.{stage} at half duration"
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            _ => {
+                eprintln!("  FAIL: live introspection scrape failed");
+                failed = true;
+            }
         }
         let report = cluster.stop();
         let elapsed = report.elapsed.as_secs_f64();
@@ -264,6 +341,15 @@ fn main() -> ExitCode {
         }
         let tx_p50_ms = tx_hist.quantile(0.50).unwrap_or(0) as f64 / 1000.0;
         let tx_p99_ms = tx_hist.quantile(0.99).unwrap_or(0) as f64 / 1000.0;
+        // The latency decomposition: where the p50 (and p99) transaction
+        // spent its time. Rank-conditional, so the four stage components
+        // sum to the end-to-end tx percentile by construction — marginal
+        // stage percentiles would not add up.
+        let stage_samples = report.stage_latencies();
+        let d50 = stage_samples.decompose_us(0.50).unwrap_or([0.0; 4]);
+        let d99 = stage_samples.decompose_us(0.99).unwrap_or([0.0; 4]);
+        let stages: [(f64, f64); 4] =
+            std::array::from_fn(|i| (d50[i] / 1000.0, d99[i] / 1000.0));
         eprintln!(
             "  {committed} blocks quorum-committed ({blocks_per_sec:.1}/s), \
              {:.1} kB/s goodput, commit latency p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms, \
@@ -279,6 +365,17 @@ fn main() -> ExitCode {
                 sum_metric("mempool.rejected"),
                 sum_metric("mempool.deduped"),
             );
+            let sum_p50: f64 = stages.iter().map(|(p50, _)| p50).sum();
+            eprintln!(
+                "  stage p50 (ms): mempool-queue {:.1} + propose-wait {:.1} + \
+                 vote-to-qc {:.1} + qc-to-commit {:.1} = {sum_p50:.1} \
+                 (end-to-end tx p50 {tx_p50_ms:.1})",
+                stages[0].0, stages[1].0, stages[2].0, stages[3].0
+            );
+            if stage_samples.is_empty() {
+                eprintln!("  FAIL: loaded run produced no stage-latency samples");
+                failed = true;
+            }
         }
 
         let mut o = JsonObject::new();
@@ -296,6 +393,10 @@ fn main() -> ExitCode {
         o.field_u64("txs_committed", txs_committed);
         o.field_f64("tx_latency_p50_ms", tx_p50_ms);
         o.field_f64("tx_latency_p99_ms", tx_p99_ms);
+        for (stage, (p50, p99)) in STAGES.iter().zip(stages) {
+            o.field_f64(&format!("stage_{stage}_p50_ms"), p50);
+            o.field_f64(&format!("stage_{stage}_p99_ms"), p99);
+        }
         o.field_u64("txs_submitted", report.client.map(|c| c.submitted).unwrap_or(0));
         o.field_u64("mempool_accepted", sum_metric("mempool.accepted"));
         o.field_u64("mempool_rejected", sum_metric("mempool.rejected"));
@@ -304,6 +405,14 @@ fn main() -> ExitCode {
         o.field_u64("invariant_violations", violations);
         o.field_u64("cache_hits", cache_hits);
         o.field_u64("cache_misses", cache_misses);
+        // The half-duration scrape, verbatim, so every benchmark row
+        // carries proof of what the live plane answered mid-run.
+        if let Some(status) = &live_status {
+            o.field_raw("live_status", status);
+        }
+        if let Some(metrics) = &live_metrics {
+            o.field_raw("live_metrics", metrics);
+        }
         o.field_raw(
             "nodes",
             &moonshot_telemetry::json::array(
@@ -323,6 +432,7 @@ fn main() -> ExitCode {
             txs_committed,
             tx_p50_ms,
             tx_p99_ms,
+            stages,
             json: o.finish(),
         });
     }
@@ -332,11 +442,15 @@ fn main() -> ExitCode {
     let mut csv = String::from(
         "protocol,verify,n,payload_bytes,duration_secs,committed_blocks,blocks_per_sec,\
          committed_payload_bytes,throughput_bps,commit_p50_ms,commit_p99_ms,\
-         txs_committed,tx_p50_ms,tx_p99_ms\n",
+         txs_committed,tx_p50_ms,tx_p99_ms,\
+         stage_mempool_queue_p50_ms,stage_mempool_queue_p99_ms,\
+         stage_propose_wait_p50_ms,stage_propose_wait_p99_ms,\
+         stage_vote_to_qc_p50_ms,stage_vote_to_qc_p99_ms,\
+         stage_qc_to_commit_p50_ms,stage_qc_to_commit_p99_ms\n",
     );
     for r in &rows {
         csv.push_str(&format!(
-            "{},{},{n},{},{duration_secs},{},{:.3},{},{:.3},{:.3},{:.3},{},{:.3},{:.3}\n",
+            "{},{},{n},{},{duration_secs},{},{:.3},{},{:.3},{:.3},{:.3},{},{:.3},{:.3}",
             r.label,
             r.verify,
             r.payload_label,
@@ -350,6 +464,10 @@ fn main() -> ExitCode {
             r.tx_p50_ms,
             r.tx_p99_ms
         ));
+        for (p50, p99) in r.stages {
+            csv.push_str(&format!(",{p50:.3},{p99:.3}"));
+        }
+        csv.push('\n');
     }
     let json = format!(
         "{{\"runs\":{}}}\n",

@@ -17,6 +17,12 @@
 //! submit — no hello required) and a batch-assembler thread that stages
 //! pre-hashed payloads of up to `batch-bytes` for the blocks this node
 //! proposes. Without it, payloads are synthetic (`--payload` bytes).
+//!
+//! `--introspect <addr>` serves the live introspection plane on `addr`:
+//! `echo /status | nc <addr>` (or `curl http://<addr>/status`) returns the
+//! node's current view, locked view, mempool depth and per-peer queues;
+//! `/metrics` returns the full live metrics registry including the
+//! `stage_latency_us.*` histograms.
 
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -36,7 +42,7 @@ fn usage() -> ExitCode {
          moonshot-node config --n <validators> [--base-port 7000]\n  \
          moonshot-node run --config <file> --id <n> --protocol <sm|pm|cm|jolteon>\n      \
          [--delta-ms 50] [--payload <bytes>] [--duration-secs 0] [--trace <file.jsonl>]\n      \
-         [--verify reader|inline|off] [--load <batch-bytes>]"
+         [--verify reader|inline|off] [--load <batch-bytes>] [--introspect <addr>]"
     );
     ExitCode::from(2)
 }
@@ -111,6 +117,15 @@ fn run(args: &[String]) -> ExitCode {
     let duration_secs: u64 =
         flag(args, "--duration-secs").and_then(|v| v.parse().ok()).unwrap_or(0);
     let load_batch: Option<usize> = flag(args, "--load").and_then(|v| v.parse().ok());
+    let introspect: Option<std::net::SocketAddr> =
+        match flag(args, "--introspect").map(|v| v.parse()) {
+            Some(Ok(a)) => Some(a),
+            Some(Err(e)) => {
+                eprintln!("error: bad --introspect address: {e}");
+                return ExitCode::from(2);
+            }
+            None => None,
+        };
 
     let text = match std::fs::read_to_string(&cfg_path) {
         Ok(t) => t,
@@ -146,32 +161,45 @@ fn run(args: &[String]) -> ExitCode {
         None => Arc::new(Mutex::new(NullSink)) as Arc<Mutex<dyn TraceSink + Send>>,
     };
 
+    let epoch = Instant::now();
+    let state = moonshot_node::IntrospectState::new(node, epoch);
     let mut node_cfg =
         node_config(node, cluster.n(), SimDuration::from_millis(delta_ms), payload);
     let verifier = verify.configure(&mut node_cfg);
     let cache = node_cfg.verified_cache.clone();
     let mut transport = TransportConfig::new(node, listen, cluster.nodes.clone());
     transport.verifier = verifier;
+    transport.introspect = introspect;
+    // No commit for 40 Δ (≈ tens of block periods) means the node is
+    // wedged; the watchdog turns that into a `Stall` trace snapshot.
+    transport.stall_timeout = Some(Duration::from_millis(delta_ms * 40));
     // The real data path: mempool (fed by SubmitTx frames on reader
     // threads) + batch assembler staging pre-hashed payloads. The
     // assembler must outlive the node, so it's held here until shutdown.
     let _assembler = load_batch.map(|batch_bytes| {
         let pool = Arc::new(moonshot_mempool::Mempool::new(Default::default()));
-        let assembler = moonshot_mempool::BatchAssembler::start(pool.clone(), batch_bytes);
-        let slot = assembler.slot();
-        node_cfg.payloads = moonshot_consensus::PayloadSource::Custom(Box::new(move |_| {
-            slot.take().map(|p| p.payload).unwrap_or_else(moonshot_types::Payload::empty)
-        }));
-        transport.mempool = Some(pool);
+        let assembler =
+            moonshot_mempool::BatchAssembler::start(pool.clone(), batch_bytes, epoch);
+        moonshot_node::cluster::wire_data_path(
+            &mut node_cfg,
+            &mut transport,
+            &pool,
+            &assembler,
+            node,
+            epoch,
+            sink.clone(),
+            state.clone(),
+        );
         assembler
     });
     let handle = match NodeHandle::start(
         protocol.build(node_cfg),
         transport,
         None,
-        Instant::now(),
+        epoch,
         sink,
         cache,
+        state,
     ) {
         Ok(h) => h,
         Err(e) => {
@@ -184,6 +212,9 @@ fn run(args: &[String]) -> ExitCode {
         protocol.name(),
         cluster.n()
     );
+    if let Some(addr) = handle.introspect_addr() {
+        eprintln!("node {id} introspection on {addr} (/status, /metrics)");
+    }
 
     if duration_secs == 0 {
         // Run until killed; log committed height once a second.

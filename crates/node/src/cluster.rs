@@ -8,16 +8,19 @@
 
 use std::net::{SocketAddr, TcpListener};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use moonshot_consensus::PayloadSource;
 use moonshot_mempool::{batch_txs, tx_timestamp_us, BatchAssembler, Mempool, MempoolConfig};
-use moonshot_telemetry::{RingBufferSink, TraceEvent, TraceRecord, TraceSink};
+use moonshot_telemetry::{
+    RingBufferSink, TraceEvent, TraceRecord, TraceSink, STAGE_BUCKETS, STAGE_BUCKET_WIDTH_US,
+};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{BlockId, NodeId, Payload};
 
 use crate::client::{ClientStats, ClientTarget, TxClient, TxClientConfig};
 use crate::config::{node_config, ProtocolChoice, VerifyMode};
+use crate::introspect::IntrospectState;
 use crate::runtime::{NodeHandle, NodeReport, SharedSink};
 use crate::transport::TransportConfig;
 
@@ -43,6 +46,13 @@ pub struct ClusterSpec {
     /// `payload_bytes` is ignored while loaded: block payloads are whatever
     /// batches the assemblers stage.
     pub load: Option<LoadSpec>,
+    /// Serve each node's live introspection plane (`/status`, `/metrics`)
+    /// on an ephemeral localhost port (see [`Cluster::introspect_addrs`]).
+    pub introspect: bool,
+    /// Stall-watchdog threshold as a multiple of Δ (the expected block
+    /// period is a small multiple of Δ, so `40` means "no commit for ~20
+    /// block periods"). `0` disables the watchdog.
+    pub stall_delta_multiple: u32,
 }
 
 /// Real-transaction load parameters for a cluster.
@@ -80,6 +90,8 @@ impl ClusterSpec {
             trace_capacity: 64 * 1024,
             verify: VerifyMode::Reader,
             load: None,
+            introspect: true,
+            stall_delta_multiple: 40,
         }
     }
 }
@@ -102,6 +114,8 @@ pub struct Cluster {
     pools: Vec<Arc<Mempool>>,
     /// One batch assembler per node, paired with `pools`.
     assemblers: Vec<BatchAssembler>,
+    /// One introspection state per node, kept across restarts.
+    states: Vec<Arc<IntrospectState>>,
     /// The in-process load generator, when the spec asked for one.
     client: Option<TxClient>,
 }
@@ -133,12 +147,14 @@ impl Cluster {
                     .collect();
                 let assemblers: Vec<BatchAssembler> = pools
                     .iter()
-                    .map(|p| BatchAssembler::start(p.clone(), load.batch_bytes))
+                    .map(|p| BatchAssembler::start(p.clone(), load.batch_bytes, epoch))
                     .collect();
                 (pools, assemblers)
             }
             None => (Vec::new(), Vec::new()),
         };
+        let states: Vec<Arc<IntrospectState>> =
+            (0..spec.n).map(|i| IntrospectState::new(NodeId(i as u16), epoch)).collect();
 
         let mut handles = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
@@ -148,8 +164,21 @@ impl Cluster {
             let cache = cfg.verified_cache.clone();
             let mut transport = TransportConfig::new(id, peers[i].1, peers.clone());
             transport.verifier = verifier;
+            if spec.introspect {
+                transport.introspect = Some("127.0.0.1:0".parse().unwrap());
+            }
+            transport.stall_timeout = stall_timeout(&spec);
             if spec.load.is_some() {
-                wire_data_path(&mut cfg, &mut transport, &pools[i], &assemblers[i]);
+                wire_data_path(
+                    &mut cfg,
+                    &mut transport,
+                    &pools[i],
+                    &assemblers[i],
+                    id,
+                    epoch,
+                    sinks[i].clone() as SharedSink,
+                    states[i].clone(),
+                );
             }
             let handle = NodeHandle::start(
                 spec.protocol.build(cfg),
@@ -158,6 +187,7 @@ impl Cluster {
                 epoch,
                 sinks[i].clone() as SharedSink,
                 cache,
+                states[i].clone(),
             )?;
             handles.push(Some(handle));
         }
@@ -182,6 +212,7 @@ impl Cluster {
             dead_reports: Vec::new(),
             pools,
             assemblers,
+            states,
             client,
         })
     }
@@ -200,6 +231,15 @@ impl Cluster {
     /// external clients submit transactions through these.
     pub fn mempools(&self) -> &[Arc<Mempool>] {
         &self.pools
+    }
+
+    /// Each live node's introspection address (`None` for killed nodes or
+    /// when the spec disabled introspection).
+    pub fn introspect_addrs(&self) -> Vec<Option<SocketAddr>> {
+        self.handles
+            .iter()
+            .map(|h| h.as_ref().and_then(|h| h.introspect_addr()))
+            .collect()
     }
 
     /// Highest committed height per live node (killed nodes report 0).
@@ -244,11 +284,24 @@ impl Cluster {
         let cache = cfg.verified_cache.clone();
         let mut transport = TransportConfig::new(id, self.peers[idx].1, self.peers.clone());
         transport.verifier = verifier;
+        if spec.introspect {
+            transport.introspect = Some("127.0.0.1:0".parse().unwrap());
+        }
+        transport.stall_timeout = stall_timeout(spec);
         if spec.load.is_some() {
             // The node's mempool and assembler outlived the crash; the
             // fresh incarnation picks up the staged batches where the old
             // one left off.
-            wire_data_path(&mut cfg, &mut transport, &self.pools[idx], &self.assemblers[idx]);
+            wire_data_path(
+                &mut cfg,
+                &mut transport,
+                &self.pools[idx],
+                &self.assemblers[idx],
+                id,
+                self.epoch,
+                self.sinks[idx].clone() as SharedSink,
+                self.states[idx].clone(),
+            );
         }
         let handle = NodeHandle::start(
             spec.protocol.build(cfg),
@@ -257,6 +310,7 @@ impl Cluster {
             self.epoch,
             self.sinks[idx].clone() as SharedSink,
             cache,
+            self.states[idx].clone(),
         )?;
         self.handles[idx] = Some(handle);
         Ok(())
@@ -274,9 +328,17 @@ impl Cluster {
         }
         reports.sort_by_key(|r| r.node);
         let mut records: Vec<TraceRecord> = Vec::new();
+        let mut evicted: Vec<u64> = Vec::new();
         for sink in &self.sinks {
             let ring = sink.lock().unwrap();
+            evicted.push(ring.evicted());
             records.extend(ring.iter().cloned());
+        }
+        // Ring overflow is lost observability, not lost consensus — but an
+        // analysis over a clipped trace must be able to see the clip.
+        for report in &mut reports {
+            let dropped = evicted.get(report.node.0 as usize).copied().unwrap_or(0);
+            report.metrics.set_counter("telemetry.dropped_events", dropped);
         }
         records.sort_by_key(|r| r.at);
         ClusterReport {
@@ -289,21 +351,70 @@ impl Cluster {
     }
 }
 
+/// The stall-watchdog threshold for a spec (`None` when disabled).
+fn stall_timeout(spec: &ClusterSpec) -> Option<Duration> {
+    (spec.stall_delta_multiple > 0).then(|| {
+        Duration::from_micros(spec.delta.as_micros() * spec.stall_delta_multiple as u64)
+    })
+}
+
 /// Points a node's payload source at its assembler's prepared slot and its
-/// transport at its mempool. This is the tentpole's hot-loop contract: the
+/// transport at its mempool. This is the data path's hot-loop contract: the
 /// closure the driver runs at proposal time is a single `Arc` swap —
 /// `PreparedSlot::take` — with the batch already encoded and hashed on the
 /// assembler thread. If no batch is staged (idle cluster or the assembler
 /// lost the race), the block goes out empty rather than stalling the view.
-fn wire_data_path(
+///
+/// The take is also the batch's first appearance on the consensus path, so
+/// this is where its stage telemetry lands: a [`TraceEvent::BatchSealed`]
+/// record (backdated to the assembler's seal time; the stage analysis
+/// sorts by timestamp), the per-transaction mempool-queue deltas the
+/// assembler pre-computed, and this batch's seal→propose wait, both folded
+/// into the node's live `stage_latency_us.*` histograms.
+#[allow(clippy::too_many_arguments)]
+pub fn wire_data_path(
     cfg: &mut moonshot_consensus::NodeConfig,
     transport: &mut TransportConfig,
     pool: &Arc<Mempool>,
     assembler: &BatchAssembler,
+    node: NodeId,
+    epoch: Instant,
+    sink: SharedSink,
+    state: Arc<IntrospectState>,
 ) {
     let slot = assembler.slot();
-    cfg.payloads = PayloadSource::Custom(Box::new(move |_| {
-        slot.take().map(|p| p.payload).unwrap_or_else(Payload::empty)
+    let mut sink = sink;
+    cfg.payloads = PayloadSource::Custom(Box::new(move |_| match slot.take() {
+        Some(p) => {
+            let now_us = epoch.elapsed().as_micros() as u64;
+            if let Ok(mut live) = state.live.lock() {
+                for &queued in &p.queue_us {
+                    live.observe_with(
+                        "stage_latency_us.mempool_queue",
+                        queued,
+                        STAGE_BUCKET_WIDTH_US,
+                        STAGE_BUCKETS,
+                    );
+                }
+                live.observe_with(
+                    "stage_latency_us.propose_wait",
+                    now_us.saturating_sub(p.sealed_at_us),
+                    STAGE_BUCKET_WIDTH_US,
+                    STAGE_BUCKETS,
+                );
+            }
+            sink.record(TraceRecord {
+                at: SimTime(p.sealed_at_us),
+                event: TraceEvent::BatchSealed {
+                    node,
+                    batch: p.payload.digest(),
+                    txs: p.tx_count,
+                    bytes: p.payload.size(),
+                },
+            });
+            p.payload
+        }
+        None => Payload::empty(),
     }));
     transport.mempool = Some(pool.clone());
 }
@@ -375,12 +486,12 @@ impl ClusterReport {
         out
     }
 
-    /// Every quorum-committed block's payload, with the time the block was
-    /// first committed anywhere in the cluster. Payload bytes come from the
-    /// node reports (the trace stores only block ids); a block is skipped
-    /// if no surviving report carries it, which only happens when commits
-    /// outrun the trace-ring capacity.
-    fn quorum_committed_payloads(&self) -> Vec<(&Payload, SimTime)> {
+    /// Every quorum-committed block's id and payload, with the time the
+    /// block was first committed anywhere in the cluster. Payload bytes
+    /// come from the node reports (the trace stores only block ids); a
+    /// block is skipped if no surviving report carries it, which only
+    /// happens when commits outrun the trace-ring capacity.
+    fn quorum_committed_payloads(&self) -> Vec<(BlockId, &Payload, SimTime)> {
         use std::collections::{HashMap, HashSet};
         let quorum = 2 * ((self.n - 1) / 3) + 1;
         let mut committers: HashMap<BlockId, HashSet<NodeId>> = HashMap::new();
@@ -401,7 +512,7 @@ impl ClusterReport {
             .iter()
             .filter(|(_, nodes)| nodes.len() >= quorum)
             .filter_map(|(id, _)| {
-                payloads.get(id).map(|p| (*p, first_commit[id]))
+                payloads.get(id).map(|p| (*id, *p, first_commit[id]))
             })
             .collect()
     }
@@ -410,7 +521,7 @@ impl ClusterReport {
     /// real `throughput_bps` (each distinct block counted once, no matter
     /// how many nodes committed it).
     pub fn committed_payload_bytes(&self) -> u64 {
-        self.quorum_committed_payloads().iter().map(|(p, _)| p.size()).sum()
+        self.quorum_committed_payloads().iter().map(|(_, p, _)| p.size()).sum()
     }
 
     /// Transactions inside quorum-committed `Data` payloads (0 for
@@ -418,7 +529,7 @@ impl ClusterReport {
     pub fn txs_committed(&self) -> u64 {
         self.quorum_committed_payloads()
             .iter()
-            .filter_map(|(p, _)| p.data_bytes())
+            .filter_map(|(_, p, _)| p.data_bytes())
             .map(|bytes| batch_txs(bytes).count() as u64)
             .sum()
     }
@@ -431,7 +542,7 @@ impl ClusterReport {
     /// and the staged batch included — not just the block's commit latency.
     pub fn tx_latencies_us(&self) -> Vec<u64> {
         let mut out: Vec<u64> = Vec::new();
-        for (payload, committed_at) in self.quorum_committed_payloads() {
+        for (_, payload, committed_at) in self.quorum_committed_payloads() {
             let Some(bytes) = payload.data_bytes() else { continue };
             for tx in batch_txs(bytes) {
                 if let Some(ts) = tx_timestamp_us(tx) {
@@ -442,6 +553,132 @@ impl ClusterReport {
         out.sort_unstable();
         out
     }
+
+    /// Per-transaction latency decomposition over the merged trace: one
+    /// sample per committed transaction per stage, each vector sorted
+    /// ascending. The stage boundaries are cross-node-correlated by block
+    /// id and batch digest (a block's payload digest *is* its batch
+    /// digest):
+    ///
+    /// * `mempool_queue` — client submit → batch seal,
+    /// * `propose_wait` — batch seal → the block's first `ProposalSent`
+    ///   (`ProposalReceived` as fallback when the leader's ring clipped),
+    /// * `vote_to_qc` — proposal → the first `QcFormed` for the block,
+    /// * `qc_to_commit` — certificate → the first `BlockCommitted`.
+    ///
+    /// All four timestamps and the submit stamp share the cluster epoch,
+    /// so a transaction's four components sum to its end-to-end
+    /// [`tx_latencies_us`](ClusterReport::tx_latencies_us) entry exactly
+    /// (modulo `saturating_sub` clamping on out-of-order stamps).
+    /// Transactions missing any stage timestamp are skipped whole, never
+    /// partially counted.
+    pub fn stage_latencies(&self) -> StageLatencies {
+        use std::collections::HashMap;
+        let mut sealed_at: HashMap<BlockId, u64> = HashMap::new();
+        let mut sent_at: HashMap<BlockId, u64> = HashMap::new();
+        let mut received_at: HashMap<BlockId, u64> = HashMap::new();
+        let mut qc_at: HashMap<BlockId, u64> = HashMap::new();
+        for rec in &self.records {
+            match rec.event {
+                TraceEvent::BatchSealed { batch, .. } => {
+                    sealed_at.entry(batch).or_insert(rec.at.0);
+                }
+                TraceEvent::ProposalSent { block, .. } => {
+                    sent_at.entry(block).or_insert(rec.at.0);
+                }
+                TraceEvent::ProposalReceived { block, .. } => {
+                    received_at.entry(block).or_insert(rec.at.0);
+                }
+                TraceEvent::QcFormed { block, .. } => {
+                    qc_at.entry(block).or_insert(rec.at.0);
+                }
+                _ => {}
+            }
+        }
+        let mut out = StageLatencies::default();
+        for (block, payload, committed_at) in self.quorum_committed_payloads() {
+            let Some(bytes) = payload.data_bytes() else { continue };
+            let Some(&sealed) = sealed_at.get(&payload.digest()) else { continue };
+            let Some(&proposed) = sent_at.get(&block).or_else(|| received_at.get(&block)) else {
+                continue;
+            };
+            let Some(&qc) = qc_at.get(&block) else { continue };
+            for tx in batch_txs(bytes) {
+                let Some(ts) = tx_timestamp_us(tx) else { continue };
+                let components = [
+                    sealed.saturating_sub(ts),
+                    proposed.saturating_sub(sealed),
+                    qc.saturating_sub(proposed),
+                    committed_at.0.saturating_sub(qc),
+                ];
+                out.mempool_queue.push(components[0]);
+                out.propose_wait.push(components[1]);
+                out.vote_to_qc.push(components[2]);
+                out.qc_to_commit.push(components[3]);
+                out.per_tx.push(components);
+            }
+        }
+        out.mempool_queue.sort_unstable();
+        out.propose_wait.sort_unstable();
+        out.vote_to_qc.sort_unstable();
+        out.qc_to_commit.sort_unstable();
+        out.per_tx.sort_unstable_by_key(|c| c.iter().sum::<u64>());
+        out
+    }
+}
+
+/// Per-stage transaction latency samples (µs, sorted ascending) — see
+/// [`ClusterReport::stage_latencies`].
+#[derive(Clone, Debug, Default)]
+pub struct StageLatencies {
+    /// Client submit → batch seal.
+    pub mempool_queue: Vec<u64>,
+    /// Batch seal → first proposal carrying the batch.
+    pub propose_wait: Vec<u64>,
+    /// Proposal → first quorum certificate for the block.
+    pub vote_to_qc: Vec<u64>,
+    /// Quorum certificate → first commit of the block.
+    pub qc_to_commit: Vec<u64>,
+    /// One entry per transaction — its four components in pipeline order
+    /// (`[mempool_queue, propose_wait, vote_to_qc, qc_to_commit]`) —
+    /// sorted ascending by total end-to-end latency.
+    pub per_tx: Vec<[u64; 4]>,
+}
+
+impl StageLatencies {
+    /// Whether any stage has samples.
+    pub fn is_empty(&self) -> bool {
+        self.mempool_queue.is_empty()
+            && self.propose_wait.is_empty()
+            && self.vote_to_qc.is_empty()
+            && self.qc_to_commit.is_empty()
+    }
+
+    /// Where the quantile-`q` transaction spends its time: the mean of
+    /// each stage component over a small rank window (±0.5%, at least ±1)
+    /// around the tx at quantile `q` of *end-to-end* latency.
+    ///
+    /// Unlike the four marginal distributions — whose percentiles do not
+    /// add up, because a tx that queued longest rarely also waited longest
+    /// for its QC — this decomposition is additive by construction: the
+    /// four components sum to the end-to-end latency at that quantile
+    /// (each tx's components sum exactly to its own total).
+    pub fn decompose_us(&self, q: f64) -> Option<[f64; 4]> {
+        if self.per_tx.is_empty() {
+            return None;
+        }
+        let n = self.per_tx.len();
+        let mid = ((n - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        let half = (n / 200).max(1);
+        let window = &self.per_tx[mid.saturating_sub(half)..(mid + half + 1).min(n)];
+        let mut out = [0.0f64; 4];
+        for components in window {
+            for (acc, &c) in out.iter_mut().zip(components) {
+                *acc += c as f64;
+            }
+        }
+        Some(out.map(|acc| acc / window.len() as f64))
+    }
 }
 
 #[cfg(test)]
@@ -450,7 +687,8 @@ mod tests {
 
     /// The cheapest end-to-end sanity check: one node cannot commit (no
     /// quorum without peers in a 4-node config), but a full 4-node cluster
-    /// must make progress over real sockets.
+    /// must make progress over real sockets — and its introspection plane
+    /// must answer a live `/status` scrape mid-run.
     #[test]
     fn four_node_pipelined_cluster_commits() {
         let cluster =
@@ -460,12 +698,146 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(50));
         }
         let height = cluster.quorum_committed_height();
+
+        // Live scrape while the cluster is still running.
+        let addr = cluster.introspect_addrs()[0].expect("introspection on by default");
+        let status = scrape(addr, "/status");
+        assert!(status.contains("\"current_view\":"), "{status}");
+        assert!(status.contains("\"locked_view\":"), "{status}");
+        let metrics = scrape(addr, "/metrics");
+        assert!(metrics.contains("stage_latency_us.vote_to_qc"), "{metrics}");
+        assert!(metrics.contains("driver.commits"), "{metrics}");
+
         let report = cluster.stop();
         assert!(height >= 5, "cluster only reached quorum height {height}");
         let summary = report.check_invariants().expect("no safety violations");
         assert!(summary.commits > 0);
         assert!(report.quorum_committed_blocks() >= 5);
         assert!(!report.commit_latencies_us().is_empty());
+        // The final report is the live registry: the stage histograms the
+        // scrape saw are in summary_json too, and nothing was dropped.
+        for r in &report.reports {
+            assert!(r.metrics.histogram("stage_latency_us.vote_to_qc").is_some());
+            assert_eq!(r.metrics.counter("telemetry.dropped_events"), 0);
+        }
+    }
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(path.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        line
+    }
+
+    /// The stage decomposition on a hand-built trace with known delays:
+    /// submit at 1000 µs, sealed at 2000, proposed at 2500, certified at
+    /// 3000, committed at 3500. Each stage must come out exactly, the four
+    /// components must sum to the end-to-end latency, and a stage
+    /// histogram's p50 must land within one bucket of the true value.
+    #[test]
+    fn stage_latencies_decompose_known_delays() {
+        use moonshot_consensus::CommittedBlock;
+        use moonshot_mempool::{encode_batch, make_tx, Tx};
+        use moonshot_telemetry::{Histogram, MetricsRegistry, STAGE_BUCKET_WIDTH_US};
+        use moonshot_types::{Block, View};
+
+        let tx = Tx::new(make_tx(1_000, 1, 0, 180));
+        let payload = Payload::data(encode_batch(&[tx]));
+        let block = Block::build(View(1), NodeId(0), &Block::genesis(), payload.clone());
+        let records = vec![
+            TraceRecord {
+                at: SimTime(2_000),
+                event: TraceEvent::BatchSealed {
+                    node: NodeId(0),
+                    batch: payload.digest(),
+                    txs: 1,
+                    bytes: payload.size(),
+                },
+            },
+            TraceRecord {
+                at: SimTime(2_500),
+                event: TraceEvent::ProposalSent {
+                    node: NodeId(0),
+                    view: View(1),
+                    block: block.id(),
+                    height: block.height(),
+                },
+            },
+            TraceRecord {
+                at: SimTime(3_000),
+                event: TraceEvent::QcFormed {
+                    node: NodeId(0),
+                    view: View(1),
+                    block: block.id(),
+                },
+            },
+            TraceRecord {
+                at: SimTime(3_500),
+                event: TraceEvent::BlockCommitted {
+                    node: NodeId(0),
+                    view: View(1),
+                    block: block.id(),
+                    height: block.height(),
+                    direct: true,
+                },
+            },
+        ];
+        let report = ClusterReport {
+            n: 1,
+            elapsed: std::time::Duration::from_secs(1),
+            reports: vec![NodeReport {
+                node: NodeId(0),
+                commits: vec![CommittedBlock {
+                    block,
+                    direct: true,
+                    commit_view: View(1),
+                }],
+                final_view: View(1),
+                metrics: MetricsRegistry::new(),
+            }],
+            records,
+            client: None,
+        };
+
+        assert_eq!(report.tx_latencies_us(), vec![2_500]);
+        let stages = report.stage_latencies();
+        assert_eq!(stages.mempool_queue, vec![1_000]);
+        assert_eq!(stages.propose_wait, vec![500]);
+        assert_eq!(stages.vote_to_qc, vec![500]);
+        assert_eq!(stages.qc_to_commit, vec![500]);
+        let sum = stages.mempool_queue[0]
+            + stages.propose_wait[0]
+            + stages.vote_to_qc[0]
+            + stages.qc_to_commit[0];
+        assert_eq!(sum, report.tx_latencies_us()[0], "components must sum to end-to-end");
+
+        // The rank-conditional decomposition is additive at every
+        // quantile; with one tx it is that tx's components exactly.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(stages.decompose_us(q), Some([1_000.0, 500.0, 500.0, 500.0]));
+        }
+
+        // Each stage's p50 through the real stage histogram stays within
+        // one bucket of the true delay.
+        for (samples, truth) in [
+            (&stages.mempool_queue, 1_000),
+            (&stages.propose_wait, 500),
+            (&stages.vote_to_qc, 500),
+            (&stages.qc_to_commit, 500),
+        ] {
+            let mut h = Histogram::for_stage_latency_us();
+            for &s in samples.iter() {
+                h.record(s);
+            }
+            let p50 = h.quantile(0.5).unwrap();
+            assert!(
+                p50.abs_diff(truth) <= STAGE_BUCKET_WIDTH_US,
+                "p50 {p50} further than one bucket from {truth}"
+            );
+        }
     }
 
     /// The tentpole end to end, across the paper's Fig-8 payload axis:
@@ -499,6 +871,15 @@ mod tests {
             assert!(report.txs_committed() > 0, "{batch_bytes}B: no txs committed");
             let latencies = report.tx_latencies_us();
             assert!(!latencies.is_empty(), "{batch_bytes}B: no tx latencies");
+            // The stage decomposition covers the same transactions: one
+            // sample per stage per committed tx, each chain summing to the
+            // end-to-end latency.
+            let stages = report.stage_latencies();
+            assert!(!stages.mempool_queue.is_empty(), "{batch_bytes}B: no stage samples");
+            assert!(
+                stages.mempool_queue.len() <= latencies.len(),
+                "{batch_bytes}B: more stage chains than committed txs"
+            );
             let stats = report.client.expect("load generator ran");
             assert!(stats.submitted > 0);
             for r in &report.reports {

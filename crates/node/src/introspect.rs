@@ -1,0 +1,349 @@
+//! The live introspection plane.
+//!
+//! Each node can serve a tiny line-oriented TCP endpoint that answers two
+//! queries mid-run, without touching the driver thread:
+//!
+//! - `/status` — one JSON line with the node's current view, locked view,
+//!   committed height, commit age, stall count, inbound-channel depth,
+//!   armed timers, mempool depth/bytes, and per-peer outbound queue gauges.
+//! - `/metrics` — the full live [`MetricsRegistry`] snapshot as JSON
+//!   (counters, gauges, and every `stage_latency_us.*` histogram).
+//!
+//! The protocol is deliberately primitive: the client sends one request
+//! line (`/status`, `status`, or an HTTP-style `GET /status ...` — handy
+//! for `curl`), the server answers with one JSON line and keeps the
+//! connection open for the next request (HTTP-style requests get a minimal
+//! HTTP response and a close, which is what `curl` expects). Everything is
+//! `std`-only; no HTTP library, no serde.
+//!
+//! The data flows one way: the driver and transport *publish* into
+//! [`IntrospectState`] (atomics for the hot fields, a mutex-guarded
+//! registry refreshed every ~200 ms for the rest), and server threads only
+//! ever read. A wedged driver therefore cannot wedge `/status` — the
+//! snapshot just stops advancing, which is itself the diagnostic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use moonshot_mempool::Mempool;
+use moonshot_telemetry::json::{array, JsonObject};
+use moonshot_telemetry::MetricsRegistry;
+use moonshot_types::NodeId;
+
+use crate::transport::PeerMetrics;
+
+/// Hot per-node status fields, written by the driver loop with relaxed
+/// stores and read by introspection server threads.
+#[derive(Debug, Default)]
+pub struct NodeStatus {
+    /// The protocol's current view.
+    pub current_view: AtomicU64,
+    /// The view of the certificate the protocol is locked on.
+    pub locked_view: AtomicU64,
+    /// Highest committed block height.
+    pub committed_height: AtomicU64,
+    /// Total blocks committed.
+    pub committed_blocks: AtomicU64,
+    /// When the last commit landed, in µs since the run epoch (0 until the
+    /// first commit, which reads as "no commit since startup").
+    pub last_commit_at_us: AtomicU64,
+    /// Logical timers currently armed in the driver's timer wheel.
+    pub timers_armed: AtomicU64,
+    /// Stall-watchdog firings so far.
+    pub stalls: AtomicU64,
+}
+
+/// Everything the introspection server can see about one node. The runtime
+/// constructs it, wires the publishers in as they come up (transport peers,
+/// mempool, the inbound-depth gauge), and hands a clone of the `Arc` to the
+/// server.
+#[derive(Debug)]
+pub struct IntrospectState {
+    /// The node this state describes.
+    pub node: NodeId,
+    /// Hot status fields (driver-published).
+    pub status: NodeStatus,
+    /// The live metrics registry, refreshed periodically by the driver and
+    /// cloned into the final [`crate::runtime::NodeReport`] at shutdown.
+    pub live: Mutex<MetricsRegistry>,
+    mempool: Mutex<Option<Arc<Mempool>>>,
+    peers: Mutex<Vec<(NodeId, Arc<PeerMetrics>)>>,
+    inbound: Mutex<Option<Arc<AtomicU64>>>,
+    epoch: Instant,
+}
+
+impl IntrospectState {
+    /// A fresh state for `node`, timestamped against `epoch` (the same
+    /// time origin the trace sinks use).
+    pub fn new(node: NodeId, epoch: Instant) -> Arc<IntrospectState> {
+        Arc::new(IntrospectState {
+            node,
+            status: NodeStatus::default(),
+            live: Mutex::new(MetricsRegistry::new()),
+            mempool: Mutex::new(None),
+            peers: Mutex::new(Vec::new()),
+            inbound: Mutex::new(None),
+            epoch,
+        })
+    }
+
+    /// Microseconds since the run epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Wires in the mempool so `/status` can report its depth.
+    pub fn set_mempool(&self, pool: Arc<Mempool>) {
+        *self.mempool.lock().unwrap() = Some(pool);
+    }
+
+    /// Wires in the per-peer transport metrics handles.
+    pub fn set_peers(&self, peers: Vec<(NodeId, Arc<PeerMetrics>)>) {
+        *self.peers.lock().unwrap() = peers;
+    }
+
+    /// Wires in the inbound-channel depth gauge (see
+    /// [`crate::transport::InboundSender`]).
+    pub fn set_inbound_gauge(&self, gauge: Arc<AtomicU64>) {
+        *self.inbound.lock().unwrap() = Some(gauge);
+    }
+
+    /// Current inbound-channel depth (0 when no gauge is wired).
+    pub fn inbound_depth(&self) -> u64 {
+        self.inbound
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Current mempool depth in (transactions, bytes).
+    pub fn mempool_depth(&self) -> (u64, u64) {
+        match self.mempool.lock().unwrap().as_ref() {
+            Some(p) => (p.len(), p.pending_bytes()),
+            None => (0, 0),
+        }
+    }
+
+    /// The `/status` response: one JSON object, no trailing newline.
+    pub fn status_json(&self) -> String {
+        let s = &self.status;
+        let now_us = self.now_us();
+        let last_commit = s.last_commit_at_us.load(Ordering::Relaxed);
+        let (mempool_txs, mempool_bytes) = self.mempool_depth();
+        let peers = array(self.peers.lock().unwrap().iter().map(|(id, m)| {
+            let mut o = JsonObject::new();
+            o.field_u64("peer", id.0 as u64)
+                .field_u64("queue_depth", m.queue_depth.load(Ordering::Relaxed))
+                .field_u64("queue_bytes", m.queue_bytes.load(Ordering::Relaxed))
+                .field_u64("dropped_frames", m.dropped_frames.load(Ordering::Relaxed))
+                .field_u64("bytes_out", m.bytes_out.load(Ordering::Relaxed));
+            o.finish()
+        }));
+        let mut o = JsonObject::new();
+        o.field_u64("node", self.node.0 as u64)
+            .field_u64("current_view", s.current_view.load(Ordering::Relaxed))
+            .field_u64("locked_view", s.locked_view.load(Ordering::Relaxed))
+            .field_u64("committed_height", s.committed_height.load(Ordering::Relaxed))
+            .field_u64("committed_blocks", s.committed_blocks.load(Ordering::Relaxed))
+            .field_u64("last_commit_age_ms", now_us.saturating_sub(last_commit) / 1_000)
+            .field_u64("stalls", s.stalls.load(Ordering::Relaxed))
+            .field_u64("inbound_depth", self.inbound_depth())
+            .field_u64("timers_armed", s.timers_armed.load(Ordering::Relaxed))
+            .field_u64("mempool_txs", mempool_txs)
+            .field_u64("mempool_bytes", mempool_bytes)
+            .field_raw("peers", &peers);
+        o.finish()
+    }
+
+    /// The `/metrics` response: the live registry as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.live.lock().unwrap().to_json()
+    }
+}
+
+/// How often blocked server threads wake to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The per-node introspection server: one acceptor thread plus one thread
+/// per live connection. Start with [`IntrospectServer::start`], tear down
+/// with [`IntrospectServer::stop`].
+pub struct IntrospectServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for IntrospectServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IntrospectServer({})", self.local_addr)
+    }
+}
+
+impl IntrospectServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving `state`.
+    pub fn start(addr: SocketAddr, state: Arc<IntrospectState>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            let handlers = handlers.clone();
+            std::thread::Builder::new()
+                .name(format!("introspect-{}", state.node))
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let state = state.clone();
+                                let shutdown = shutdown.clone();
+                                let handle = std::thread::Builder::new()
+                                    .name("introspect-conn".into())
+                                    .spawn(move || serve_connection(stream, state, shutdown))
+                                    .expect("spawn introspect handler");
+                                handlers.lock().unwrap().push(handle);
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                    }
+                })
+                .expect("spawn introspect acceptor")
+        };
+        Ok(IntrospectServer { local_addr, shutdown, acceptor: Some(acceptor), handlers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals every thread to stop and joins them.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for t in handlers {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves one connection: request lines in, JSON lines out, until EOF or
+/// shutdown. HTTP-style requests get a minimal HTTP response and a close.
+fn serve_connection(stream: TcpStream, state: Arc<IntrospectState>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let raw = line.trim();
+        // Accept "GET /status HTTP/1.1" (curl), "/status", and "status".
+        let http = raw.starts_with("GET ");
+        let path = if http { raw.split_whitespace().nth(1).unwrap_or("") } else { raw };
+        let body = match path.trim_start_matches('/') {
+            "status" => state.status_json(),
+            "metrics" => state.metrics_json(),
+            other => {
+                let mut o = JsonObject::new();
+                o.field_str("error", &format!("unknown endpoint: {other}"));
+                o.finish()
+            }
+        };
+        let ok = if http {
+            // Drain the rest of the HTTP request headers is unnecessary:
+            // we answer and close, which every HTTP client accepts.
+            let head = format!(
+                "HTTP/1.0 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                body.len()
+            );
+            writer.write_all(head.as_bytes()).is_ok() && writer.write_all(body.as_bytes()).is_ok()
+        } else {
+            writer.write_all(body.as_bytes()).is_ok() && writer.write_all(b"\n").is_ok()
+        };
+        if !ok || http {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn request_line(addr: SocketAddr, req: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    }
+
+    #[test]
+    fn serves_status_and_metrics_lines() {
+        let state = IntrospectState::new(NodeId(3), Instant::now());
+        state.status.current_view.store(17, Ordering::Relaxed);
+        state.status.locked_view.store(15, Ordering::Relaxed);
+        state.live.lock().unwrap().set_counter("driver.commits", 9);
+        state
+            .live
+            .lock()
+            .unwrap()
+            .observe_with("stage_latency_us.vote_to_qc", 450, 100, 1000);
+
+        let server =
+            IntrospectServer::start("127.0.0.1:0".parse().unwrap(), state.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let status = request_line(addr, "/status");
+        assert!(status.contains("\"node\":3"), "{status}");
+        assert!(status.contains("\"current_view\":17"), "{status}");
+        assert!(status.contains("\"locked_view\":15"), "{status}");
+        assert!(status.contains("\"mempool_txs\":0"), "{status}");
+
+        // Bare word (no slash) works too, on the same connection style.
+        let metrics = request_line(addr, "metrics");
+        assert!(metrics.contains("driver.commits"), "{metrics}");
+        assert!(metrics.contains("stage_latency_us.vote_to_qc"), "{metrics}");
+
+        // HTTP-style requests get an HTTP response (for curl).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /status HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 200 OK"), "{buf}");
+        assert!(buf.contains("\"current_view\":17"), "{buf}");
+
+        let err = request_line(addr, "/nope");
+        assert!(err.contains("unknown endpoint"), "{err}");
+
+        server.stop();
+    }
+}

@@ -15,6 +15,10 @@
 //!   together, with [`ProtocolObserver`](moonshot_consensus::ProtocolObserver)
 //!   tracing at the call boundary so cluster runs feed the same invariant
 //!   checker as simulations.
+//! * [`introspect`] — a per-node live introspection endpoint (`/status`,
+//!   `/metrics`) serving driver-published state and the live metrics
+//!   registry over plain TCP, pollable mid-run by the cluster harness or
+//!   a human with `curl`/`nc`.
 //! * [`config`] — static peer files, protocol selection, seed-derived keys.
 //!
 //! Two binaries ship with the crate: `moonshot-node` (run one validator)
@@ -27,12 +31,14 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod introspect;
 pub mod runtime;
 pub mod timer;
 pub mod transport;
 
 pub use client::{ClientStats, ClientTarget, TxClient, TxClientConfig};
-pub use cluster::{Cluster, ClusterReport, ClusterSpec, LoadSpec};
+pub use cluster::{Cluster, ClusterReport, ClusterSpec, LoadSpec, StageLatencies};
 pub use config::{node_config, ClusterConfig, ProtocolChoice, VerifyMode};
+pub use introspect::{IntrospectServer, IntrospectState, NodeStatus};
 pub use runtime::{NodeHandle, NodeReport, SharedSink};
-pub use transport::{Inbound, PeerMetrics, Transport, TransportConfig};
+pub use transport::{Inbound, InboundSender, PeerMetrics, Transport, TransportConfig};

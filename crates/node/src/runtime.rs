@@ -16,22 +16,26 @@
 //! the call boundary — identical events to the simulator's, so the
 //! trace-driven invariant checker works on cluster runs unchanged.
 
-use std::net::TcpListener;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use moonshot_consensus::{CommittedBlock, ConsensusProtocol, Output, PreVerified, ProtocolObserver};
 use moonshot_crypto::VerifiedCache;
-use moonshot_telemetry::{MetricsRegistry, TraceSink};
+use moonshot_telemetry::{
+    MetricsRegistry, TraceEvent, TraceRecord, TraceSink, STAGE_BUCKETS, STAGE_BUCKET_WIDTH_US,
+};
 use moonshot_types::time::{SimDuration, SimTime};
-use moonshot_types::{NodeId, View};
+use moonshot_types::{BlockId, NodeId, View};
 use moonshot_wire::encode_message;
 
+use crate::introspect::{IntrospectServer, IntrospectState};
 use crate::timer::TimerWheel;
-use crate::transport::{Inbound, Transport, TransportConfig};
+use crate::transport::{Inbound, InboundSender, Transport, TransportConfig};
 
 /// Shared trace sink type accepted by the runtime (thread-safe; the
 /// `Arc<Mutex<dyn TraceSink>>` blanket impl makes it a `TraceSink` itself).
@@ -45,6 +49,15 @@ const MAX_WAIT: Duration = Duration::from_millis(50);
 /// still amortizing the sweep (and the `next_deadline` probe) over a whole
 /// batch instead of paying it per message.
 const BATCH_LIMIT: usize = 256;
+
+/// How often the driver republishes its counters into the live
+/// introspection registry. Rare enough to be invisible on the hot loop,
+/// frequent enough that `/metrics` is never more than a blink stale.
+const LIVE_REFRESH: Duration = Duration::from_millis(200);
+
+/// Stage-map entries above which the tracker resets — a leak guard for
+/// blocks that never commit (e.g. equivocation garbage under faults).
+const STAGE_MAP_LIMIT: usize = 16_384;
 
 /// What the driver thread hands back when it stops.
 #[derive(Debug)]
@@ -75,7 +88,87 @@ impl NodeReport {
     }
 }
 
-/// A running node: driver thread + transport threads.
+/// The driver's trace path: forwards every record to the shared sink and
+/// folds per-stage latency deltas into the live introspection registry as
+/// they happen.
+///
+/// Stage spans are keyed by block id. The proposal timestamp is the first
+/// `ProposalSent`/`ProposalReceived` for the block (whichever this node
+/// sees first — the sender stamps send time, everyone else stamps arrival);
+/// `QcFormed` closes the vote-gathering span and `BlockCommitted` closes
+/// the certificate-to-commit span, pruning the block's entries.
+struct TracingSink {
+    inner: SharedSink,
+    state: Arc<IntrospectState>,
+    /// Block id → first proposal timestamp (µs since epoch).
+    proposed_at: HashMap<BlockId, u64>,
+    /// Block id → first QC timestamp (µs since epoch).
+    qc_at: HashMap<BlockId, u64>,
+}
+
+impl TracingSink {
+    fn new(inner: SharedSink, state: Arc<IntrospectState>) -> TracingSink {
+        TracingSink { inner, state, proposed_at: HashMap::new(), qc_at: HashMap::new() }
+    }
+
+    fn observe_stage(&self, stage: &str, value_us: u64) {
+        if let Ok(mut live) = self.state.live.lock() {
+            live.observe_with(
+                &format!("stage_latency_us.{stage}"),
+                value_us,
+                STAGE_BUCKET_WIDTH_US,
+                STAGE_BUCKETS,
+            );
+        }
+    }
+}
+
+impl TraceSink for TracingSink {
+    fn record(&mut self, rec: TraceRecord) {
+        let at = rec.at.0;
+        match rec.event {
+            TraceEvent::ProposalSent { block, .. }
+            | TraceEvent::ProposalReceived { block, .. } => {
+                if self.proposed_at.len() >= STAGE_MAP_LIMIT {
+                    self.proposed_at.clear();
+                }
+                self.proposed_at.entry(block).or_insert(at);
+            }
+            TraceEvent::VoteCast { block, .. } => {
+                if let Some(&proposed) = self.proposed_at.get(&block) {
+                    self.observe_stage("proposal_to_vote", at.saturating_sub(proposed));
+                }
+            }
+            TraceEvent::QcFormed { block, .. } => {
+                if self.qc_at.len() >= STAGE_MAP_LIMIT {
+                    self.qc_at.clear();
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = self.qc_at.entry(block) {
+                    let proposed = self.proposed_at.get(e.key()).copied();
+                    e.insert(at);
+                    if let Some(proposed) = proposed {
+                        self.observe_stage("vote_to_qc", at.saturating_sub(proposed));
+                    }
+                }
+            }
+            TraceEvent::BlockCommitted { block, .. } => {
+                if let Some(qc) = self.qc_at.remove(&block) {
+                    self.observe_stage("qc_to_commit", at.saturating_sub(qc));
+                }
+                self.proposed_at.remove(&block);
+            }
+            _ => {}
+        }
+        self.inner.record(rec);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+/// A running node: driver thread + transport threads (+ the introspection
+/// server when configured).
 #[derive(Debug)]
 pub struct NodeHandle {
     node: NodeId,
@@ -83,7 +176,8 @@ pub struct NodeHandle {
     driver: Option<JoinHandle<NodeReport>>,
     /// Committed height mirror for cheap liveness probes.
     committed_height: Arc<AtomicU64>,
-    inbound: Sender<Inbound>,
+    inbound: InboundSender,
+    introspect: Option<IntrospectServer>,
 }
 
 impl NodeHandle {
@@ -95,6 +189,8 @@ impl NodeHandle {
     /// `cache` is the protocol's verified-certificate cache (clone
     /// `NodeConfig::verified_cache` before `build` consumes the config);
     /// the driver snapshots its hit/miss counters into the final report.
+    /// `state` is the introspection state the driver publishes into; when
+    /// `cfg.introspect` is set, an [`IntrospectServer`] is started on it.
     pub fn start(
         mut protocol: Box<dyn ConsensusProtocol + Send>,
         cfg: TransportConfig,
@@ -102,13 +198,26 @@ impl NodeHandle {
         epoch: Instant,
         sink: SharedSink,
         cache: Arc<VerifiedCache>,
+        state: Arc<IntrospectState>,
     ) -> std::io::Result<NodeHandle> {
         let node = cfg.node_id;
         let mempool = cfg.mempool.clone();
-        let (tx, rx) = mpsc::channel::<Inbound>();
+        let introspect_addr = cfg.introspect;
+        let stall_timeout = cfg.stall_timeout;
+        let (raw_tx, rx) = mpsc::channel::<Inbound>();
+        let tx = InboundSender::new(raw_tx);
         let transport = match listener {
             Some(l) => Transport::start_with_listener(cfg, l, tx.clone())?,
             None => Transport::start(cfg, tx.clone())?,
+        };
+        state.set_peers(transport.peer_metrics_all());
+        state.set_inbound_gauge(tx.depth_gauge());
+        if let Some(pool) = &mempool {
+            state.set_mempool(pool.clone());
+        }
+        let introspect = match introspect_addr {
+            Some(addr) => Some(IntrospectServer::start(addr, state.clone())?),
+            None => None,
         };
         let shutdown = Arc::new(AtomicBool::new(false));
         let committed_height = Arc::new(AtomicU64::new(0));
@@ -117,6 +226,7 @@ impl NodeHandle {
             let shutdown = shutdown.clone();
             let committed_height = committed_height.clone();
             let loopback = tx.clone();
+            let inbound_depth = tx.depth_gauge();
             std::thread::Builder::new()
                 .name(format!("driver-{node}"))
                 .spawn(move || {
@@ -124,25 +234,37 @@ impl NodeHandle {
                         node,
                         transport,
                         loopback,
+                        inbound_depth,
                         wheel: TimerWheel::new(SimDuration::from_millis(1), 4096),
                         observer: ProtocolObserver::new(node),
-                        sink,
+                        sink: TracingSink::new(sink, state.clone()),
+                        state,
                         epoch,
                         commits: Vec::new(),
                         committed_height,
                         cache,
                         mempool,
+                        stall_timeout,
+                        last_commit_at_us: 0,
                         messages_handled: 0,
                         timers_fired: 0,
                         batches: 0,
                         unverified_messages: 0,
+                        stalls: 0,
                     };
                     run_driver(driver, &mut *protocol, rx, shutdown)
                 })
                 .expect("spawn driver")
         };
 
-        Ok(NodeHandle { node, shutdown, driver: Some(driver), committed_height, inbound: tx })
+        Ok(NodeHandle {
+            node,
+            shutdown,
+            driver: Some(driver),
+            committed_height,
+            inbound: tx,
+            introspect,
+        })
     }
 
     /// This node's id.
@@ -161,20 +283,34 @@ impl NodeHandle {
         let _ = self.inbound.send(Inbound { from, msg, verified: false });
     }
 
-    /// Stops the driver and transport, returning the final report.
+    /// The address the introspection server listens on, when enabled.
+    pub fn introspect_addr(&self) -> Option<SocketAddr> {
+        self.introspect.as_ref().map(|s| s.local_addr())
+    }
+
+    /// Stops the driver, transport, and introspection server, returning
+    /// the final report.
     pub fn stop(mut self) -> NodeReport {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.driver.take().expect("driver still attached").join().expect("driver panicked")
+        let report =
+            self.driver.take().expect("driver still attached").join().expect("driver panicked");
+        if let Some(server) = self.introspect.take() {
+            server.stop();
+        }
+        report
     }
 }
 
 struct Driver {
     node: NodeId,
     transport: Transport,
-    loopback: Sender<Inbound>,
+    loopback: InboundSender,
+    /// Shared inbound-channel depth gauge, debited once per dequeue.
+    inbound_depth: Arc<AtomicU64>,
     wheel: TimerWheel,
     observer: ProtocolObserver,
-    sink: SharedSink,
+    sink: TracingSink,
+    state: Arc<IntrospectState>,
     epoch: Instant,
     commits: Vec<CommittedBlock>,
     committed_height: Arc<AtomicU64>,
@@ -182,10 +318,17 @@ struct Driver {
     /// The node's mempool (if the data path is wired up), so its admission
     /// counters land in the final report.
     mempool: Option<Arc<moonshot_mempool::Mempool>>,
+    /// Stall-watchdog threshold; `None` disables the watchdog.
+    stall_timeout: Option<Duration>,
+    /// When the last commit landed (µs since epoch; 0 = none yet). Reset
+    /// on every watchdog firing so a persistent wedge emits a stall per
+    /// threshold interval rather than one per loop iteration.
+    last_commit_at_us: u64,
     messages_handled: u64,
     timers_fired: u64,
     batches: u64,
     unverified_messages: u64,
+    stalls: u64,
 }
 
 /// The driver loop, owning the [`Driver`] so the transport can be consumed
@@ -207,6 +350,11 @@ fn run_driver(
     let t = driver.now();
     let outputs = protocol.start(t);
     driver.process(protocol, outputs, t);
+    // Seed the live registry before the first message: a `/metrics` scrape
+    // is valid from the instant the node is reachable, not only after the
+    // first periodic refresh 200ms in.
+    driver.refresh_live(payload_hash_baseline);
+    let mut last_refresh = Instant::now();
 
     while !shutdown.load(Ordering::SeqCst) {
         let now = driver.now();
@@ -216,6 +364,13 @@ fn run_driver(
             driver.observer.on_timer_fired(token, t, &mut driver.sink);
             let outputs = protocol.handle_timer(token, t);
             driver.process(protocol, outputs, t);
+        }
+
+        driver.check_stall(protocol);
+        driver.publish_status(protocol);
+        if last_refresh.elapsed() >= LIVE_REFRESH {
+            driver.refresh_live(payload_hash_baseline);
+            last_refresh = Instant::now();
         }
 
         let wait = match driver.wheel.next_deadline() {
@@ -229,12 +384,14 @@ fn run_driver(
         // batch instead of running between every two messages.
         match rx.recv_timeout(wait) {
             Ok(inbound) => {
+                driver.inbound_depth.fetch_sub(1, Ordering::Relaxed);
                 driver.batches += 1;
                 driver.dispatch(protocol, inbound);
                 let mut drained = 1;
                 while drained < BATCH_LIMIT {
                     match rx.try_recv() {
                         Ok(inbound) => {
+                            driver.inbound_depth.fetch_sub(1, Ordering::Relaxed);
                             driver.dispatch(protocol, inbound);
                             drained += 1;
                         }
@@ -248,32 +405,12 @@ fn run_driver(
     }
 
     driver.sink.flush();
-    let mut metrics = MetricsRegistry::new();
-    metrics.incr("driver.messages_handled", driver.messages_handled);
-    metrics.incr("driver.timers_fired", driver.timers_fired);
-    metrics.incr("driver.commits", driver.commits.len() as u64);
-    metrics.incr("driver.batches", driver.batches);
-    metrics.incr("driver.unverified_messages", driver.unverified_messages);
-    metrics.incr(
-        "driver.payload_hashes",
-        moonshot_types::payload::data_hashes_on_thread() - payload_hash_baseline,
-    );
-    metrics.set_gauge("driver.timers_armed", driver.wheel.len() as f64);
-    let cache = driver.cache.stats();
-    metrics.incr("verify.cache_hits", cache.hits);
-    metrics.incr("verify.cache_misses", cache.misses);
-    metrics.incr("verify.cache_inserts", cache.inserts);
-    metrics.incr("verify.cache_rejects", cache.rejects);
-    metrics.incr("verify.cache_evictions", cache.evictions);
-    metrics.set_gauge("verify.cache_len", cache.len as f64);
-    if let Some(pool) = &driver.mempool {
-        let c = pool.counters();
-        metrics.incr("mempool.accepted", c.accepted);
-        metrics.incr("mempool.rejected", c.rejected);
-        metrics.incr("mempool.deduped", c.deduped);
-        metrics.set_gauge("mempool.pending", pool.len() as f64);
-    }
-    driver.transport.snapshot_metrics(&mut metrics);
+    driver.publish_status(protocol);
+    driver.refresh_live(payload_hash_baseline);
+    // The final report *is* the live registry: everything `/metrics`
+    // served mid-run (driver counters, stage histograms, transport and
+    // mempool state) lands in `summary_json` with no separate assembly.
+    let metrics = driver.state.live.lock().unwrap().clone();
 
     driver.transport.stop();
 
@@ -288,6 +425,80 @@ fn run_driver(
 impl Driver {
     fn now(&self) -> SimTime {
         SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Publishes the hot status fields (view, lock, timers) into the
+    /// introspection state. Runs once per loop iteration; all stores are
+    /// relaxed atomics.
+    fn publish_status(&self, protocol: &dyn ConsensusProtocol) {
+        let s = &self.state.status;
+        s.current_view.store(protocol.current_view().0, Ordering::Relaxed);
+        s.locked_view.store(protocol.locked_view().0, Ordering::Relaxed);
+        s.timers_armed.store(self.wheel.len() as u64, Ordering::Relaxed);
+    }
+
+    /// The stall watchdog: if no commit landed within the configured
+    /// threshold, emit a [`TraceEvent::Stall`] snapshot and re-arm. The
+    /// snapshot carries the driver state a human would first ask about —
+    /// which view we're stuck in, how deep the inbox is, how many timers
+    /// are armed, how much the mempool is holding.
+    fn check_stall(&mut self, protocol: &dyn ConsensusProtocol) {
+        let Some(timeout) = self.stall_timeout else { return };
+        let now = self.now();
+        if now.0.saturating_sub(self.last_commit_at_us) < timeout.as_micros() as u64 {
+            return;
+        }
+        self.stalls += 1;
+        self.state.status.stalls.store(self.stalls, Ordering::Relaxed);
+        // Re-arm from now so a persistent wedge produces one stall event
+        // per threshold interval, not one per loop iteration.
+        self.last_commit_at_us = now.0;
+        let event = TraceEvent::Stall {
+            node: self.node,
+            view: protocol.current_view(),
+            height: moonshot_types::Height(self.committed_height.load(Ordering::Relaxed)),
+            inbound: self.inbound_depth.load(Ordering::Relaxed),
+            timers: self.wheel.len() as u64,
+            mempool: self.mempool.as_ref().map(|p| p.len()).unwrap_or(0),
+        };
+        self.sink.record(TraceRecord { at: now, event });
+    }
+
+    /// Republishes every driver-side counter into the live registry as
+    /// absolute values, so `/metrics` reads and the final report are the
+    /// same snapshot at different times.
+    fn refresh_live(&mut self, payload_hash_baseline: u64) {
+        let cache = self.cache.stats();
+        let mempool = self.mempool.clone();
+        let payload_hashes =
+            moonshot_types::payload::data_hashes_on_thread() - payload_hash_baseline;
+        let mut live = match self.state.live.lock() {
+            Ok(live) => live,
+            Err(_) => return,
+        };
+        live.set_counter("driver.messages_handled", self.messages_handled);
+        live.set_counter("driver.timers_fired", self.timers_fired);
+        live.set_counter("driver.commits", self.commits.len() as u64);
+        live.set_counter("driver.batches", self.batches);
+        live.set_counter("driver.unverified_messages", self.unverified_messages);
+        live.set_counter("driver.stalls", self.stalls);
+        live.set_counter("driver.payload_hashes", payload_hashes);
+        live.set_gauge("driver.timers_armed", self.wheel.len() as f64);
+        live.set_gauge("driver.inbound_depth", self.inbound_depth.load(Ordering::Relaxed) as f64);
+        live.set_counter("verify.cache_hits", cache.hits);
+        live.set_counter("verify.cache_misses", cache.misses);
+        live.set_counter("verify.cache_inserts", cache.inserts);
+        live.set_counter("verify.cache_rejects", cache.rejects);
+        live.set_counter("verify.cache_evictions", cache.evictions);
+        live.set_gauge("verify.cache_len", cache.len as f64);
+        if let Some(pool) = &mempool {
+            let c = pool.counters();
+            live.set_counter("mempool.accepted", c.accepted);
+            live.set_counter("mempool.rejected", c.rejected);
+            live.set_counter("mempool.deduped", c.deduped);
+            live.set_gauge("mempool.pending", pool.len() as f64);
+        }
+        self.transport.snapshot_metrics(&mut live);
     }
 
     /// Feeds one inbound message to the protocol. Messages the transport
@@ -332,7 +543,12 @@ impl Driver {
                 }
                 Output::Commit(c) => {
                     self.committed_height.store(c.block.height().0, Ordering::Relaxed);
+                    self.last_commit_at_us = t.0;
+                    let s = &self.state.status;
+                    s.committed_height.store(c.block.height().0, Ordering::Relaxed);
+                    s.last_commit_at_us.store(t.0, Ordering::Relaxed);
                     self.commits.push(c);
+                    s.committed_blocks.store(self.commits.len() as u64, Ordering::Relaxed);
                 }
             }
         }

@@ -49,6 +49,45 @@ pub struct Inbound {
     pub verified: bool,
 }
 
+/// A depth-tracking wrapper around the driver's inbound channel.
+///
+/// `std::sync::mpsc` channels cannot report their length, but the
+/// introspection plane and the stall watchdog both want to know how deep
+/// the driver's inbox is. Every producer (reader threads, the loopback
+/// path) sends through this wrapper, which bumps a shared gauge; the
+/// driver decrements the same gauge once per message it dequeues. The
+/// gauge is therefore an upper bound that is exact whenever the driver is
+/// between messages.
+#[derive(Clone, Debug)]
+pub struct InboundSender {
+    tx: Sender<Inbound>,
+    depth: Arc<AtomicU64>,
+}
+
+impl InboundSender {
+    /// Wraps a raw channel sender with a fresh depth gauge.
+    pub fn new(tx: Sender<Inbound>) -> InboundSender {
+        InboundSender { tx, depth: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Sends a message, crediting the depth gauge. The credit is rolled
+    /// back if the receiver is gone.
+    pub fn send(&self, msg: Inbound) -> Result<(), Box<std::sync::mpsc::SendError<Inbound>>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let result = self.tx.send(msg);
+        if result.is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        result.map_err(Box::new)
+    }
+
+    /// The shared gauge. The consumer must call
+    /// `fetch_sub(1, ..)` on it once per message received.
+    pub fn depth_gauge(&self) -> Arc<AtomicU64> {
+        self.depth.clone()
+    }
+}
+
 /// Transport configuration for one node.
 #[derive(Clone, Debug)]
 pub struct TransportConfig {
@@ -79,6 +118,13 @@ pub struct TransportConfig {
     /// this mempool on the reader thread (hash + admission control there,
     /// never on the driver). When `None`, submissions are ignored.
     pub mempool: Option<Arc<Mempool>>,
+    /// When set, the node runtime serves the live introspection plane
+    /// (`/status`, `/metrics`) on this address. Port 0 binds ephemerally.
+    pub introspect: Option<SocketAddr>,
+    /// When set, the driver's stall watchdog emits a
+    /// `TraceEvent::Stall` snapshot whenever this long passes without a
+    /// commit. `None` disables the watchdog.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl TransportConfig {
@@ -95,6 +141,8 @@ impl TransportConfig {
             reconnect_max: Duration::from_secs(5),
             verifier: None,
             mempool: None,
+            introspect: None,
+            stall_timeout: None,
         }
     }
 
@@ -124,6 +172,8 @@ pub struct PeerMetrics {
     pub reconnects: AtomicU64,
     /// Current outbound queue depth.
     pub queue_depth: AtomicU64,
+    /// Bytes currently buffered in the outbound queue.
+    pub queue_bytes: AtomicU64,
     /// Frames from this peer the decoder rejected (connection then dropped).
     pub decode_errors: AtomicU64,
     /// Messages from this peer dropped by reader-thread signature
@@ -242,7 +292,7 @@ const POLL: Duration = Duration::from_millis(50);
 impl Transport {
     /// Binds the listener and spawns the acceptor and per-peer writer
     /// threads. Inbound messages flow into `inbound`.
-    pub fn start(cfg: TransportConfig, inbound: Sender<Inbound>) -> std::io::Result<Transport> {
+    pub fn start(cfg: TransportConfig, inbound: InboundSender) -> std::io::Result<Transport> {
         let listener = TcpListener::bind(cfg.listen)?;
         Self::start_with_listener(cfg, listener, inbound)
     }
@@ -253,7 +303,7 @@ impl Transport {
     pub fn start_with_listener(
         cfg: TransportConfig,
         listener: TcpListener,
-        inbound: Sender<Inbound>,
+        inbound: InboundSender,
     ) -> std::io::Result<Transport> {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -341,6 +391,7 @@ impl Transport {
             let (dropped, depth) = peer.queue.push(frame);
             peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
             peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
+            peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
         }
     }
 
@@ -351,17 +402,22 @@ impl Transport {
             let (dropped, depth) = peer.queue.push(frame.clone());
             peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
             peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
+            peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
         }
     }
 
     /// Snapshots per-peer and aggregate counters into `reg` under
-    /// `net.peer<id>.*` and `net.total.*`.
+    /// `net.peer<id>.*` and `net.total.*`. The atomics hold absolute
+    /// totals, so the snapshot writes absolute values (`set_counter`)
+    /// rather than increments — calling this repeatedly against a live
+    /// registry refreshes it instead of double-counting.
     pub fn snapshot_metrics(&self, reg: &mut MetricsRegistry) {
         let mut totals = [0u64; 6];
         for (id, peer) in &self.peers {
             let m = &peer.metrics;
             let depth = peer.queue.depth();
             m.queue_depth.store(depth, Ordering::Relaxed);
+            m.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
             let vals = [
                 ("bytes_out", m.bytes_out.load(Ordering::Relaxed)),
                 ("frames_out", m.frames_out.load(Ordering::Relaxed)),
@@ -371,19 +427,19 @@ impl Transport {
                 ("reconnects", m.reconnects.load(Ordering::Relaxed)),
             ];
             for (i, (name, v)) in vals.iter().enumerate() {
-                reg.incr(&format!("net.peer{}.{name}", id.0), *v);
+                reg.set_counter(&format!("net.peer{}.{name}", id.0), *v);
                 totals[i] += *v;
             }
             reg.set_gauge(&format!("net.peer{}.queue_depth", id.0), depth as f64);
             reg.set_gauge(
                 &format!("net.peer{}.queue_bytes", id.0),
-                peer.queue.buffered_bytes() as f64,
+                m.queue_bytes.load(Ordering::Relaxed) as f64,
             );
-            reg.incr(
+            reg.set_counter(
                 &format!("net.peer{}.decode_errors", id.0),
                 m.decode_errors.load(Ordering::Relaxed),
             );
-            reg.incr(
+            reg.set_counter(
                 &format!("net.peer{}.verify_failures", id.0),
                 m.verify_failures.load(Ordering::Relaxed),
             );
@@ -393,13 +449,18 @@ impl Transport {
                 .iter()
                 .enumerate()
         {
-            reg.incr(&format!("net.total.{name}"), totals[i]);
+            reg.set_counter(&format!("net.total.{name}"), totals[i]);
         }
     }
 
     /// Per-peer metrics handle (for tests and live inspection).
     pub fn peer_metrics(&self, id: NodeId) -> Option<Arc<PeerMetrics>> {
         self.peers.get(&id).map(|p| p.metrics.clone())
+    }
+
+    /// Every peer's metrics handle, for the introspection plane.
+    pub fn peer_metrics_all(&self) -> Vec<(NodeId, Arc<PeerMetrics>)> {
+        self.peers.iter().map(|(id, p)| (*id, p.metrics.clone())).collect()
     }
 
     /// Signals every thread to stop and joins them.
@@ -422,7 +483,7 @@ fn accept_loop(
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    inbound: Sender<Inbound>,
+    inbound: InboundSender,
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
     verifier: Option<Arc<MessageVerifier>>,
     mempool: Option<Arc<Mempool>>,
@@ -452,7 +513,7 @@ fn accept_loop(
 fn reader_loop(
     stream: TcpStream,
     shutdown: Arc<AtomicBool>,
-    inbound: Sender<Inbound>,
+    inbound: InboundSender,
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
     verifier: Option<Arc<MessageVerifier>>,
     mempool: Option<Arc<Mempool>>,
@@ -683,6 +744,9 @@ mod tests {
 
         let (tx0, rx0) = mpsc::channel();
         let (tx1, rx1) = mpsc::channel();
+        let tx0 = InboundSender::new(tx0);
+        let tx1 = InboundSender::new(tx1);
+        let depth1 = tx1.depth_gauge();
         let t0 = Transport::start_with_listener(
             TransportConfig::new(NodeId(0), a0, peers.clone()),
             l0,
@@ -701,6 +765,9 @@ mod tests {
         let got = rx1.recv_timeout(Duration::from_secs(10)).expect("delivery");
         assert_eq!(got.from, NodeId(0));
         assert_eq!(got.msg, msg);
+        // The depth gauge credited the delivery; the consumer debits it.
+        assert_eq!(depth1.load(Ordering::Relaxed), 1);
+        depth1.fetch_sub(1, Ordering::Relaxed);
 
         // And the reverse direction.
         t1.send(NodeId(0), frame);

@@ -197,6 +197,9 @@ pub struct SoakCellReport {
     pub commits_after_quiet: u64,
     /// Injected-fault accounting.
     pub fault_stats: FaultStats,
+    /// Trace records evicted from the cell's ring buffer — nonzero means
+    /// the safety/liveness verdicts were computed on a clipped trace.
+    pub dropped_trace_events: u64,
     /// Invariant violations found in the trace (empty = safe).
     pub violations: Vec<String>,
 }
@@ -289,8 +292,9 @@ pub fn run_soak_cell(config: &SoakConfig) -> SoakCellReport {
     let quorum = moonshot_crypto::Keyring::simulated(n).quorum_threshold();
     let committed_blocks =
         metrics.lock().unwrap().summarise(quorum, config.duration).committed_blocks;
-    let trace =
-        Arc::try_unwrap(ring).expect("sim dropped").into_inner().unwrap().into_vec();
+    let sink = Arc::try_unwrap(ring).expect("sim dropped").into_inner().unwrap();
+    let dropped_trace_events = sink.evicted();
+    let trace = sink.into_vec();
     let commits_after_quiet = trace
         .iter()
         .filter(|r| {
@@ -306,6 +310,7 @@ pub fn run_soak_cell(config: &SoakConfig) -> SoakCellReport {
         committed_blocks,
         commits_after_quiet,
         fault_stats,
+        dropped_trace_events,
         violations,
     }
 }

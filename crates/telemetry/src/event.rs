@@ -109,6 +109,41 @@ pub enum TraceEvent {
         /// The restarted node.
         node: NodeId,
     },
+    /// A batch of transactions was sealed (framed and hashed) off-thread
+    /// and staged for proposal. The record's timestamp is the *seal* time,
+    /// which can predate neighbouring records when the event is emitted
+    /// lazily at proposal time — stage analysis sorts by timestamp first.
+    ///
+    /// `batch` is the payload digest: the span id that correlates this
+    /// event with the block that later carries the batch (a block's
+    /// payload digest equals its batch digest).
+    BatchSealed {
+        /// The node whose assembler sealed the batch.
+        node: NodeId,
+        /// Digest of the sealed batch payload.
+        batch: BlockId,
+        /// Transactions in the batch.
+        txs: u64,
+        /// Framed batch size in bytes.
+        bytes: u64,
+    },
+    /// The driver's stall watchdog fired: no commit landed within its
+    /// threshold (k× the expected block period). Carries a state snapshot
+    /// so wedges become diagnosable artifacts instead of silent timeouts.
+    Stall {
+        /// The stalled node.
+        node: NodeId,
+        /// The view the node is stuck in.
+        view: View,
+        /// Highest height this node has committed.
+        height: Height,
+        /// Messages waiting in the driver's inbound channel.
+        inbound: u64,
+        /// Timers armed on the timer wheel.
+        timers: u64,
+        /// Transactions pending in the mempool (0 without a data path).
+        mempool: u64,
+    },
 }
 
 impl TraceEvent {
@@ -126,6 +161,8 @@ impl TraceEvent {
             TraceEvent::BlockCommitted { .. } => "block-committed",
             TraceEvent::SyncRequested { .. } => "sync-requested",
             TraceEvent::NodeRestarted { .. } => "node-restarted",
+            TraceEvent::BatchSealed { .. } => "batch-sealed",
+            TraceEvent::Stall { .. } => "stall",
         }
     }
 
@@ -141,7 +178,9 @@ impl TraceEvent {
             | TraceEvent::ViewEntered { node, .. }
             | TraceEvent::BlockCommitted { node, .. }
             | TraceEvent::SyncRequested { node, .. }
-            | TraceEvent::NodeRestarted { node, .. } => node,
+            | TraceEvent::NodeRestarted { node, .. }
+            | TraceEvent::BatchSealed { node, .. }
+            | TraceEvent::Stall { node, .. } => node,
         }
     }
 }
@@ -200,6 +239,18 @@ impl TraceRecord {
                 o.field_str("block", &block.short());
             }
             TraceEvent::NodeRestarted { .. } => {}
+            TraceEvent::BatchSealed { batch, txs, bytes, .. } => {
+                o.field_str("batch", &batch.short());
+                o.field_u64("txs", txs);
+                o.field_u64("bytes", bytes);
+            }
+            TraceEvent::Stall { view, height, inbound, timers, mempool, .. } => {
+                o.field_u64("view", view.0);
+                o.field_u64("height", height.0);
+                o.field_u64("inbound", inbound);
+                o.field_u64("timers", timers);
+                o.field_u64("mempool", mempool);
+            }
         }
         o.finish()
     }
@@ -251,6 +302,15 @@ mod tests {
             },
             TraceEvent::SyncRequested { node: NodeId(1), block: bid() },
             TraceEvent::NodeRestarted { node: NodeId(1) },
+            TraceEvent::BatchSealed { node: NodeId(1), batch: bid(), txs: 10, bytes: 1_800 },
+            TraceEvent::Stall {
+                node: NodeId(1),
+                view: View(9),
+                height: Height(4),
+                inbound: 3,
+                timers: 2,
+                mempool: 100,
+            },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());
@@ -274,5 +334,39 @@ mod tests {
         assert!(line.contains("\"kind\":\"block-committed\""));
         assert!(line.contains("\"direct\":true"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn stage_events_serialise_their_snapshots() {
+        let sealed = TraceRecord {
+            at: SimTime(77),
+            event: TraceEvent::BatchSealed {
+                node: NodeId(1),
+                batch: bid(),
+                txs: 12,
+                bytes: 2_160,
+            },
+        };
+        let line = sealed.to_json();
+        assert!(line.contains("\"kind\":\"batch-sealed\""));
+        assert!(line.contains("\"txs\":12"));
+        assert!(line.contains("\"bytes\":2160"));
+
+        let stall = TraceRecord {
+            at: SimTime(99),
+            event: TraceEvent::Stall {
+                node: NodeId(2),
+                view: View(41),
+                height: Height(7),
+                inbound: 5,
+                timers: 1,
+                mempool: 300,
+            },
+        };
+        let line = stall.to_json();
+        assert!(line.contains("\"kind\":\"stall\""));
+        assert!(line.contains("\"view\":41"));
+        assert!(line.contains("\"inbound\":5"));
+        assert!(line.contains("\"mempool\":300"));
     }
 }

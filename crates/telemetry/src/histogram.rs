@@ -8,6 +8,14 @@
 
 use crate::json::JsonObject;
 
+/// Bucket width of [`Histogram::for_stage_latency_us`] (also used by
+/// [`MetricsRegistry::observe_with`](crate::MetricsRegistry::observe_with)
+/// callers that create stage histograms lazily).
+pub const STAGE_BUCKET_WIDTH_US: u64 = 100;
+
+/// Bucket count of [`Histogram::for_stage_latency_us`].
+pub const STAGE_BUCKETS: usize = 100_000;
+
 /// A fixed-width-bucket histogram over `u64` samples.
 ///
 /// Samples at or above `bucket_width × buckets` land in an overflow bucket;
@@ -52,6 +60,17 @@ impl Histogram {
     /// land without ballooning the bucket array.
     pub fn for_tx_latency_us() -> Self {
         Histogram::new(100, 100_000)
+    }
+
+    /// Sized for per-stage latency decompositions (`stage_latency_us.*`):
+    /// the same 100 µs × 10 s coverage as [`for_tx_latency_us`] — every
+    /// stage of a transaction's lifecycle is bounded by its end-to-end
+    /// latency, and matching bucket widths keep the per-stage p50s
+    /// comparable (and summable) against the end-to-end percentiles.
+    ///
+    /// [`for_tx_latency_us`]: Histogram::for_tx_latency_us
+    pub fn for_stage_latency_us() -> Self {
+        Histogram::new(STAGE_BUCKET_WIDTH_US, STAGE_BUCKETS)
     }
 
     /// Records one sample.
@@ -244,6 +263,77 @@ mod tests {
         }
         let s = h.summary();
         assert_eq!((s.min, s.p50, s.p99, s.max), (42, 42, 42, 42));
+    }
+
+    #[test]
+    fn quantiles_at_exact_bucket_edges() {
+        // Samples sitting exactly on bucket edges: value v lands in bucket
+        // [v, v+w), so the quantile answer (the bucket's upper edge) is
+        // v + w, clamped to the exact max/min.
+        let mut h = Histogram::new(10, 100);
+        for v in [0u64, 10, 20, 30] {
+            h.record(v);
+        }
+        // rank(0.25) = ⌈0.25·4⌉ = 1 → bucket [0,10) → upper edge 10.
+        assert_eq!(h.quantile(0.25), Some(10));
+        // rank(0.5) = 2 → bucket [10,20) → upper edge 20.
+        assert_eq!(h.quantile(0.50), Some(20));
+        // rank(0.75) = 3 → bucket [20,30) → upper edge 30.
+        assert_eq!(h.quantile(0.75), Some(30));
+        // rank(0.76) = ⌈3.04⌉ = 4 → bucket [30,40) → edge 40, clamped to
+        // the exact max 30.
+        assert_eq!(h.quantile(0.76), Some(30));
+        // The extremes stay exact regardless of bucketing.
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(30));
+    }
+
+    #[test]
+    fn quantile_rank_boundary_between_buckets() {
+        // 10 samples in bucket 0, 10 in bucket 1: q = 0.5 has rank 10,
+        // which is the *last* sample of bucket 0 — the answer must be
+        // bucket 0's upper edge, not bucket 1's.
+        let mut h = Histogram::new(100, 10);
+        for _ in 0..10 {
+            h.record(50); // bucket [0, 100)
+        }
+        for _ in 0..10 {
+            h.record(150); // bucket [100, 200)
+        }
+        assert_eq!(h.quantile(0.50), Some(100));
+        // One sample more and the rank tips into bucket 1, whose upper
+        // edge (200) clamps to the exact max.
+        h.record(150);
+        assert_eq!(h.quantile(0.50), Some(150));
+    }
+
+    #[test]
+    fn quantile_clamps_to_min_when_first_bucket_is_sparse() {
+        // A single sample deep inside the first bucket: the bucket's upper
+        // edge exceeds the sample, so answers clamp to the exact min/max.
+        let mut h = Histogram::new(1_000, 10);
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.quantile(0.5), Some(2)); // edge 1000 clamped to max 2
+        assert_eq!(h.quantile(0.01), Some(2)); // rank 1, same bucket
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn stage_histogram_sizing_matches_tx_latency() {
+        let mut stage = Histogram::for_stage_latency_us();
+        let mut tx = Histogram::for_tx_latency_us();
+        for v in [250u64, 9_999_999, 10_000_000] {
+            stage.record(v);
+            tx.record(v);
+        }
+        // Identical bucketing ⇒ identical quantile answers, so stage p50s
+        // are comparable with end-to-end tx-latency p50s.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(stage.quantile(q), tx.quantile(q), "q={q}");
+        }
+        assert_eq!(stage.counts.len(), STAGE_BUCKETS);
+        assert_eq!(stage.bucket_width, STAGE_BUCKET_WIDTH_US);
     }
 
     #[test]

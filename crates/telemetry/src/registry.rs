@@ -3,6 +3,12 @@
 //! One registry per run. Names are dotted paths (`"commit.latency_us"`,
 //! `"msgs.vote.bytes"`); [`MetricsRegistry::to_json`] serialises the whole
 //! registry for summary files.
+//!
+//! **Ordering guarantee**: all three sections are backed by `BTreeMap`s, so
+//! every snapshot — `to_json`, the name iterators — lists metrics in sorted
+//! key order, regardless of insertion order. Bench diffs and CI assertions
+//! may rely on two registries with the same contents serialising to
+//! byte-identical JSON.
 
 use std::collections::BTreeMap;
 
@@ -31,6 +37,16 @@ impl MetricsRegistry {
     /// Reads counter `name` (zero if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets counter `name` to an absolute `value`.
+    ///
+    /// For *live* registries refreshed from external monotone sources
+    /// (atomics owned by transport or driver threads): re-snapshotting with
+    /// `set_counter` is idempotent where repeated [`incr`](Self::incr)
+    /// calls would double-count.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
     }
 
     /// Sets gauge `name` to `value`.
@@ -63,6 +79,12 @@ impl MetricsRegistry {
     /// Reads histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// All histogram names, in sorted order (scrape checks iterate this to
+    /// assert every expected stage histogram is present and populated).
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
     }
 
     /// Serialises the registry as
@@ -116,6 +138,54 @@ mod tests {
         r.observe("commit.latency_us", 35_000);
         let h = r.histogram("commit.latency_us").unwrap();
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn set_counter_is_idempotent_where_incr_accumulates() {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("net.bytes_out", 100);
+        r.set_counter("net.bytes_out", 100); // re-snapshot, same source
+        assert_eq!(r.counter("net.bytes_out"), 100);
+        r.set_counter("net.bytes_out", 250);
+        assert_eq!(r.counter("net.bytes_out"), 250);
+        r.incr("net.bytes_out", 1);
+        assert_eq!(r.counter("net.bytes_out"), 251);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic_regardless_of_insertion_order() {
+        // Two registries, same metrics, opposite insertion orders: the
+        // JSON must be byte-identical and keys sorted — bench diffs and CI
+        // greps depend on it.
+        let mut a = MetricsRegistry::new();
+        a.incr("z.last", 1);
+        a.incr("a.first", 2);
+        a.set_gauge("m.mid", 3.0);
+        a.set_gauge("b.early", 4.0);
+        a.observe("stage_latency_us.vote_to_qc", 5);
+        a.observe("stage_latency_us.mempool_queue", 6);
+
+        let mut b = MetricsRegistry::new();
+        b.observe("stage_latency_us.mempool_queue", 6);
+        b.observe("stage_latency_us.vote_to_qc", 5);
+        b.set_gauge("b.early", 4.0);
+        b.set_gauge("m.mid", 3.0);
+        b.incr("a.first", 2);
+        b.incr("z.last", 1);
+
+        let (ja, jb) = (a.to_json(), b.to_json());
+        assert_eq!(ja, jb);
+        assert!(ja.find("\"a.first\"").unwrap() < ja.find("\"z.last\"").unwrap());
+        assert!(ja.find("\"b.early\"").unwrap() < ja.find("\"m.mid\"").unwrap());
+        assert!(
+            ja.find("stage_latency_us.mempool_queue").unwrap()
+                < ja.find("stage_latency_us.vote_to_qc").unwrap()
+        );
+        let names: Vec<&str> = a.histogram_names().collect();
+        assert_eq!(
+            names,
+            vec!["stage_latency_us.mempool_queue", "stage_latency_us.vote_to_qc"]
+        );
     }
 
     #[test]
