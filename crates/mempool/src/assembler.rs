@@ -7,6 +7,13 @@
 //! [`PreparedSlot`]. When the node becomes leader, its payload source is a
 //! single lock-and-take of that slot — an `Arc` swap, after which the
 //! assembler immediately starts preparing the next batch.
+//!
+//! Batch sizing is adaptive: when backlog accumulates (the pool holds more
+//! pending bytes than a few base batches), the assembler grows the batch
+//! byte target — up to [`AssemblerConfig::max_growth`]× the base — so the
+//! pipeline drains the backlog with bigger blocks instead of letting queue
+//! delay grow. With an empty-ish pool the target stays at the base, keeping
+//! the common-case block size (and its latency profile) untouched.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -17,6 +24,46 @@ use moonshot_types::Payload;
 
 use crate::batch::{encode_batch, tx_timestamp_us};
 use crate::pool::Mempool;
+
+/// Batch-sizing policy for a [`BatchAssembler`].
+#[derive(Clone, Copy, Debug)]
+pub struct AssemblerConfig {
+    /// The batch byte target with no backlog (the payload-per-block target
+    /// of the run).
+    pub base_batch_bytes: usize,
+    /// Upper bound on adaptive growth, as a multiple of the base. `1`
+    /// disables adaptation (fixed-size batches).
+    pub max_growth: u32,
+    /// How much backlog it takes to saturate growth: the effective target
+    /// is `base × (1 + backlog / (growth_backlog_factor × base))`, clamped
+    /// to `max_growth × base`. Smaller values grow batches sooner.
+    pub growth_backlog_factor: u32,
+}
+
+impl AssemblerConfig {
+    /// Fixed-size batches of `bytes` — the pre-adaptive behaviour.
+    pub fn fixed(bytes: usize) -> AssemblerConfig {
+        AssemblerConfig { base_batch_bytes: bytes, max_growth: 1, growth_backlog_factor: 4 }
+    }
+
+    /// Adaptive batches: base target `bytes`, growing up to 4× under
+    /// backlog.
+    pub fn adaptive(bytes: usize) -> AssemblerConfig {
+        AssemblerConfig { base_batch_bytes: bytes, max_growth: 4, growth_backlog_factor: 4 }
+    }
+
+    /// The effective batch byte target for the given pool backlog.
+    pub fn effective_target(&self, backlog_bytes: u64) -> usize {
+        let base = self.base_batch_bytes.max(1);
+        if self.max_growth <= 1 {
+            return base;
+        }
+        let denom = (self.growth_backlog_factor.max(1) as u64) * base as u64;
+        let growth_milli = 1_000 + backlog_bytes.saturating_mul(1_000) / denom;
+        let capped = growth_milli.min(self.max_growth as u64 * 1_000);
+        (base as u64 * capped / 1_000) as usize
+    }
+}
 
 /// A fully assembled, pre-hashed payload waiting to be proposed.
 #[derive(Clone, Debug)]
@@ -68,12 +115,12 @@ pub struct BatchAssembler {
 }
 
 impl BatchAssembler {
-    /// Spawns the assembler. `max_batch_bytes` bounds the framed batch
-    /// (the payload-per-block target of the run); `epoch` is the time
-    /// origin used for seal timestamps, which must match the one the
-    /// client load generator stamps transactions against for the
-    /// per-transaction queue delays to mean anything.
-    pub fn start(pool: Arc<Mempool>, max_batch_bytes: usize, epoch: Instant) -> BatchAssembler {
+    /// Spawns the assembler. `cfg` sets the batch byte target and its
+    /// adaptive-growth policy; `epoch` is the time origin used for seal
+    /// timestamps, which must match the one the client load generator
+    /// stamps transactions against for the per-transaction queue delays to
+    /// mean anything.
+    pub fn start(pool: Arc<Mempool>, cfg: AssemblerConfig, epoch: Instant) -> BatchAssembler {
         let slot = PreparedSlot::default();
         let shutdown = Arc::new(AtomicBool::new(false));
         let batches = Arc::new(AtomicU64::new(0));
@@ -83,7 +130,7 @@ impl BatchAssembler {
             let batches = batches.clone();
             thread::Builder::new()
                 .name("batch-assembler".into())
-                .spawn(move || run(pool, slot, shutdown, batches, max_batch_bytes, epoch))
+                .spawn(move || run(pool, slot, shutdown, batches, cfg, epoch))
                 .expect("spawn batch assembler")
         };
         BatchAssembler { slot, shutdown, batches, thread: Some(thread) }
@@ -114,7 +161,7 @@ fn run(
     slot: PreparedSlot,
     shutdown: Arc<AtomicBool>,
     batches: Arc<AtomicU64>,
-    max_batch_bytes: usize,
+    cfg: AssemblerConfig,
     epoch: Instant,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
@@ -124,9 +171,14 @@ fn run(
             thread::sleep(Duration::from_micros(200));
             continue;
         }
-        let txs = pool.drain_for_batch(max_batch_bytes);
+        let target = cfg.effective_target(pool.pending_bytes());
+        pool.set_batch_target(target as u64);
+        let txs = pool.drain_for_batch(target);
         if txs.is_empty() {
             continue;
+        }
+        if target > cfg.base_batch_bytes {
+            pool.note_batch_grown();
         }
         let tx_count = txs.len() as u64;
         let sealed_at_us = epoch.elapsed().as_micros() as u64;
@@ -153,7 +205,8 @@ mod tests {
     #[test]
     fn assembler_stages_prehashed_batches_off_thread() {
         let pool = Arc::new(Mempool::new(MempoolConfig::default()));
-        let assembler = BatchAssembler::start(pool.clone(), 1_800, Instant::now());
+        let assembler =
+            BatchAssembler::start(pool.clone(), AssemblerConfig::fixed(1_800), Instant::now());
         let slot = assembler.slot();
         for seq in 0..40u64 {
             pool.submit(make_tx(500 + seq, 1, seq, 180)).unwrap();
@@ -194,5 +247,59 @@ mod tests {
         stamps.sort_unstable();
         assert_eq!(stamps, (500..540).collect::<Vec<u64>>());
         assert!(assembler.batches_assembled() >= 5, "1.8kB cap forces multiple batches");
+    }
+
+    /// The effective target grows linearly with backlog and saturates at
+    /// `max_growth × base`; fixed configs never grow.
+    #[test]
+    fn adaptive_target_grows_with_backlog_and_caps() {
+        let cfg = AssemblerConfig::adaptive(1_800);
+        assert_eq!(cfg.effective_target(0), 1_800);
+        // backlog = factor × base → 2× growth.
+        assert_eq!(cfg.effective_target(4 * 1_800), 3_600);
+        // Deep backlog saturates at 4×.
+        assert_eq!(cfg.effective_target(10_000_000), 4 * 1_800);
+        let fixed = AssemblerConfig::fixed(1_800);
+        assert_eq!(fixed.effective_target(10_000_000), 1_800);
+    }
+
+    /// Under backlog an adaptive assembler seals batches larger than the
+    /// base target (and records them), draining the queue faster; the cap
+    /// still bounds every payload.
+    #[test]
+    fn adaptive_assembler_seals_grown_batches_under_backlog() {
+        // Delay admission off: the point is to build backlog.
+        let pool = Arc::new(Mempool::new(MempoolConfig {
+            delay_target_multiple: 0,
+            ..MempoolConfig::default()
+        }));
+        let base = 1_800usize;
+        for seq in 0..400u64 {
+            pool.submit(make_tx(1 + seq, 1, seq, 180)).unwrap();
+        }
+        let assembler =
+            BatchAssembler::start(pool.clone(), AssemblerConfig::adaptive(base), Instant::now());
+        let slot = assembler.slot();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut seen_grown = false;
+        let mut drained = 0u64;
+        while drained < 400 && Instant::now() < deadline {
+            match slot.take() {
+                Some(prepared) => {
+                    assert!(prepared.payload.size() <= 4 * base as u64);
+                    if prepared.payload.size() > base as u64 {
+                        seen_grown = true;
+                    }
+                    drained += prepared.tx_count;
+                }
+                None => thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        assert_eq!(drained, 400, "assembler never drained the backlog");
+        // 400 × 184 B ≈ 73 kB of backlog against a 1.8 kB base: growth must
+        // have engaged (4× cap ⇒ batches of up to ~39 txs vs ~9 fixed).
+        assert!(seen_grown, "no batch grew past the base target under backlog");
+        assert!(pool.batches_grown() >= 1);
+        assert!(pool.batch_target_bytes() >= base as u64);
     }
 }

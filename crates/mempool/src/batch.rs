@@ -71,6 +71,14 @@ pub fn tx_timestamp_us(tx: &[u8]) -> Option<u64> {
     tx.get(..TX_TIMESTAMP_BYTES).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
 }
 
+/// Reads a generated transaction's embedded client id (the `u32` following
+/// the timestamp, little-endian), if it is long enough to carry one. Used
+/// to split committed-tx latency distributions per client.
+pub fn tx_client_id(tx: &[u8]) -> Option<u32> {
+    tx.get(TX_TIMESTAMP_BYTES..TX_TIMESTAMP_BYTES + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
 /// Builds one load-generator transaction of exactly `size` bytes (min 20):
 /// submit timestamp, client id and sequence number up front — which makes
 /// every generated transaction unique under the dedup window — then
@@ -122,5 +130,7 @@ mod tests {
         let c = make_tx(1, 2, 5, 180);
         assert_ne!(b, c);
         assert_eq!(tx_timestamp_us(&b), Some(1));
+        assert_eq!(tx_client_id(&b), Some(2));
+        assert_eq!(tx_client_id(&[0u8; 8]), None);
     }
 }

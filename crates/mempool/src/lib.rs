@@ -5,10 +5,14 @@
 //! driver hot loop free of payload work:
 //!
 //! * [`pool`] — a lock-striped, sharded [`Mempool`]: N shards keyed by
-//!   transaction hash, each a `Mutex<VecDeque>`, with byte- and
-//!   count-budgeted admission (backpressure rejects new submissions, queued
-//!   transactions are never dropped) and a bounded digest-based dedup
-//!   window per shard.
+//!   transaction hash, each a mutex-guarded set of per-client FIFO queues,
+//!   with commit-rate-aware **delay-bounded admission** (the driver feeds
+//!   committed bytes and commit latency back via `note_commit`; a
+//!   submission whose projected sojourn exceeds a multiple of the measured
+//!   commit latency is rejected `Overloaded`), static byte/count budgets as
+//!   a hard backstop, deficit-round-robin per-client drain fairness, and a
+//!   bounded digest-based dedup window per shard. Backpressure rejects new
+//!   submissions; queued transactions are never dropped.
 //! * [`batch`] — the payload framing: a block payload is a sequence of
 //!   `u32`-length-prefixed transactions, with each transaction's leading 8
 //!   bytes carrying its client submit timestamp so submit→commit latency
@@ -29,8 +33,9 @@ pub mod assembler;
 pub mod batch;
 pub mod pool;
 
-pub use assembler::{BatchAssembler, PreparedPayload, PreparedSlot};
+pub use assembler::{AssemblerConfig, BatchAssembler, PreparedPayload, PreparedSlot};
 pub use batch::{
-    batch_txs, encode_batch, make_tx, tx_timestamp_us, BATCH_TX_OVERHEAD, TX_TIMESTAMP_BYTES,
+    batch_txs, encode_batch, make_tx, tx_client_id, tx_timestamp_us, BATCH_TX_OVERHEAD,
+    TX_TIMESTAMP_BYTES,
 };
 pub use pool::{Mempool, MempoolConfig, MempoolCounters, SubmitError, Tx};

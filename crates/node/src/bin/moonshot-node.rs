@@ -15,8 +15,11 @@
 //! `--load <batch-bytes>` gives the node a real data path: a sharded
 //! mempool fed by `SubmitTx` frames (any TCP client may connect and
 //! submit — no hello required) and a batch-assembler thread that stages
-//! pre-hashed payloads of up to `batch-bytes` for the blocks this node
-//! proposes. Without it, payloads are synthetic (`--payload` bytes).
+//! pre-hashed payloads targeting `batch-bytes` (adaptively grown up to 4×
+//! under backlog) for the blocks this node proposes. Admission is
+//! delay-bounded: submissions whose projected queue delay exceeds the
+//! target are refused instead of queued. Without `--load`, payloads are
+//! synthetic (`--payload` bytes).
 //!
 //! `--introspect <addr>` serves the live introspection plane on `addr`:
 //! `echo /status | nc <addr>` (or `curl http://<addr>/status`) returns the
@@ -178,8 +181,11 @@ fn run(args: &[String]) -> ExitCode {
     // assembler must outlive the node, so it's held here until shutdown.
     let _assembler = load_batch.map(|batch_bytes| {
         let pool = Arc::new(moonshot_mempool::Mempool::new(Default::default()));
-        let assembler =
-            moonshot_mempool::BatchAssembler::start(pool.clone(), batch_bytes, epoch);
+        let assembler = moonshot_mempool::BatchAssembler::start(
+            pool.clone(),
+            moonshot_mempool::AssemblerConfig::adaptive(batch_bytes),
+            epoch,
+        );
         moonshot_node::cluster::wire_data_path(
             &mut node_cfg,
             &mut transport,

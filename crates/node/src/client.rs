@@ -65,12 +65,18 @@ impl Default for TxClientConfig {
     }
 }
 
-/// Counters a stopped client hands back.
+/// Counters a stopped client hands back. Every attempt is either accepted
+/// or rejected, so `accepted + rejected == submitted`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ClientStats {
-    /// Transactions accepted (in-process) or written to a socket (TCP).
+    /// Submission attempts (accepted + rejected).
     pub submitted: u64,
-    /// Submissions refused: mempool full/duplicate, or a failed TCP write.
+    /// Transactions accepted (in-process) or written to a socket (TCP —
+    /// the client cannot see the remote admission verdict; the receiving
+    /// pool's own counters are the ground truth there).
+    pub accepted: u64,
+    /// Submissions refused: mempool backpressure/duplicate, or a failed
+    /// TCP write.
     pub rejected: u64,
 }
 
@@ -157,12 +163,16 @@ fn run_client(
 
         let ts = epoch.elapsed().as_micros() as u64;
         let tx = make_tx(ts, cfg.client_id, seq, cfg.tx_bytes);
+        // Every attempt counts as submitted; exactly one of accepted or
+        // rejected follows, so the client-side identity
+        // `accepted + rejected == submitted` mirrors the pool's.
+        stats.submitted += 1;
         let ok = match &target {
             ClientTarget::InProcess(pools) => {
                 let pool = &pools[(seq as usize) % pools.len()];
-                match pool.submit(tx) {
+                match pool.submit_from(cfg.client_id, tx) {
                     Ok(()) => true,
-                    Err(SubmitError::Full) => {
+                    Err(SubmitError::Full | SubmitError::Overloaded) => {
                         stats.rejected += 1;
                         std::thread::sleep(BACKOFF);
                         false
@@ -180,7 +190,7 @@ fn run_client(
                         let _ = s.set_nodelay(true);
                     });
                 }
-                let frame = encode_frame(&Frame::SubmitTx { tx });
+                let frame = encode_frame(&Frame::SubmitTx { client: cfg.client_id, tx });
                 let wrote = match conns[i].as_mut() {
                     Some(s) => s.write_all(&frame).is_ok(),
                     None => false,
@@ -194,9 +204,9 @@ fn run_client(
             }
         };
         if ok {
-            stats.submitted += 1;
-            submitted_live.store(stats.submitted, Ordering::Relaxed);
+            stats.accepted += 1;
         }
+        submitted_live.store(stats.submitted, Ordering::Relaxed);
         seq += 1;
     }
     stats
@@ -222,11 +232,20 @@ mod tests {
         }
         let stats = client.stop();
         assert!(stats.submitted >= 300, "only {} submitted", stats.submitted);
+        assert_eq!(stats.accepted + stats.rejected, stats.submitted);
         // Round-robin: every pool got its share, and nothing was counted
         // twice (each tx went to exactly one pool).
         let counts: Vec<u64> = pools.iter().map(|p| p.counters().accepted).collect();
         assert!(counts.iter().all(|&c| c > 0), "unbalanced: {counts:?}");
-        assert_eq!(counts.iter().sum::<u64>(), stats.submitted);
+        assert_eq!(counts.iter().sum::<u64>(), stats.accepted);
+        // The pools saw the same attempt count the client made (identity on
+        // both sides of the interface).
+        let pool_submitted: u64 = pools.iter().map(|p| p.counters().submitted).sum();
+        assert_eq!(pool_submitted, stats.submitted);
+        // Fairness accounting keys on the wire client id, not the embedded
+        // bytes: the drained txs carry the submitting client's id.
+        let drained = pools[0].drain_for_batch(1 << 20);
+        assert!(drained.iter().all(|t| t.client == 7));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use moonshot_consensus::PayloadSource;
-use moonshot_mempool::{batch_txs, tx_timestamp_us, BatchAssembler, Mempool, MempoolConfig};
+use moonshot_mempool::{
+    batch_txs, tx_client_id, tx_timestamp_us, AssemblerConfig, BatchAssembler, Mempool,
+    MempoolConfig,
+};
 use moonshot_telemetry::{
     RingBufferSink, TraceEvent, TraceRecord, TraceSink, STAGE_BUCKETS, STAGE_BUCKET_WIDTH_US,
 };
@@ -58,23 +61,64 @@ pub struct ClusterSpec {
 /// Real-transaction load parameters for a cluster.
 #[derive(Clone, Debug)]
 pub struct LoadSpec {
-    /// Upper bound on assembled batch size — the knob that plays the role
-    /// of the paper's payload-size axis once payloads are real.
+    /// Base batch byte target — the knob that plays the role of the
+    /// paper's payload-size axis once payloads are real. With adaptive
+    /// batching on, the assembler may grow batches up to 4× this under
+    /// backlog.
     pub batch_bytes: usize,
-    /// Bytes per generated transaction (the paper's items are 180 B).
-    pub tx_bytes: usize,
-    /// Generator target rate; `0` = saturate (admission is the throttle).
-    pub txs_per_sec: u64,
-    /// Spawn the in-process [`TxClient`]. Disable to drive the mempools
-    /// externally (TCP clients or tests submitting by hand).
-    pub spawn_client: bool,
+    /// Grow batch targets when backlog rises
+    /// ([`AssemblerConfig::adaptive`]); off = fixed-size batches.
+    pub adaptive_batching: bool,
+    /// Per-node mempool configuration (admission budgets, delay target,
+    /// fairness quantum).
+    pub mempool: MempoolConfig,
+    /// In-process load generators to spawn, one [`TxClient`] per entry.
+    /// Empty = drive the mempools externally (TCP clients or tests
+    /// submitting by hand).
+    pub clients: Vec<TxClientConfig>,
 }
 
 impl LoadSpec {
-    /// A load spec with paper-shaped defaults: 180-byte transactions,
-    /// unthrottled in-process generator, `batch_bytes` per block.
+    /// A load spec with paper-shaped defaults: one unthrottled 180-byte
+    /// generator (client 0), `batch_bytes` base target, adaptive batching
+    /// and delay-bounded admission on.
     pub fn new(batch_bytes: usize) -> LoadSpec {
-        LoadSpec { batch_bytes, tx_bytes: 180, txs_per_sec: 0, spawn_client: true }
+        LoadSpec {
+            batch_bytes,
+            adaptive_batching: true,
+            mempool: MempoolConfig::default(),
+            clients: vec![TxClientConfig { client_id: 0, tx_bytes: 180, txs_per_sec: 0 }],
+        }
+    }
+
+    /// The same data path, but no in-process generators (builder-style).
+    pub fn without_clients(mut self) -> LoadSpec {
+        self.clients.clear();
+        self
+    }
+
+    /// The mixed-client saturation scenario: client 0 saturating plus
+    /// `paced_n` paced clients (ids 1..=`paced_n`) at `paced_rate` tx/s
+    /// each, all with `tx_bytes`-byte transactions. This is the fairness
+    /// regression shape — one greedy client must not starve the paced ones.
+    pub fn mixed(batch_bytes: usize, paced_n: u32, paced_rate: u64, tx_bytes: usize) -> LoadSpec {
+        let mut load = LoadSpec::new(batch_bytes);
+        load.clients = (0..=paced_n)
+            .map(|id| TxClientConfig {
+                client_id: id,
+                tx_bytes,
+                txs_per_sec: if id == 0 { 0 } else { paced_rate },
+            })
+            .collect();
+        load
+    }
+
+    /// Only the paced clients of [`mixed`](LoadSpec::mixed) — the unloaded
+    /// baseline the mixed scenario is compared against.
+    pub fn paced_only(batch_bytes: usize, paced_n: u32, paced_rate: u64, tx_bytes: usize) -> LoadSpec {
+        let mut load = LoadSpec::mixed(batch_bytes, paced_n, paced_rate, tx_bytes);
+        load.clients.retain(|c| c.client_id != 0);
+        load
     }
 }
 
@@ -116,8 +160,9 @@ pub struct Cluster {
     assemblers: Vec<BatchAssembler>,
     /// One introspection state per node, kept across restarts.
     states: Vec<Arc<IntrospectState>>,
-    /// The in-process load generator, when the spec asked for one.
-    client: Option<TxClient>,
+    /// The in-process load generators (client id, client), when the spec
+    /// asked for any.
+    clients: Vec<(u32, TxClient)>,
 }
 
 impl Cluster {
@@ -143,11 +188,16 @@ impl Cluster {
         let (pools, assemblers) = match &spec.load {
             Some(load) => {
                 let pools: Vec<Arc<Mempool>> = (0..spec.n)
-                    .map(|_| Arc::new(Mempool::new(MempoolConfig::default())))
+                    .map(|_| Arc::new(Mempool::new(load.mempool)))
                     .collect();
+                let assembler_cfg = if load.adaptive_batching {
+                    AssemblerConfig::adaptive(load.batch_bytes)
+                } else {
+                    AssemblerConfig::fixed(load.batch_bytes)
+                };
                 let assemblers: Vec<BatchAssembler> = pools
                     .iter()
-                    .map(|p| BatchAssembler::start(p.clone(), load.batch_bytes, epoch))
+                    .map(|p| BatchAssembler::start(p.clone(), assembler_cfg, epoch))
                     .collect();
                 (pools, assemblers)
             }
@@ -191,17 +241,22 @@ impl Cluster {
             )?;
             handles.push(Some(handle));
         }
-        let client = match &spec.load {
-            Some(load) if load.spawn_client => Some(TxClient::start(
-                TxClientConfig {
-                    client_id: 0,
-                    tx_bytes: load.tx_bytes,
-                    txs_per_sec: load.txs_per_sec,
-                },
-                ClientTarget::InProcess(pools.clone()),
-                epoch,
-            )),
-            _ => None,
+        let clients = match &spec.load {
+            Some(load) => load
+                .clients
+                .iter()
+                .map(|cfg| {
+                    (
+                        cfg.client_id,
+                        TxClient::start(
+                            cfg.clone(),
+                            ClientTarget::InProcess(pools.clone()),
+                            epoch,
+                        ),
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
         };
         Ok(Cluster {
             spec,
@@ -213,7 +268,7 @@ impl Cluster {
             pools,
             assemblers,
             states,
-            client,
+            clients,
         })
     }
 
@@ -317,14 +372,35 @@ impl Cluster {
     }
 
     /// Stops every node and collects reports plus the merged, time-sorted
-    /// trace. Teardown order matters: client first (no new submissions),
+    /// trace. Teardown order matters: clients first (no new submissions),
     /// then assemblers (no new batches), then the nodes.
     pub fn stop(mut self) -> ClusterReport {
-        let client = self.client.take().map(TxClient::stop);
+        let clients: Vec<(u32, ClientStats)> = std::mem::take(&mut self.clients)
+            .into_iter()
+            .map(|(id, c)| (id, c.stop()))
+            .collect();
         drop(std::mem::take(&mut self.assemblers));
         let mut reports = std::mem::take(&mut self.dead_reports);
+        // Signal every node before joining any: joining sequentially
+        // without the broadcast would tear node 0 down while nodes 1..n
+        // still think the run is live — they'd redial node 0's closing
+        // transport and book a spurious `reconnect` against a clean run.
+        for handle in self.handles.iter().flatten() {
+            handle.signal_stop();
+        }
         for handle in self.handles.drain(..).flatten() {
             reports.push(handle.stop());
+        }
+        // Every submitter is stopped (in-process clients joined, transport
+        // reader threads joined with the nodes), so the admission counters
+        // are final: every attempt must be accounted for exactly once.
+        for (i, pool) in self.pools.iter().enumerate() {
+            let c = pool.counters();
+            assert_eq!(
+                c.accepted + c.rejected + c.deduped,
+                c.submitted,
+                "node {i}: mempool counter identity violated: {c:?}"
+            );
         }
         reports.sort_by_key(|r| r.node);
         let mut records: Vec<TraceRecord> = Vec::new();
@@ -346,7 +422,7 @@ impl Cluster {
             elapsed: self.epoch.elapsed(),
             reports,
             records,
-            client,
+            clients,
         }
     }
 }
@@ -395,6 +471,10 @@ pub fn wire_data_path(
                         STAGE_BUCKET_WIDTH_US,
                         STAGE_BUCKETS,
                     );
+                    // The same delay in coarse units: the queue-delay
+                    // histogram the admission control loop is judged by
+                    // (1 ms buckets spanning 30 s).
+                    live.observe_with("mempool.queue_delay_ms", queued / 1_000, 1, 30_000);
                 }
                 live.observe_with(
                     "stage_latency_us.propose_wait",
@@ -430,8 +510,8 @@ pub struct ClusterReport {
     pub reports: Vec<NodeReport>,
     /// Merged trace, sorted by timestamp.
     pub records: Vec<TraceRecord>,
-    /// Load-generator counters, when the cluster ran one.
-    pub client: Option<ClientStats>,
+    /// Load-generator counters per client id, when the cluster ran any.
+    pub clients: Vec<(u32, ClientStats)>,
 }
 
 impl ClusterReport {
@@ -551,6 +631,29 @@ impl ClusterReport {
             }
         }
         out.sort_unstable();
+        out
+    }
+
+    /// [`tx_latencies_us`](ClusterReport::tx_latencies_us) split by the
+    /// client id embedded in each transaction — the fairness lens: under
+    /// mixed load, a paced client's distribution must stay flat while the
+    /// saturating client's absorbs the queueing. Each vector is sorted
+    /// ascending. Transactions without a parseable client id are skipped.
+    pub fn tx_latencies_by_client_us(&self) -> std::collections::BTreeMap<u32, Vec<u64>> {
+        let mut out: std::collections::BTreeMap<u32, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for (_, payload, committed_at) in self.quorum_committed_payloads() {
+            let Some(bytes) = payload.data_bytes() else { continue };
+            for tx in batch_txs(bytes) {
+                let (Some(ts), Some(client)) = (tx_timestamp_us(tx), tx_client_id(tx)) else {
+                    continue;
+                };
+                out.entry(client).or_default().push(committed_at.0.saturating_sub(ts));
+            }
+        }
+        for v in out.values_mut() {
+            v.sort_unstable();
+        }
         out
     }
 
@@ -799,7 +902,7 @@ mod tests {
                 metrics: MetricsRegistry::new(),
             }],
             records,
-            client: None,
+            clients: Vec::new(),
         };
 
         assert_eq!(report.tx_latencies_us(), vec![2_500]);
@@ -880,8 +983,9 @@ mod tests {
                 stages.mempool_queue.len() <= latencies.len(),
                 "{batch_bytes}B: more stage chains than committed txs"
             );
-            let stats = report.client.expect("load generator ran");
+            let &(_, stats) = report.clients.first().expect("load generator ran");
             assert!(stats.submitted > 0);
+            assert_eq!(stats.accepted + stats.rejected, stats.submitted);
             for r in &report.reports {
                 assert_eq!(
                     r.metrics.counter("driver.payload_hashes"),
@@ -893,9 +997,13 @@ mod tests {
             }
             throughputs.push(throughput);
         }
+        // Adaptive batching lets the 1.8 kB cell reach the same drain
+        // ceiling as the big-batch cells, so the axis is a plateau, not a
+        // slope; assert no collapse (the bufferbloat regime ran small
+        // batches at ~35% of ceiling) rather than strict growth.
         assert!(
-            throughputs[2] > throughputs[0],
-            "180 kB batches should out-throughput 1.8 kB ones: {throughputs:?}"
+            throughputs[2] > throughputs[0] * 0.8,
+            "180 kB batches collapsed vs 1.8 kB ones: {throughputs:?}"
         );
     }
 
@@ -909,9 +1017,8 @@ mod tests {
 
         let mut spec = ClusterSpec::new(4, ProtocolChoice::Pipelined);
         spec.verify = VerifyMode::Reader;
-        let mut load = LoadSpec::new(18_000);
-        load.spawn_client = false; // we drive load over real sockets instead
-        spec.load = Some(load);
+        // We drive load over real sockets instead of in-process clients.
+        spec.load = Some(LoadSpec::new(18_000).without_clients());
         let cluster = Cluster::launch(spec).unwrap();
 
         let addrs = cluster.peers().iter().map(|(_, a)| *a).collect();
@@ -934,6 +1041,68 @@ mod tests {
         assert!(accepted > 0, "no TCP submission reached a mempool");
         assert!(report.txs_committed() > 0, "no TCP-submitted tx committed");
         assert!(!report.tx_latencies_us().is_empty());
+    }
+
+    /// The bufferbloat regression, end to end over real sockets: a paced
+    /// TCP client's tail latency must stay flat when a saturating TCP
+    /// client floods the same 4-node cluster. Without commit-rate-aware
+    /// admission and DRR fairness the paced p99 blows up to seconds
+    /// (everything behind a multi-second backlog); with them it stays
+    /// within 2× its unloaded value (plus a small absolute grace for
+    /// shared-machine noise in CI).
+    #[test]
+    fn mixed_tcp_clients_keep_paced_latency_flat() {
+        use crate::client::{ClientTarget, TxClient, TxClientConfig};
+
+        let p99 = |lat: &[u64]| lat[(lat.len() - 1) * 99 / 100];
+        let run = |with_saturating: bool| -> u64 {
+            let mut spec = ClusterSpec::new(4, ProtocolChoice::Pipelined);
+            spec.verify = VerifyMode::Reader;
+            spec.load = Some(LoadSpec::new(1_800).without_clients());
+            let cluster = Cluster::launch(spec).unwrap();
+            let addrs: Vec<SocketAddr> = cluster.peers().iter().map(|(_, a)| *a).collect();
+            let paced = TxClient::start(
+                TxClientConfig { client_id: 1, tx_bytes: 180, txs_per_sec: 500 },
+                ClientTarget::Tcp(addrs.clone()),
+                cluster.epoch(),
+            );
+            let saturating = with_saturating.then(|| {
+                TxClient::start(
+                    TxClientConfig { client_id: 0, tx_bytes: 180, txs_per_sec: 0 },
+                    ClientTarget::Tcp(addrs),
+                    cluster.epoch(),
+                )
+            });
+            let deadline = Instant::now() + std::time::Duration::from_secs(30);
+            while cluster.quorum_committed_height() < 12 && Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            drop(saturating);
+            drop(paced);
+            let report = cluster.stop();
+            report.check_invariants().expect("no safety violations");
+            let by_client = report.tx_latencies_by_client_us();
+            if with_saturating {
+                assert!(
+                    by_client.contains_key(&0),
+                    "saturating client committed nothing"
+                );
+            }
+            let paced_lat = by_client.get(&1).expect("paced client committed nothing");
+            p99(paced_lat)
+        };
+
+        let unloaded_p99 = run(false);
+        let mixed_p99 = run(true);
+        // 2× the unloaded tail, with an absolute floor so a microsecond-
+        // level baseline (idle loopback) doesn't make the gate meaningless
+        // noise.
+        let bound = (2 * unloaded_p99).max(unloaded_p99 + 120_000);
+        assert!(
+            mixed_p99 <= bound,
+            "paced client p99 regressed under saturation: \
+             {mixed_p99}µs vs unloaded {unloaded_p99}µs (bound {bound}µs)"
+        );
     }
 
     /// Reader-mode verification end to end: with signatures on, the

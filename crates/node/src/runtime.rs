@@ -173,6 +173,10 @@ impl TraceSink for TracingSink {
 pub struct NodeHandle {
     node: NodeId,
     shutdown: Arc<AtomicBool>,
+    /// The transport's own flag, signalled alongside `shutdown` so writer
+    /// threads stop redialing immediately rather than after the driver's
+    /// next poll tick.
+    transport_shutdown: Arc<AtomicBool>,
     driver: Option<JoinHandle<NodeReport>>,
     /// Committed height mirror for cheap liveness probes.
     committed_height: Arc<AtomicU64>,
@@ -210,6 +214,7 @@ impl NodeHandle {
             Some(l) => Transport::start_with_listener(cfg, l, tx.clone())?,
             None => Transport::start(cfg, tx.clone())?,
         };
+        let transport_shutdown = transport.shutdown_flag();
         state.set_peers(transport.peer_metrics_all());
         state.set_inbound_gauge(tx.depth_gauge());
         if let Some(pool) = &mempool {
@@ -260,6 +265,7 @@ impl NodeHandle {
         Ok(NodeHandle {
             node,
             shutdown,
+            transport_shutdown,
             driver: Some(driver),
             committed_height,
             inbound: tx,
@@ -286,6 +292,16 @@ impl NodeHandle {
     /// The address the introspection server listens on, when enabled.
     pub fn introspect_addr(&self) -> Option<SocketAddr> {
         self.introspect.as_ref().map(|s| s.local_addr())
+    }
+
+    /// Signals the driver to exit without joining it. Cluster teardown
+    /// signals every node before joining any: a node whose peers are
+    /// being torn down while it still considers itself live would see
+    /// their connections drop, redial, and count a spurious `reconnect`
+    /// against a clean run.
+    pub fn signal_stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.transport_shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Stops the driver, transport, and introspection server, returning
@@ -493,10 +509,27 @@ impl Driver {
         live.set_gauge("verify.cache_len", cache.len as f64);
         if let Some(pool) = &mempool {
             let c = pool.counters();
+            live.set_counter("mempool.submitted", c.submitted);
             live.set_counter("mempool.accepted", c.accepted);
             live.set_counter("mempool.rejected", c.rejected);
+            live.set_counter("mempool.rejected_delay", c.rejected_delay);
             live.set_counter("mempool.deduped", c.deduped);
+            live.set_counter("mempool.fair_visits", pool.fair_visits());
+            live.set_counter("mempool.batches_grown", pool.batches_grown());
             live.set_gauge("mempool.pending", pool.len() as f64);
+            live.set_gauge("mempool.pending_bytes", pool.pending_bytes() as f64);
+            live.set_gauge("mempool.drain_bytes_per_sec", pool.drain_bytes_per_sec() as f64);
+            live.set_gauge("mempool.drain_txs_per_sec", pool.drain_txs_per_sec() as f64);
+            live.set_gauge(
+                "mempool.queue_delay_target_ms",
+                pool.delay_target_us() as f64 / 1_000.0,
+            );
+            live.set_gauge(
+                "mempool.projected_delay_ms",
+                pool.projected_delay_us() as f64 / 1_000.0,
+            );
+            live.set_gauge("mempool.batch_target_bytes", pool.batch_target_bytes() as f64);
+            live.set_gauge("mempool.clients_active", pool.clients_active() as f64);
         }
         self.transport.snapshot_metrics(&mut live);
     }
@@ -519,6 +552,35 @@ impl Driver {
     }
 
     fn process(&mut self, protocol: &mut dyn ConsensusProtocol, outputs: Vec<Output>, t: SimTime) {
+        // Drain-rate feedback to the mempool's delay-bounded admission.
+        // Must run before `on_outputs`: recording `BlockCommitted` prunes
+        // the block's proposal timestamp from the tracing sink, and the
+        // proposal→commit latency sample needs it. Only blocks this node
+        // proposed drained *this* pool, so only they feed the drain rate;
+        // the latency EWMA learns from every commit. Counting a batch's
+        // transactions is a length-prefix walk — no hashing, so the
+        // driver's `payload_hashes == 0` invariant holds.
+        if let Some(pool) = &self.mempool {
+            for out in &outputs {
+                let Output::Commit(c) = out else { continue };
+                let ours = c.block.proposer() == self.node;
+                let latency = self
+                    .sink
+                    .proposed_at
+                    .get(&c.block.id())
+                    .map(|&proposed| t.0.saturating_sub(proposed));
+                let (mut txs, mut bytes) = (0u64, 0u64);
+                if ours {
+                    if let Some(data) = c.block.payload().data_bytes() {
+                        for tx in moonshot_mempool::batch_txs(data) {
+                            txs += 1;
+                            bytes += tx.len() as u64;
+                        }
+                    }
+                }
+                pool.note_commit(ours, txs, bytes, latency, t.0);
+            }
+        }
         self.observer.on_outputs(&outputs, protocol.current_view(), t, &mut self.sink);
         for out in outputs {
             match out {

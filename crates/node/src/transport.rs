@@ -168,7 +168,10 @@ pub struct PeerMetrics {
     /// Outbound frames discarded by drop-oldest backpressure or lost on a
     /// failed write.
     pub dropped_frames: AtomicU64,
-    /// Successful dials (the first connect counts; steady state is 1).
+    /// Connections *re*-established after a previously working one failed.
+    /// The initial dial — including retries while the remote listener is
+    /// still binding at startup — never counts, so a clean run reports 0
+    /// and any nonzero value is a real mid-run connection loss.
     pub reconnects: AtomicU64,
     /// Current outbound queue depth.
     pub queue_depth: AtomicU64,
@@ -384,6 +387,14 @@ impl Transport {
         self.local_addr
     }
 
+    /// The shared shutdown flag. Lets a holder wind the transport threads
+    /// down before the owning driver exits (idempotent with
+    /// [`stop`](Transport::stop)) — cluster teardown broadcasts it so no
+    /// writer redials a peer that is merely being joined first.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
     /// Queues `frame` for `to`. Unknown peers are ignored (the config is the
     /// membership). Never blocks: full queues drop their oldest frame.
     pub fn send(&self, to: NodeId, frame: Arc<Vec<u8>>) {
@@ -553,16 +564,17 @@ fn reader_loop(
                     }
                     from = Some(node);
                 }
-                Ok(Some(Frame::SubmitTx { tx })) => {
+                Ok(Some(Frame::SubmitTx { client, tx })) => {
                     // Client submissions need no hello: clients are not
                     // validators and have no NodeId. Admission control,
                     // dedup, and the tx hash all run here on the reader
                     // thread — the driver never sees raw submissions. The
                     // result is intentionally dropped: backpressure is
                     // best-effort over one-way streams, and the mempool's
-                    // counters record every accept/reject/dedup.
+                    // counters record every accept/reject/dedup. The client
+                    // id feeds per-client fairness accounting in the pool.
                     if let Some(pool) = &mempool {
-                        let _ = pool.submit(tx);
+                        let _ = pool.submit_from(client, tx);
                     }
                 }
                 Ok(Some(Frame::Consensus(msg))) => {
@@ -616,6 +628,11 @@ fn writer_loop(
 ) {
     let hello = encode_frame(&Frame::Hello { node: me });
     let mut backoff = base;
+    // Whether a connection has ever carried a successful hello. Dial
+    // failures before then are the normal startup race (our dial vs the
+    // remote listener bind) and must not count as reconnects; only
+    // re-establishing after a previously working connection does.
+    let mut established_once = false;
     while !shutdown.load(Ordering::SeqCst) {
         let mut stream = match TcpStream::connect(addr) {
             Ok(s) => s,
@@ -635,7 +652,10 @@ fn writer_loop(
         if stream.write_all(&hello).is_err() {
             continue;
         }
-        metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        if established_once {
+            metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        established_once = true;
         metrics.bytes_out.fetch_add(hello.len() as u64, Ordering::Relaxed);
         backoff = base;
 
@@ -777,7 +797,103 @@ mod tests {
         let m = t0.peer_metrics(NodeId(1)).unwrap();
         assert!(m.bytes_out.load(Ordering::Relaxed) > 0);
         assert_eq!(m.frames_out.load(Ordering::Relaxed), 1);
+        // A healthy session — including the startup dial — reports zero
+        // reconnects on both sides.
+        assert_eq!(m.reconnects.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            t1.peer_metrics(NodeId(0)).unwrap().reconnects.load(Ordering::Relaxed),
+            0
+        );
         t0.stop();
         t1.stop();
+    }
+
+    /// Regression for the startup race: the first dial happening *before*
+    /// the remote listener binds must not count as a reconnect — only a
+    /// connection lost after it was once established does.
+    #[test]
+    fn late_bound_listener_counts_zero_reconnects() {
+        use moonshot_consensus::Message;
+        use moonshot_types::{Block, Payload, View};
+
+        let l0 = TcpListener::bind(localhost_any()).unwrap();
+        let a0 = l0.local_addr().unwrap();
+        // Reserve an address for node 1 but leave it unbound for now, so
+        // node 0's first dials fail exactly like the startup race.
+        let a1 = {
+            let probe = TcpListener::bind(localhost_any()).unwrap();
+            probe.local_addr().unwrap()
+        };
+        let peers = vec![(NodeId(0), a0), (NodeId(1), a1)];
+
+        let (tx0, rx0) = mpsc::channel();
+        let t0 = Transport::start_with_listener(
+            TransportConfig::new(NodeId(0), a0, peers.clone()),
+            l0,
+            InboundSender::new(tx0),
+        )
+        .unwrap();
+        // Let several dial attempts fail against the unbound address.
+        std::thread::sleep(Duration::from_millis(300));
+
+        let l1 = TcpListener::bind(a1).expect("rebind reserved address");
+        let (tx1, rx1) = mpsc::channel();
+        let t1 = Transport::start_with_listener(
+            TransportConfig::new(NodeId(1), a1, peers),
+            l1,
+            InboundSender::new(tx1),
+        )
+        .unwrap();
+
+        let block = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::from(vec![9]));
+        let msg = Message::OptPropose { block, view: View(1) };
+        let frame = Arc::new(moonshot_wire::encode_message(&msg));
+        // Keep sending until the late listener is reachable and delivers.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            t0.send(NodeId(1), frame.clone());
+            match rx1.recv_timeout(Duration::from_millis(200)) {
+                Ok(got) => {
+                    assert_eq!(got.from, NodeId(0));
+                    break;
+                }
+                Err(_) if Instant::now() < deadline => continue,
+                Err(e) => panic!("no delivery through late-bound listener: {e}"),
+            }
+        }
+        let m = t0.peer_metrics(NodeId(1)).unwrap();
+        assert_eq!(
+            m.reconnects.load(Ordering::Relaxed),
+            0,
+            "pre-establishment dial failures must not count as reconnects"
+        );
+
+        // Now kill node 1 for real and bring it back: the broken-then-
+        // redialed connection *is* a reconnect.
+        t1.stop();
+        std::thread::sleep(Duration::from_millis(100));
+        let l1 = TcpListener::bind(a1).expect("rebind after stop");
+        let (tx1b, _rx1b) = mpsc::channel();
+        let t1b = Transport::start_with_listener(
+            TransportConfig::new(NodeId(1), a1, vec![(NodeId(0), a0), (NodeId(1), a1)]),
+            l1,
+            InboundSender::new(tx1b),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while m.reconnects.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+            // Writes into the dead/new connection eventually fail and force
+            // a redial; the successful re-hello increments the counter.
+            t0.send(NodeId(1), frame.clone());
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(
+            m.reconnects.load(Ordering::Relaxed),
+            1,
+            "a lost-then-restored connection must count exactly once"
+        );
+        drop(rx0);
+        t0.stop();
+        t1b.stop();
     }
 }

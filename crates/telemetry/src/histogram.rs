@@ -86,6 +86,33 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Folds another histogram's samples into this one. Both must use the
+    /// same bucket width; a shorter receiver spills the donor's excess
+    /// buckets into overflow (degrading tail precision, never counts).
+    ///
+    /// This is how per-node registries aggregate into cluster-wide
+    /// distributions: bucket counts add exactly, min/max/sum stay exact.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "cannot merge histograms with different bucket widths"
+        );
+        if other.count == 0 {
+            return;
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            match self.counts.get_mut(i) {
+                Some(slot) => *slot += c,
+                None => self.overflow += c,
+            }
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -207,6 +234,38 @@ mod tests {
         assert_eq!(h.quantile(0.0), Some(250)); // exact min
         assert_eq!(h.quantile(0.5), Some(900)); // bucket [800, 900) upper edge
         assert_eq!(h.max(), Some(12_000));
+    }
+
+    #[test]
+    fn merge_folds_counts_and_keeps_exact_extremes() {
+        let mut a = Histogram::new(100, 100);
+        a.record(150);
+        a.record(250);
+        let mut b = Histogram::new(100, 100);
+        b.record(50);
+        b.record(9_950);
+        b.record(1_000_000); // overflow in the donor
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), Some(50));
+        assert_eq!(a.max(), Some(1_000_000));
+        assert_eq!(a.quantile(0.5), Some(300)); // bucket [200,300) upper edge
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new(100, 100));
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn merge_into_shorter_receiver_spills_to_overflow() {
+        let mut short = Histogram::new(100, 10); // covers [0, 1000)
+        short.record(500);
+        let mut long = Histogram::new(100, 100);
+        long.record(5_000); // bucket 50 in the donor, past the receiver's end
+        short.merge(&long);
+        assert_eq!(short.count(), 2);
+        assert_eq!(short.max(), Some(5_000));
+        // The spilled sample still answers quantile queries as "≤ max".
+        assert_eq!(short.quantile(1.0), Some(5_000));
     }
 
     #[test]

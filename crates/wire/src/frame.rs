@@ -63,8 +63,12 @@ pub enum Frame {
     /// One raw transaction submitted by a client. Clients are not
     /// validators, so this frame needs no [`Frame::Hello`] preamble; the
     /// receiving node feeds it straight into its mempool (admission control
-    /// — budgets, dedup — happens there, not on the wire).
+    /// — budgets, delay target, dedup — happens there, not on the wire).
     SubmitTx {
+        /// The submitting client's id, used for per-client fairness
+        /// accounting in the mempool. Self-assigned and unauthenticated —
+        /// it shapes scheduling, never safety.
+        client: u32,
         /// The opaque transaction bytes.
         tx: Vec<u8>,
     },
@@ -170,7 +174,10 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     match frame {
         Frame::Hello { node } => encode_sealed(TAG_HELLO, 2, |enc| node.encode(enc)),
-        Frame::SubmitTx { tx } => encode_sealed(TAG_SUBMIT_TX, tx.len(), |enc| enc.put_bytes(tx)),
+        Frame::SubmitTx { client, tx } => encode_sealed(TAG_SUBMIT_TX, 4 + tx.len(), |enc| {
+            enc.put_u32(*client);
+            enc.put_bytes(tx);
+        }),
         Frame::Consensus(msg) => encode_message(msg),
     }
 }
@@ -180,9 +187,10 @@ fn decode_body(tag: u8, body: &[u8]) -> Result<Frame, WireError> {
     let frame = if tag == TAG_HELLO {
         Frame::Hello { node: NodeId::decode(&mut dec)? }
     } else if tag == TAG_SUBMIT_TX {
-        // The whole body is the transaction; the frame header already
-        // bounds and checksums it.
-        Frame::SubmitTx { tx: dec.take(dec.remaining())?.to_vec() }
+        // Client id, then the rest of the body is the transaction; the
+        // frame header already bounds and checksums it.
+        let client = dec.get_u32()?;
+        Frame::SubmitTx { client, tx: dec.take(dec.remaining())?.to_vec() }
     } else {
         Frame::Consensus(decode_message_body(tag, &mut dec)?)
     };
@@ -361,7 +369,8 @@ mod tests {
 
     #[test]
     fn submit_tx_roundtrips_and_survives_splits() {
-        let frame = Frame::SubmitTx { tx: (0u16..600).map(|i| i as u8).collect() };
+        let frame =
+            Frame::SubmitTx { client: 0xA1B2_C3D4, tx: (0u16..600).map(|i| i as u8).collect() };
         let bytes = encode_frame(&frame);
         assert_eq!(decode_frame(&bytes).unwrap(), frame);
         let mut reader = FrameReader::new();
@@ -371,8 +380,15 @@ mod tests {
         assert_eq!(reader.next_frame().unwrap(), Some(frame));
         // An empty submission is legal framing; admission control rejects it
         // at the mempool, not the codec.
-        let empty = Frame::SubmitTx { tx: Vec::new() };
+        let empty = Frame::SubmitTx { client: 7, tx: Vec::new() };
         assert_eq!(decode_frame(&encode_frame(&empty)).unwrap(), empty);
+        // A SubmitTx body shorter than the client id is malformed.
+        let mut truncated = encode_frame(&empty);
+        truncated[8..12].copy_from_slice(&2u32.to_le_bytes());
+        truncated.truncate(FRAME_HEADER_LEN + 2);
+        let crc = crc32(&truncated[FRAME_HEADER_LEN..]);
+        truncated[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert!(decode_frame(&truncated).is_err());
     }
 
     #[test]
