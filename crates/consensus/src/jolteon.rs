@@ -85,10 +85,14 @@ impl Jolteon {
         Self::with_rule(cfg, CommitRule::ThreeChain)
     }
 
-    fn with_rule(cfg: NodeConfig, rule: CommitRule) -> Self {
-        let fetcher =
+    fn with_rule(mut cfg: NodeConfig, rule: CommitRule) -> Self {
+        let recovered = cfg.recover.take();
+        let mut fetcher =
             BlockFetcher::new(cfg.node_id, cfg.n(), cfg.fetch_retry.resolve(cfg.delta));
-        Jolteon {
+        if let Some(src) = cfg.local_blocks.clone() {
+            fetcher.set_local_source(src);
+        }
+        let mut node = Jolteon {
             cfg,
             chain: ChainState::with_rule(rule),
             votes: VoteAggregator::new(),
@@ -100,6 +104,35 @@ impl Jolteon {
             payload_cache: HashMap::new(),
             pending: BTreeMap::new(),
             fetcher,
+        };
+        if let Some(rec) = recovered {
+            if !rec.is_empty() {
+                node.apply_recovery(rec);
+            }
+        }
+        node
+    }
+
+    /// Restores durable state after a crash. The WAL's vote floor becomes
+    /// `last_voted_round` — every vote rule already guards on
+    /// `pv > self.last_voted_round`, so a recovered node can never revote a
+    /// round its previous incarnation voted (or timed out) in. Committed
+    /// blocks are preloaded into the tree and committed silently so only the
+    /// post-restart tail is re-emitted as commit output.
+    fn apply_recovery(&mut self, rec: crate::protocol::RecoveredState) {
+        self.last_voted_round = rec.voted_view.max(rec.timeout_view);
+        if rec.timeout_view > View::GENESIS {
+            self.sent_timeouts.insert(rec.timeout_view);
+        }
+        let tip = rec.committed.last().map(Block::id);
+        for block in rec.committed {
+            self.chain.tree.insert(block);
+        }
+        if let Some(tip) = tip {
+            let _ = self.chain.tree.commit(tip);
+        }
+        if let Some(lock) = rec.lock {
+            let _ = self.chain.register_qc(&lock);
         }
     }
 
@@ -279,6 +312,7 @@ impl Jolteon {
     }
 
     fn cast_vote(&mut self, block: &Block, out: &mut Vec<Output>) {
+        self.cfg.persist_vote(block.view(), self.chain.high_qc());
         self.last_voted_round = block.view();
         let vote = Vote {
             kind: VoteKind::Normal,
@@ -371,6 +405,7 @@ impl Jolteon {
 
     fn send_timeout(&mut self, r: View, out: &mut Vec<Output>) {
         self.sent_timeouts.insert(r);
+        self.cfg.persist_timeout(r, self.chain.high_qc());
         let st = SignedTimeout::sign(
             r,
             Some(self.chain.high_qc().clone()),

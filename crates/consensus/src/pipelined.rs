@@ -28,7 +28,7 @@ use crate::aggregator::{CommitVoteAggregator, TimeoutAggregator, VoteAggregator}
 use crate::chainstate::ChainState;
 use crate::sync::{self, BlockFetcher};
 use crate::message::Message;
-use crate::protocol::{ConsensusProtocol, NodeConfig, Output, TimerToken};
+use crate::protocol::{ConsensusProtocol, NodeConfig, Output, RecoveredState, TimerToken};
 use crate::verify::PreVerified;
 
 /// How many views of vote/timeout state to retain behind the current view.
@@ -74,6 +74,11 @@ pub struct PipelinedMoonshot {
     timeout_view: Option<View>,
     /// Views for which a timeout has been multicast (idempotence).
     sent_timeouts: HashSet<View>,
+    /// Highest view a *previous incarnation* voted in (recovered from the
+    /// WAL; [`View::GENESIS`] on a fresh start). The node never votes in a
+    /// view at or below this floor, so a crash between fsync and multicast
+    /// can only suppress a vote, never duplicate one.
+    voted_floor: View,
     /// The block opt-voted for in the current view, if any.
     voted_opt: Option<BlockId>,
     /// Whether the once-per-view normal/fallback vote was cast.
@@ -113,10 +118,14 @@ impl PipelinedMoonshot {
 
     /// Creates a node with explicit feature switches (Commit Moonshot,
     /// ablations).
-    pub fn with_options(cfg: NodeConfig, opts: MoonshotOptions) -> Self {
-        let fetcher =
+    pub fn with_options(mut cfg: NodeConfig, opts: MoonshotOptions) -> Self {
+        let recovered = cfg.recover.take();
+        let mut fetcher =
             BlockFetcher::new(cfg.node_id, cfg.n(), cfg.fetch_retry.resolve(cfg.delta));
-        PipelinedMoonshot {
+        if let Some(src) = cfg.local_blocks.clone() {
+            fetcher.set_local_source(src);
+        }
+        let mut node = PipelinedMoonshot {
             cfg,
             opts,
             chain: ChainState::new(),
@@ -126,6 +135,7 @@ impl PipelinedMoonshot {
             view: View::GENESIS,
             timeout_view: None,
             sent_timeouts: HashSet::new(),
+            voted_floor: View::GENESIS,
             voted_opt: None,
             voted_main: false,
             proposed: false,
@@ -135,6 +145,40 @@ impl PipelinedMoonshot {
             opt_blocks: HashMap::new(),
             pending_compact: HashMap::new(),
             fetcher,
+        };
+        if let Some(rec) = recovered {
+            node.apply_recovery(rec);
+        }
+        node
+    }
+
+    /// Reloads durable state into a fresh machine (restart path).
+    ///
+    /// The committed prefix goes straight into the block tree and is
+    /// re-marked committed *silently* — no `Output::Commit` is emitted for
+    /// blocks the previous incarnation already delivered, so post-restart
+    /// commit output is exactly the tail. The vote/timeout floors restore
+    /// the safety rules' reference points: this incarnation will never
+    /// vote in a view the WAL says was already voted in.
+    fn apply_recovery(&mut self, rec: RecoveredState) {
+        // A timeout in view v also forbids a later (fallback) vote in v, so
+        // the floor covers both persisted vote and timeout views.
+        self.voted_floor = rec.voted_view.max(rec.timeout_view);
+        if rec.timeout_view > View::GENESIS {
+            self.timeout_view = Some(rec.timeout_view);
+            self.sent_timeouts.insert(rec.timeout_view);
+        }
+        let tip = rec.committed.last().map(Block::id);
+        for block in rec.committed {
+            self.chain.tree.insert(block);
+        }
+        if let Some(tip) = tip {
+            let _ = self.chain.tree.commit(tip);
+        }
+        if let Some(lock) = rec.lock {
+            // Re-registering the lock restores high-QC rank; any commits it
+            // implies were durably committed pre-crash and stay silent.
+            let _ = self.chain.register_qc(&lock);
         }
     }
 
@@ -358,6 +402,14 @@ impl PipelinedMoonshot {
     // === Voting ==========================================================
 
     fn emit_vote(&mut self, kind: VoteKind, block: &Block, now: SimTime, out: &mut Vec<Output>) {
+        // Recovery floor: the WAL says a previous incarnation voted in this
+        // view — suppress rather than risk a conflicting second vote.
+        if self.view <= self.voted_floor {
+            return;
+        }
+        // Durability before release: the vote must be on disk before it can
+        // reach the wire (no-op without a ledger).
+        self.cfg.persist_vote(self.view, self.chain.high_qc());
         let vote = Vote {
             kind,
             block_id: block.id(),
@@ -563,6 +615,7 @@ impl PipelinedMoonshot {
             return;
         }
         self.timeout_view = Some(self.timeout_view.map_or(v, |t| t.max(v)));
+        self.cfg.persist_timeout(v, self.chain.high_qc());
         let st = SignedTimeout::sign(
             v,
             Some(self.chain.high_qc().clone()),
@@ -577,6 +630,7 @@ impl PipelinedMoonshot {
         // so timeouts survive lossy pre-GST networks.
         self.sent_timeouts.insert(v);
         self.timeout_view = Some(self.timeout_view.map_or(v, |t| t.max(v)));
+        self.cfg.persist_timeout(v, self.chain.high_qc());
         let st = SignedTimeout::sign(
             v,
             Some(self.chain.high_qc().clone()),

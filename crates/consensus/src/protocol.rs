@@ -13,8 +13,8 @@ use std::sync::Arc;
 use moonshot_crypto::{KeyPair, Keyring, VerifiedCache};
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{
-    Block, NodeId, Payload, QuorumCertificate, SignedCommitVote, SignedTimeout, SignedVote,
-    TimeoutCertificate, View,
+    Block, BlockId, NodeId, Payload, QuorumCertificate, SignedCommitVote, SignedTimeout,
+    SignedVote, TimeoutCertificate, View,
 };
 
 use crate::message::Message;
@@ -108,6 +108,70 @@ pub trait ConsensusProtocol {
     fn name(&self) -> &'static str;
 }
 
+/// Durable storage for safety-critical consensus state.
+///
+/// The protocols call these hooks **before** the corresponding vote or
+/// timeout is pushed into the output vector — i.e. before it can reach the
+/// wire — so a node killed at any instant can never have released a vote
+/// its recovered state does not remember. Implementations must not return
+/// until the record is durable (fsync'd); on an unrecoverable disk error
+/// they should panic rather than silently continue, because a node that
+/// votes without durability can equivocate after a crash.
+///
+/// Commit votes (Commit Moonshot's second round) are deliberately *not*
+/// persisted: a commit vote is only ever cast for a block that already
+/// carries a quorum certificate, and the QC itself pins the block — a
+/// recovered node that re-votes to commit the same certified block cannot
+/// contradict its earlier commit vote.
+pub trait Persist: Send + Sync + fmt::Debug {
+    /// A block vote in `view` is about to be released; `lock` is the
+    /// node's high/locked QC at that instant.
+    fn persist_vote(&self, view: View, lock: &QuorumCertificate);
+
+    /// A timeout for `view` is about to be released; `high_qc` is the
+    /// certificate the timeout message carries (or would justify).
+    fn persist_timeout(&self, view: View, high_qc: &QuorumCertificate);
+}
+
+/// Read-side of a local block store: lets the fetch path answer a block
+/// request from disk before dialing peers (see [`crate::sync::BlockFetcher`]).
+pub trait LocalBlockSource: Send + Sync + fmt::Debug {
+    /// The block with id `id`, if it is durably stored locally.
+    fn local_block(&self, id: BlockId) -> Option<Block>;
+}
+
+/// Consensus state reloaded from durable storage at startup.
+///
+/// Produced by the ledger's recovery scan, consumed by the protocol
+/// constructors: the vote/timeout floors stop the new incarnation from
+/// re-voting in views the old one already voted in, the lock restores the
+/// safety rule's reference point, and the committed prefix is preloaded
+/// into the block tree (silently — no `Output::Commit` is re-emitted for
+/// blocks that were already committed before the crash).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredState {
+    /// Highest view the previous incarnation voted in
+    /// ([`View::GENESIS`] = never voted).
+    pub voted_view: View,
+    /// Highest view the previous incarnation sent a timeout for
+    /// ([`View::GENESIS`] = never timed out).
+    pub timeout_view: View,
+    /// The locked / high QC at the last persisted vote or timeout.
+    pub lock: Option<QuorumCertificate>,
+    /// The durably committed chain, parent-first, genesis excluded.
+    pub committed: Vec<Block>,
+}
+
+impl RecoveredState {
+    /// Whether anything at all was recovered.
+    pub fn is_empty(&self) -> bool {
+        self.voted_view == View::GENESIS
+            && self.timeout_view == View::GENESIS
+            && self.lock.is_none()
+            && self.committed.is_empty()
+    }
+}
+
 /// Where a leader's block payloads come from.
 ///
 /// The paper's evaluation has leaders synthesize parametric payloads at block
@@ -168,6 +232,16 @@ pub struct NodeConfig {
     /// off-thread [`crate::verify::MessageVerifier`] so a certificate
     /// checked on a reader thread is a cache hit everywhere else.
     pub verified_cache: Arc<VerifiedCache>,
+    /// Durable write-ahead log for votes/timeouts (`None` = in-memory
+    /// only, the pre-ledger behaviour). Called synchronously on the driver
+    /// thread before a vote or timeout is released.
+    pub persist: Option<Arc<dyn Persist>>,
+    /// State recovered from durable storage, consumed (taken) by the
+    /// protocol constructor of the restarted node.
+    pub recover: Option<RecoveredState>,
+    /// Local durable block store the fetch path consults before dialing
+    /// peers (`None` = always fetch over the network).
+    pub local_blocks: Option<Arc<dyn LocalBlockSource>>,
     /// While `true`, the `check_*` helpers pass unconditionally. Set (and
     /// restored) by [`ConsensusProtocol::handle_preverified`] overrides
     /// around a state transition whose message already cleared an
@@ -190,7 +264,24 @@ impl NodeConfig {
             verify_signatures: true,
             fetch_retry: crate::sync::RetryPolicy::auto(),
             verified_cache: Arc::new(VerifiedCache::default()),
+            persist: None,
+            recover: None,
+            local_blocks: None,
             skip_inline_checks: false,
+        }
+    }
+
+    /// Persists an about-to-be-released vote (no-op without a ledger).
+    pub fn persist_vote(&self, view: View, lock: &QuorumCertificate) {
+        if let Some(p) = &self.persist {
+            p.persist_vote(view, lock);
+        }
+    }
+
+    /// Persists an about-to-be-released timeout (no-op without a ledger).
+    pub fn persist_timeout(&self, view: View, high_qc: &QuorumCertificate) {
+        if let Some(p) = &self.persist {
+            p.persist_timeout(view, high_qc);
         }
     }
 

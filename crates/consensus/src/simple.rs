@@ -27,7 +27,7 @@ use crate::aggregator::{TimeoutAggregator, VoteAggregator};
 use crate::chainstate::ChainState;
 use crate::sync::{self, BlockFetcher};
 use crate::message::Message;
-use crate::protocol::{ConsensusProtocol, NodeConfig, Output, TimerToken};
+use crate::protocol::{ConsensusProtocol, NodeConfig, Output, RecoveredState, TimerToken};
 use crate::verify::PreVerified;
 
 /// How many views of vote/timeout state to retain behind the current view.
@@ -45,6 +45,10 @@ pub struct SimpleMoonshot {
     lock: QuorumCertificate,
     /// Whether this node has voted in the current view.
     voted: bool,
+    /// Highest view a previous incarnation voted in (recovered from the
+    /// WAL; [`View::GENESIS`] on a fresh start) — votes in views at or
+    /// below it are suppressed.
+    voted_floor: View,
     /// Views for which this node has multicast a timeout.
     sent_timeouts: HashSet<View>,
     /// Whether this node (as leader) sent its normal proposal this view.
@@ -74,10 +78,14 @@ impl std::fmt::Debug for SimpleMoonshot {
 
 impl SimpleMoonshot {
     /// Creates a node with the given configuration.
-    pub fn new(cfg: NodeConfig) -> Self {
-        let fetcher =
+    pub fn new(mut cfg: NodeConfig) -> Self {
+        let recovered = cfg.recover.take();
+        let mut fetcher =
             BlockFetcher::new(cfg.node_id, cfg.n(), cfg.fetch_retry.resolve(cfg.delta));
-        SimpleMoonshot {
+        if let Some(src) = cfg.local_blocks.clone() {
+            fetcher.set_local_source(src);
+        }
+        let mut node = SimpleMoonshot {
             cfg,
             chain: ChainState::new(),
             votes: VoteAggregator::new(),
@@ -85,6 +93,7 @@ impl SimpleMoonshot {
             view: View::GENESIS,
             lock: QuorumCertificate::genesis(),
             voted: false,
+            voted_floor: View::GENESIS,
             sent_timeouts: HashSet::new(),
             proposed_normal: false,
             payload_cache: HashMap::new(),
@@ -92,6 +101,33 @@ impl SimpleMoonshot {
             opt_blocks: HashMap::new(),
             pending_compact: HashMap::new(),
             fetcher,
+        };
+        if let Some(rec) = recovered {
+            node.apply_recovery(rec);
+        }
+        node
+    }
+
+    /// Reloads durable state (restart path): committed prefix into the
+    /// tree (silently — no re-emitted commits), vote/timeout floors, and
+    /// the lock certificate. See `PipelinedMoonshot::apply_recovery`.
+    fn apply_recovery(&mut self, rec: RecoveredState) {
+        // A timeout for view v also forbids voting in v (Fig. 1, rule 4),
+        // so the floor covers both persisted vote and timeout views.
+        self.voted_floor = rec.voted_view.max(rec.timeout_view);
+        if rec.timeout_view > View::GENESIS {
+            self.sent_timeouts.insert(rec.timeout_view);
+        }
+        let tip = rec.committed.last().map(Block::id);
+        for block in rec.committed {
+            self.chain.tree.insert(block);
+        }
+        if let Some(tip) = tip {
+            let _ = self.chain.tree.commit(tip);
+        }
+        if let Some(lock) = rec.lock {
+            let _ = self.chain.register_qc(&lock);
+            self.lock = self.chain.high_qc().clone();
         }
     }
 
@@ -289,6 +325,10 @@ impl SimpleMoonshot {
     }
 
     fn do_vote(&mut self, block: &Block, now: SimTime, out: &mut Vec<Output>) {
+        if self.view <= self.voted_floor {
+            return;
+        }
+        self.cfg.persist_vote(self.view, self.chain.high_qc());
         self.voted = true;
         let vote = Vote {
             kind: VoteKind::Normal,
@@ -431,6 +471,7 @@ impl SimpleMoonshot {
         if !self.sent_timeouts.insert(v) {
             return;
         }
+        self.cfg.persist_timeout(v, self.chain.high_qc());
         // Simple Moonshot timeouts carry no lock (Fig. 1, rule 4).
         let st = SignedTimeout::sign(v, None, self.cfg.node_id, &self.cfg.keypair);
         out.push(Output::Multicast(Message::Timeout(st)));
@@ -529,6 +570,7 @@ impl ConsensusProtocol for SimpleMoonshot {
                 // Multicast (or re-multicast — timeouts must survive lossy
                 // pre-GST networks) the timeout and re-arm the timer.
                 self.sent_timeouts.insert(v);
+                self.cfg.persist_timeout(v, self.chain.high_qc());
                 let st = SignedTimeout::sign(v, None, self.cfg.node_id, &self.cfg.keypair);
                 out.push(Output::Multicast(Message::Timeout(st)));
                 out.push(Output::SetTimer {

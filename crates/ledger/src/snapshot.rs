@@ -1,0 +1,75 @@
+//! Periodic consensus-state snapshots.
+//!
+//! A snapshot is a single CRC-framed record summarising the durable
+//! consensus state at a moment in time: the vote/timeout floors, the lock
+//! certificate, the committed height, and the WAL byte offset the summary
+//! covers. It is written atomically (temp file, fsync, rename) so a crash
+//! mid-snapshot leaves the previous snapshot intact, and recovery treats it
+//! as a *floor*, merging it with whatever the WAL says after its recorded
+//! offset — so a stale, missing, or corrupt snapshot never loses state, it
+//! only costs a longer WAL replay.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use moonshot_types::{QuorumCertificate, View};
+use moonshot_wire::{decode_record, encode_record, Decode, Decoder, Encode, Encoder};
+
+/// A point-in-time summary of durable consensus state.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Highest view a vote was persisted for.
+    pub voted_view: View,
+    /// Highest view a timeout was persisted for.
+    pub timeout_view: View,
+    /// The lock (high-QC) at snapshot time.
+    pub lock: Option<QuorumCertificate>,
+    /// Committed chain height at snapshot time.
+    pub committed_height: u64,
+    /// WAL length at snapshot time: replay may skip bytes before this.
+    pub wal_len: u64,
+}
+
+impl Snapshot {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.voted_view.encode(&mut enc);
+        self.timeout_view.encode(&mut enc);
+        self.lock.encode(&mut enc);
+        enc.put_u64(self.committed_height);
+        enc.put_u64(self.wal_len);
+        enc.finish()
+    }
+
+    fn decode_body(body: &[u8]) -> Option<Snapshot> {
+        let mut dec = Decoder::new(body);
+        Some(Snapshot {
+            voted_view: View::decode(&mut dec).ok()?,
+            timeout_view: View::decode(&mut dec).ok()?,
+            lock: Option::<QuorumCertificate>::decode(&mut dec).ok()?,
+            committed_height: dec.get_u64().ok()?,
+            wal_len: dec.get_u64().ok()?,
+        })
+    }
+
+    /// Writes the snapshot atomically to `path` (via `path.tmp` + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        let framed = encode_record(&self.encode_body());
+        let mut file = File::create(&tmp)?;
+        file.write_all(&framed)?;
+        file.sync_data()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads the snapshot at `path`; `None` if absent, torn, or corrupt
+    /// (recovery then falls back to a full WAL replay).
+    pub fn load(path: &Path) -> Option<Snapshot> {
+        let mut bytes = Vec::new();
+        File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+        let (body, _) = decode_record(&bytes).ok()?;
+        Snapshot::decode_body(body)
+    }
+}

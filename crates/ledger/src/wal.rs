@@ -1,0 +1,165 @@
+//! The consensus write-ahead log: one fsync'd record per vote or timeout.
+//!
+//! The WAL is the safety-critical half of the ledger. A record is appended
+//! and `fdatasync`'d *before* the corresponding vote or timeout message is
+//! released to the network, so the durable log always dominates what the
+//! network may have seen: a node that crashes and recovers can reconstruct
+//! "the highest view I may have voted or timed out in" from disk alone and
+//! suppress any re-vote at or below it.
+//!
+//! Records use the shared on-disk framing from `moonshot_wire`
+//! (`len | crc32 | body`, see [`moonshot_wire::encode_record`]). A crash can
+//! tear the final record; [`Wal::open`] truncates the torn tail and reports
+//! how many bytes were discarded. Because the fsync happens before the
+//! network send, a torn record can only correspond to a message that was
+//! *never sent* — truncating it is always safe.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use moonshot_types::{QuorumCertificate, View};
+use moonshot_wire::{decode_record, encode_record, Decode, Decoder, Encode, Encoder};
+
+/// One durable consensus-state record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// About to vote in `view` while locked on `lock`.
+    Vote {
+        /// The view being voted in.
+        view: View,
+        /// The node's high-QC (lock) at vote time.
+        lock: QuorumCertificate,
+    },
+    /// About to multicast a timeout for `view` carrying `high_qc`.
+    Timeout {
+        /// The view being timed out.
+        view: View,
+        /// The node's high-QC at timeout time.
+        high_qc: QuorumCertificate,
+    },
+}
+
+const TAG_VOTE: u8 = 1;
+const TAG_TIMEOUT: u8 = 2;
+
+impl WalRecord {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            WalRecord::Vote { view, lock } => {
+                enc.put_u8(TAG_VOTE);
+                view.encode(&mut enc);
+                lock.encode(&mut enc);
+            }
+            WalRecord::Timeout { view, high_qc } => {
+                enc.put_u8(TAG_TIMEOUT);
+                view.encode(&mut enc);
+                high_qc.encode(&mut enc);
+            }
+        }
+        enc.finish()
+    }
+
+    fn decode_body(body: &[u8]) -> Option<WalRecord> {
+        let mut dec = Decoder::new(body);
+        let tag = dec.get_u8().ok()?;
+        let view = View::decode(&mut dec).ok()?;
+        let qc = QuorumCertificate::decode(&mut dec).ok()?;
+        match tag {
+            TAG_VOTE => Some(WalRecord::Vote { view, lock: qc }),
+            TAG_TIMEOUT => Some(WalRecord::Timeout { view, high_qc: qc }),
+            _ => None,
+        }
+    }
+}
+
+/// What [`Wal::open`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every intact record, in append order (skipping any replay-start
+    /// offset a snapshot allowed us to jump past).
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded from a torn or corrupt tail.
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, fsync-per-record log file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    /// Records appended by this incarnation (not counting replayed ones).
+    pub appended: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path`, replays intact records
+    /// starting at byte `start` (from a snapshot's recorded offset; pass 0
+    /// for a full replay), and truncates any torn or corrupt tail in place.
+    pub fn open(path: &Path, start: u64) -> std::io::Result<(Wal, WalReplay)> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut replay = WalReplay::default();
+        // A snapshot offset beyond the file means the WAL shrank behind the
+        // snapshot's back — distrust it and replay everything.
+        let mut offset = if start as usize <= bytes.len() { start as usize } else { 0 };
+        while offset < bytes.len() {
+            match decode_record(&bytes[offset..]) {
+                Ok((body, consumed)) => match WalRecord::decode_body(body) {
+                    Some(rec) => {
+                        replay.records.push(rec);
+                        offset += consumed;
+                    }
+                    // Framing intact but body unreadable: same treatment as
+                    // corruption — everything from here on is untrustworthy.
+                    None => break,
+                },
+                Err(_) => break,
+            }
+        }
+        if offset < bytes.len() {
+            replay.truncated_bytes = (bytes.len() - offset) as u64;
+            file.set_len(offset as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let wal = Wal { file, path: path.to_path_buf(), len: offset as u64, appended: 0 };
+        Ok((wal, replay))
+    }
+
+    /// Appends `rec` and `fdatasync`s it to disk, returning the fsync
+    /// latency in microseconds. The caller must not release the
+    /// corresponding network message until this returns.
+    pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<u64> {
+        let framed = encode_record(&rec.encode_body());
+        self.file.write_all(&framed)?;
+        let t = Instant::now();
+        self.file.sync_data()?;
+        let fsync_us = t.elapsed().as_micros() as u64;
+        self.len += framed.len() as u64;
+        self.appended += 1;
+        Ok(fsync_us)
+    }
+
+    /// Current byte length (recorded into snapshots so replay can skip the
+    /// prefix already summarised there).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}

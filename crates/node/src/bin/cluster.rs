@@ -8,6 +8,7 @@
 //!         [--payload-sweep]
 //!         [--mixed-load] [--paced-clients 3] [--paced-rate 500]
 //!         [--out-dir results] [--min-commits 0] [--bench-json <path>]
+//!         [--data-dir <dir>] [--restart-node <id>]
 //! ```
 //!
 //! Signature verification is **enabled** by default. `--verify both` runs
@@ -59,6 +60,19 @@
 //!   (mempool-queue, propose-wait, vote-to-QC, QC-to-commit p50/p99),
 //! * writes the whole comparison to `--bench-json` (default
 //!   `BENCH_cluster.json`).
+//!
+//! `--data-dir <dir>` runs every node with a durable ledger (WAL +
+//! blockstore + snapshots) under `<dir>/<run-label>/node-<id>/`, and the
+//! output rows gain `ledger_wal_records` (fsync'd safety records across
+//! the cluster) and, after a restart, `restart_resync_blocks` — how many
+//! blocks the restarted node owed the network, i.e. cluster height at
+//! restart minus the height it recovered from its own disk.
+//!
+//! `--restart-node <id>` kills node `id` (SIGKILL-equivalent: threads are
+//! detached, sockets dropped) a third of the way into each run and
+//! restarts it from its data dir at two thirds — the crash/recover smoke
+//! the CI job keys off. The node must not be 0 (node 0 serves the mid-run
+//! scrape) and requires `--data-dir`.
 //!
 //! Exits nonzero on invariant violations or when fewer than
 //! `--min-commits` blocks were quorum-committed — which is exactly what
@@ -188,6 +202,26 @@ fn main() -> ExitCode {
     let paced_clients: u32 =
         flag(&args, "--paced-clients").and_then(|v| v.parse().ok()).unwrap_or(3);
     let paced_rate: u64 = flag(&args, "--paced-rate").and_then(|v| v.parse().ok()).unwrap_or(500);
+    let data_dir: Option<std::path::PathBuf> =
+        flag(&args, "--data-dir").map(std::path::PathBuf::from);
+    let restart_node: Option<u16> = match flag(&args, "--restart-node") {
+        Some(v) => match v.parse::<u16>() {
+            Ok(id) if id != 0 && (id as usize) < n => Some(id),
+            Ok(id) => {
+                eprintln!("error: --restart-node {id} must be in 1..{n} (node 0 is scraped)");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("error: bad --restart-node: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    if restart_node.is_some() && data_dir.is_none() {
+        eprintln!("error: --restart-node requires --data-dir (restart recovery needs a ledger)");
+        return ExitCode::from(2);
+    }
     let out_dir = flag(&args, "--out-dir").unwrap_or_else(|| "results".into());
     let bench_json = flag(&args, "--bench-json").unwrap_or_else(|| "BENCH_cluster.json".into());
     let protocol_flag: Option<ProtocolChoice> = match flag(&args, "--protocol") {
@@ -318,7 +352,10 @@ fn main() -> ExitCode {
         spec.payload_bytes = *payload_bytes;
         spec.verify = *verify;
         spec.load = load.clone();
-        let cluster = match Cluster::launch(spec) {
+        // Each run gets its own data subdir: ledger state must not leak
+        // across the protocol × verify grid.
+        spec.data_dir = data_dir.as_ref().map(|d| d.join(&label));
+        let mut cluster = match Cluster::launch(spec) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("error: failed to launch cluster: {e}");
@@ -331,9 +368,31 @@ fn main() -> ExitCode {
         // already present and nonzero at half time.
         let scrape_at = Instant::now() + Duration::from_secs(duration_secs) / 2;
         let stop_at = Instant::now() + Duration::from_secs(duration_secs);
+        // The crash/recover smoke: kill the victim at t/3, restart it from
+        // its data dir at 2t/3, and let `Cluster::restart` account how many
+        // blocks the node owed the network when it came back.
+        let kill_at = Instant::now() + Duration::from_secs(duration_secs) / 3;
+        let restart_at = Instant::now() + Duration::from_secs(duration_secs) * 2 / 3;
+        let mut victim_killed = false;
+        let mut victim_restarted = false;
         let mut live_status: Option<String> = None;
         let mut live_metrics: Option<String> = None;
         while Instant::now() < stop_at {
+            if let Some(id) = restart_node {
+                if !victim_killed && Instant::now() >= kill_at {
+                    eprintln!("  killing node {id} at t/3");
+                    cluster.kill(moonshot_types::NodeId(id));
+                    victim_killed = true;
+                }
+                if victim_killed && !victim_restarted && Instant::now() >= restart_at {
+                    eprintln!("  restarting node {id} from its data dir at 2t/3");
+                    if let Err(e) = cluster.restart(moonshot_types::NodeId(id)) {
+                        eprintln!("  FAIL: restart of node {id} failed: {e}");
+                        failed = true;
+                    }
+                    victim_restarted = true;
+                }
+            }
             if live_status.is_none() && Instant::now() >= scrape_at {
                 if let Some(Some(addr)) = cluster.introspect_addrs().first() {
                     live_status = scrape(*addr, "/status");
@@ -341,6 +400,10 @@ fn main() -> ExitCode {
                 }
             }
             std::thread::sleep(Duration::from_millis(100));
+        }
+        if restart_node.is_some() && !victim_restarted {
+            eprintln!("  FAIL: run too short to kill and restart the victim node");
+            failed = true;
         }
         match (&live_status, &live_metrics) {
             (Some(status), Some(metrics)) => {
@@ -437,6 +500,23 @@ fn main() -> ExitCode {
             report.reports.iter().map(|r| r.metrics.counter(name)).sum()
         };
         let payload_hashes = sum_metric("driver.payload_hashes");
+        // Durability accounting. `ledger.wal_records` counts safety records
+        // fsync'd before votes/timeouts hit the wire; a restart row's
+        // `resync_blocks` is what the recovered node still owed the network
+        // (cluster quorum height at restart minus its recovered height).
+        let ledger_wal_records = sum_metric("ledger.wal_records");
+        let restart_resync_blocks: u64 = report.restarts.iter().map(|r| r.resync_blocks).sum();
+        for r in &report.restarts {
+            eprintln!(
+                "  node {} restarted: recovered height {} from disk, cluster at {}, \
+                 resync {} blocks from peers",
+                r.node.0, r.recovered_height, r.cluster_height, r.resync_blocks
+            );
+        }
+        if restart_node.is_some() && report.restarts.is_empty() {
+            eprintln!("  FAIL: --restart-node run recorded no restart accounting");
+            failed = true;
+        }
         let txs_committed = report.txs_committed();
         let mut tx_hist = Histogram::for_tx_latency_us();
         for us in report.tx_latencies_us() {
@@ -616,6 +696,10 @@ fn main() -> ExitCode {
         o.field_u64("mempool_fair_visits", fair_visits);
         o.field_u64("mempool_batches_grown", batches_grown);
         o.field_u64("driver_payload_hashes", payload_hashes);
+        if data_dir.is_some() {
+            o.field_u64("ledger_wal_records", ledger_wal_records);
+            o.field_u64("restart_resync_blocks", restart_resync_blocks);
+        }
         o.field_u64("invariant_violations", violations);
         o.field_u64("cache_hits", cache_hits);
         o.field_u64("cache_misses", cache_misses);

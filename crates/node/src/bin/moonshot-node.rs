@@ -21,6 +21,14 @@
 //! target are refused instead of queued. Without `--load`, payloads are
 //! synthetic (`--payload` bytes).
 //!
+//! `--data-dir <dir>` makes the node durable: safety-critical consensus
+//! state (votes, timeouts, the lock certificate) is fsync'd to a
+//! write-ahead log in `<dir>/node-<id>/` *before* it reaches the wire, and
+//! committed blocks are appended to per-epoch segment files off the driver
+//! thread. A killed node restarted with the same `--data-dir` reloads its
+//! committed chain from disk, can never re-vote in a view it already voted
+//! or timed out in, and fetches only the tail it missed from peers.
+//!
 //! `--introspect <addr>` serves the live introspection plane on `addr`:
 //! `echo /status | nc <addr>` (or `curl http://<addr>/status`) returns the
 //! node's current view, locked view, mempool depth and per-peer queues;
@@ -45,7 +53,8 @@ fn usage() -> ExitCode {
          moonshot-node config --n <validators> [--base-port 7000]\n  \
          moonshot-node run --config <file> --id <n> --protocol <sm|pm|cm|jolteon>\n      \
          [--delta-ms 50] [--payload <bytes>] [--duration-secs 0] [--trace <file.jsonl>]\n      \
-         [--verify reader|inline|off] [--load <batch-bytes>] [--introspect <addr>]"
+         [--verify reader|inline|off] [--load <batch-bytes>] [--introspect <addr>]\n      \
+         [--data-dir <dir>]"
     );
     ExitCode::from(2)
 }
@@ -168,6 +177,34 @@ fn run(args: &[String]) -> ExitCode {
     let state = moonshot_node::IntrospectState::new(node, epoch);
     let mut node_cfg =
         node_config(node, cluster.n(), SimDuration::from_millis(delta_ms), payload);
+    // Durable mode: open (or recover) this node's ledger before anything
+    // can vote — the WAL floors are what make a restart equivocation-safe.
+    let ledger = match flag(args, "--data-dir") {
+        Some(dir) => {
+            let dir = std::path::Path::new(&dir).join(format!("node-{id}"));
+            match moonshot_ledger::Ledger::open(dir, moonshot_ledger::LedgerOptions::default()) {
+                Ok((ledger, recovered)) => {
+                    if !recovered.is_empty() {
+                        eprintln!(
+                            "node {id} recovered height {} (voted view {}, timeout view {})",
+                            ledger.recovered_height(),
+                            recovered.voted_view.0,
+                            recovered.timeout_view.0
+                        );
+                    }
+                    node_cfg.persist = Some(ledger.clone());
+                    node_cfg.local_blocks = Some(ledger.clone());
+                    node_cfg.recover = Some(recovered);
+                    Some(ledger)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open ledger: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let verifier = verify.configure(&mut node_cfg);
     let cache = node_cfg.verified_cache.clone();
     let mut transport = TransportConfig::new(node, listen, cluster.nodes.clone());
@@ -206,6 +243,7 @@ fn run(args: &[String]) -> ExitCode {
         sink,
         cache,
         state,
+        ledger,
     ) {
         Ok(h) => h,
         Err(e) => {

@@ -11,6 +11,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use moonshot_consensus::PayloadSource;
+use moonshot_ledger::{Ledger, LedgerOptions};
 use moonshot_mempool::{
     batch_txs, tx_client_id, tx_timestamp_us, AssemblerConfig, BatchAssembler, Mempool,
     MempoolConfig,
@@ -56,6 +57,13 @@ pub struct ClusterSpec {
     /// period is a small multiple of Δ, so `40` means "no commit for ~20
     /// block periods"). `0` disables the watchdog.
     pub stall_delta_multiple: u32,
+    /// When set, every node gets a durable ledger under
+    /// `<data_dir>/node-<id>/`: an fsync'd consensus WAL (votes/timeouts
+    /// persist before they hit the wire), an append-only blockstore of
+    /// committed blocks, and periodic snapshots. A restarted node recovers
+    /// its safety state and committed chain from disk and fetches only the
+    /// tail from peers.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 /// Real-transaction load parameters for a cluster.
@@ -136,6 +144,7 @@ impl ClusterSpec {
             load: None,
             introspect: true,
             stall_delta_multiple: 40,
+            data_dir: None,
         }
     }
 }
@@ -163,6 +172,25 @@ pub struct Cluster {
     /// The in-process load generators (client id, client), when the spec
     /// asked for any.
     clients: Vec<(u32, TxClient)>,
+    /// One entry per completed [`Cluster::restart`] (ledger clusters only):
+    /// how much catch-up the restarted node actually owed the network.
+    restarts: Vec<RestartStat>,
+}
+
+/// Catch-up accounting for one node restart.
+#[derive(Clone, Copy, Debug)]
+pub struct RestartStat {
+    /// The restarted node.
+    pub node: NodeId,
+    /// Committed height recovered from the node's own disk at restart.
+    pub recovered_height: u64,
+    /// The cluster's quorum committed height at the restart moment.
+    pub cluster_height: u64,
+    /// Blocks the node had to fetch from peers to catch up to the cluster:
+    /// `cluster_height - recovered_height`. Without a ledger this is the
+    /// whole chain; with one it is bounded by the blocks committed while
+    /// the node was down.
+    pub resync_blocks: u64,
 }
 
 impl Cluster {
@@ -210,6 +238,7 @@ impl Cluster {
         for (i, listener) in listeners.into_iter().enumerate() {
             let id = NodeId(i as u16);
             let mut cfg = node_config(id, spec.n, spec.delta, spec.payload_bytes);
+            let ledger = open_ledger(&spec, id, &mut cfg)?;
             let verifier = spec.verify.configure(&mut cfg);
             let cache = cfg.verified_cache.clone();
             let mut transport = TransportConfig::new(id, peers[i].1, peers.clone());
@@ -238,6 +267,7 @@ impl Cluster {
                 sinks[i].clone() as SharedSink,
                 cache,
                 states[i].clone(),
+                ledger,
             )?;
             handles.push(Some(handle));
         }
@@ -269,6 +299,7 @@ impl Cluster {
             assemblers,
             states,
             clients,
+            restarts: Vec::new(),
         })
     }
 
@@ -335,6 +366,20 @@ impl Cluster {
             .record(TraceRecord { at, event: TraceEvent::NodeRestarted { node: id } });
         let spec = &self.spec;
         let mut cfg = node_config(id, spec.n, spec.delta, spec.payload_bytes);
+        // Reopen the node's durable state: the WAL floors make re-voting in
+        // old views impossible, the blockstore gives it back its committed
+        // chain, and only the tail is owed to the network.
+        let ledger = open_ledger(spec, id, &mut cfg)?;
+        if let Some(l) = &ledger {
+            let cluster_height = self.quorum_committed_height();
+            let recovered_height = l.recovered_height();
+            self.restarts.push(RestartStat {
+                node: id,
+                recovered_height,
+                cluster_height,
+                resync_blocks: cluster_height.saturating_sub(recovered_height),
+            });
+        }
         let verifier = spec.verify.configure(&mut cfg);
         let cache = cfg.verified_cache.clone();
         let mut transport = TransportConfig::new(id, self.peers[idx].1, self.peers.clone());
@@ -366,6 +411,7 @@ impl Cluster {
             self.sinks[idx].clone() as SharedSink,
             cache,
             self.states[idx].clone(),
+            ledger,
         )?;
         self.handles[idx] = Some(handle);
         Ok(())
@@ -423,8 +469,28 @@ impl Cluster {
             reports,
             records,
             clients,
+            restarts: std::mem::take(&mut self.restarts),
         }
     }
+}
+
+/// Opens (or reopens) node `id`'s durable ledger when the spec has a data
+/// dir, wiring the persistence seam into its `NodeConfig`: votes and
+/// timeouts hit the WAL before the wire, recovery state reaches the
+/// protocol constructor, and catch-up consults the blockstore before
+/// dialing peers.
+fn open_ledger(
+    spec: &ClusterSpec,
+    id: NodeId,
+    cfg: &mut moonshot_consensus::NodeConfig,
+) -> std::io::Result<Option<Arc<Ledger>>> {
+    let Some(dir) = &spec.data_dir else { return Ok(None) };
+    let (ledger, recovered) =
+        Ledger::open(dir.join(format!("node-{}", id.0)), LedgerOptions::default())?;
+    cfg.persist = Some(ledger.clone());
+    cfg.local_blocks = Some(ledger.clone());
+    cfg.recover = Some(recovered);
+    Ok(Some(ledger))
 }
 
 /// The stall-watchdog threshold for a spec (`None` when disabled).
@@ -512,6 +578,8 @@ pub struct ClusterReport {
     pub records: Vec<TraceRecord>,
     /// Load-generator counters per client id, when the cluster ran any.
     pub clients: Vec<(u32, ClientStats)>,
+    /// Catch-up accounting for every node restart (ledger clusters only).
+    pub restarts: Vec<RestartStat>,
 }
 
 impl ClusterReport {
@@ -903,6 +971,7 @@ mod tests {
             }],
             records,
             clients: Vec::new(),
+            restarts: Vec::new(),
         };
 
         assert_eq!(report.tx_latencies_us(), vec![2_500]);

@@ -37,7 +37,7 @@ pub mod timer;
 pub mod transport;
 
 pub use client::{ClientStats, ClientTarget, TxClient, TxClientConfig};
-pub use cluster::{Cluster, ClusterReport, ClusterSpec, LoadSpec, StageLatencies};
+pub use cluster::{Cluster, ClusterReport, ClusterSpec, LoadSpec, RestartStat, StageLatencies};
 pub use config::{node_config, ClusterConfig, ProtocolChoice, VerifyMode};
 pub use introspect::{IntrospectServer, IntrospectState, NodeStatus};
 pub use runtime::{NodeHandle, NodeReport, SharedSink};

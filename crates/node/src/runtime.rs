@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use moonshot_consensus::{CommittedBlock, ConsensusProtocol, Output, PreVerified, ProtocolObserver};
 use moonshot_crypto::VerifiedCache;
+use moonshot_ledger::Ledger;
 use moonshot_telemetry::{
     MetricsRegistry, TraceEvent, TraceRecord, TraceSink, STAGE_BUCKETS, STAGE_BUCKET_WIDTH_US,
 };
@@ -195,6 +196,10 @@ impl NodeHandle {
     /// the driver snapshots its hit/miss counters into the final report.
     /// `state` is the introspection state the driver publishes into; when
     /// `cfg.introspect` is set, an [`IntrospectServer`] is started on it.
+    /// `ledger`, when present, receives every committed block on a
+    /// dedicated writer thread (keeping file I/O off the driver loop) and
+    /// publishes its `ledger.*` metrics into the live registry.
+    #[allow(clippy::too_many_arguments)] // the node's full wiring surface
     pub fn start(
         mut protocol: Box<dyn ConsensusProtocol + Send>,
         cfg: TransportConfig,
@@ -203,6 +208,7 @@ impl NodeHandle {
         sink: SharedSink,
         cache: Arc<VerifiedCache>,
         state: Arc<IntrospectState>,
+        ledger: Option<Arc<Ledger>>,
     ) -> std::io::Result<NodeHandle> {
         let node = cfg.node_id;
         let mempool = cfg.mempool.clone();
@@ -225,7 +231,30 @@ impl NodeHandle {
             None => None,
         };
         let shutdown = Arc::new(AtomicBool::new(false));
-        let committed_height = Arc::new(AtomicU64::new(0));
+        // A recovered node starts at its disk height, not zero: liveness
+        // probes and status reads should never report a restarted node as
+        // having lost its chain.
+        let recovered_height = ledger.as_ref().map(|l| l.recovered_height()).unwrap_or(0);
+        let committed_height = Arc::new(AtomicU64::new(recovered_height));
+        state.status.committed_height.store(recovered_height, Ordering::Relaxed);
+
+        // Committed blocks flow to disk through a dedicated writer thread so
+        // segment appends (and periodic snapshots) never block the driver.
+        let ledger_writer = ledger.clone().map(|ledger| {
+            let (tx, rx) = mpsc::channel::<moonshot_types::Block>();
+            let writer = std::thread::Builder::new()
+                .name(format!("ledger-{node}"))
+                .spawn(move || {
+                    while let Ok(block) = rx.recv() {
+                        if let Err(e) = ledger.append_committed(&block) {
+                            eprintln!("[node {node}] ledger append failed: {e}");
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn ledger writer");
+            (tx, writer)
+        });
 
         let driver = {
             let shutdown = shutdown.clone();
@@ -249,6 +278,8 @@ impl NodeHandle {
                         committed_height,
                         cache,
                         mempool,
+                        ledger,
+                        ledger_writer,
                         stall_timeout,
                         last_commit_at_us: 0,
                         messages_handled: 0,
@@ -334,6 +365,11 @@ struct Driver {
     /// The node's mempool (if the data path is wired up), so its admission
     /// counters land in the final report.
     mempool: Option<Arc<moonshot_mempool::Mempool>>,
+    /// The durable ledger, for metrics publication.
+    ledger: Option<Arc<Ledger>>,
+    /// Channel + thread that append committed blocks to the ledger off the
+    /// driver loop. Dropping the sender stops the thread.
+    ledger_writer: Option<(mpsc::Sender<moonshot_types::Block>, JoinHandle<()>)>,
     /// Stall-watchdog threshold; `None` disables the watchdog.
     stall_timeout: Option<Duration>,
     /// When the last commit landed (µs since epoch; 0 = none yet). Reset
@@ -422,6 +458,12 @@ fn run_driver(
 
     driver.sink.flush();
     driver.publish_status(protocol);
+    // Flush remaining committed blocks to disk before the final metrics
+    // snapshot, so `ledger.*` counters in the report cover every commit.
+    if let Some((tx, writer)) = driver.ledger_writer.take() {
+        drop(tx);
+        let _ = writer.join();
+    }
     driver.refresh_live(payload_hash_baseline);
     // The final report *is* the live registry: everything `/metrics`
     // served mid-run (driver counters, stage histograms, transport and
@@ -507,6 +549,9 @@ impl Driver {
         live.set_counter("verify.cache_rejects", cache.rejects);
         live.set_counter("verify.cache_evictions", cache.evictions);
         live.set_gauge("verify.cache_len", cache.len as f64);
+        if let Some(ledger) = &self.ledger {
+            ledger.publish_into(&mut live);
+        }
         if let Some(pool) = &mempool {
             let c = pool.counters();
             live.set_counter("mempool.submitted", c.submitted);
@@ -604,6 +649,9 @@ impl Driver {
                     self.wheel.arm(t + after, token);
                 }
                 Output::Commit(c) => {
+                    if let Some((tx, _)) = &self.ledger_writer {
+                        let _ = tx.send(c.block.clone());
+                    }
                     self.committed_height.store(c.block.height().0, Ordering::Relaxed);
                     self.last_commit_at_us = t.0;
                     let s = &self.state.status;

@@ -257,6 +257,10 @@ impl RunConfig {
             fetch_retry: moonshot_consensus::RetryPolicy::auto(),
             verified_cache: std::sync::Arc::new(moonshot_crypto::VerifiedCache::default()),
             skip_inline_checks: false,
+            // Simulated nodes are ephemeral: no durable ledger.
+            persist: None,
+            recover: None,
+            local_blocks: None,
         };
         match self.protocol {
             ProtocolKind::SimpleMoonshot => Box::new(SimpleMoonshot::new(cfg)),

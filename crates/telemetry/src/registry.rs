@@ -76,6 +76,13 @@ impl MetricsRegistry {
             .record(value);
     }
 
+    /// Replaces histogram `name` with an absolute snapshot (used by
+    /// publishers that maintain their own histogram and periodically export
+    /// it whole, e.g. the ledger's fsync-latency histogram).
+    pub fn set_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_string(), histogram);
+    }
+
     /// Reads histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)

@@ -46,6 +46,7 @@ pub mod messages;
 
 pub use codec::{Decode, Decoder, Encode, Encoder, WireError};
 pub use frame::{
-    decode_frame, encode_frame, encode_message, Frame, FrameHeader, FrameReader, FRAME_HEADER_LEN,
-    MAX_FRAME_BODY, PROTOCOL_VERSION, TAG_SUBMIT_TX,
+    decode_frame, decode_record, encode_frame, encode_message, encode_record, Frame, FrameHeader,
+    FrameReader, RecordError, FRAME_HEADER_LEN, MAX_FRAME_BODY, MAX_RECORD_BODY, PROTOCOL_VERSION,
+    RECORD_HEADER_LEN, TAG_SUBMIT_TX,
 };

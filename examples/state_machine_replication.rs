@@ -81,6 +81,9 @@ fn main() {
                     moonshot::crypto::VerifiedCache::default(),
                 ),
                 skip_inline_checks: false,
+                persist: None,
+                recover: None,
+                local_blocks: None,
             };
             // Adapter: intercept commits through a wrapper protocol.
             struct Hooked<F: FnMut(Vec<u8>)> {
