@@ -70,5 +70,5 @@ pub use protocol::{
     CommittedBlock, ConsensusProtocol, NodeConfig, Output, PayloadSource, TimerToken,
 };
 pub use simple::SimpleMoonshot;
-pub use sync::{BlockFetcher, RetryPolicy};
+pub use sync::{BatchFetchPlan, BatchFetcher, BlockFetcher, RetryPolicy};
 pub use verify::{MessageVerifier, PreVerified, VerifyError};

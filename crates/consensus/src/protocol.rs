@@ -33,6 +33,11 @@ pub enum TimerToken {
     ProposeTimer(View),
     /// Deadline check for outstanding block fetches (see [`crate::sync`]).
     FetchTimer,
+    /// Deadline check for outstanding **batch** fetches on the
+    /// dissemination plane (see [`crate::sync::BatchFetcher`]). Armed and
+    /// consumed by the runtime driver, never by a protocol — protocols'
+    /// wildcard timer arms ignore it.
+    BatchFetchTimer,
 }
 
 /// A block committed by the state machine, with provenance.

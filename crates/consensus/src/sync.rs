@@ -156,7 +156,7 @@ impl BlockFetcher {
             // Every hint was ourselves — e.g. resyncing a block our own
             // previous incarnation proposed. Ask round-robin peers right
             // away instead of burning a whole retry deadline first.
-            for t in Self::pick_targets(self.me, self.n, self.policy.fanout, &mut entry) {
+            for t in pick_targets(self.me, self.n, self.policy.fanout, &mut entry) {
                 out.push(Output::Send(t, Message::BlockRequest { block_id }));
             }
         }
@@ -200,7 +200,7 @@ impl BlockFetcher {
             let exp = p.attempts.min(16);
             let backoff = SimDuration(self.policy.timeout.0.saturating_mul(1u64 << exp));
             p.deadline = now + backoff;
-            let targets = Self::pick_targets(self.me, self.n, self.policy.fanout, p);
+            let targets = pick_targets(self.me, self.n, self.policy.fanout, p);
             for t in targets {
                 out.push(Output::Send(t, Message::BlockRequest { block_id }));
             }
@@ -210,39 +210,6 @@ impl BlockFetcher {
             let after = next.since(now).max(SimDuration(1));
             out.push(Output::SetTimer { token: TimerToken::FetchTimer, after });
         }
-    }
-
-    /// Picks up to `fanout` peers for the next retry round, preferring peers
-    /// not yet tried, scanning round-robin from the entry's cursor.
-    fn pick_targets(me: NodeId, n: usize, fanout: usize, p: &mut PendingFetch) -> Vec<NodeId> {
-        let mut picked = Vec::new();
-        if n <= 1 || fanout == 0 {
-            return picked;
-        }
-        for pass in 0..2 {
-            if pass == 1 {
-                if !picked.is_empty() {
-                    break;
-                }
-                // Everyone has been tried: start a fresh rotation.
-                p.tried.clear();
-            }
-            for step in 0..n {
-                if picked.len() >= fanout {
-                    break;
-                }
-                let cand = NodeId::from_index((p.cursor + step) % n);
-                if cand == me || p.tried.contains(&cand) || picked.contains(&cand) {
-                    continue;
-                }
-                picked.push(cand);
-            }
-        }
-        for t in &picked {
-            p.tried.insert(*t);
-        }
-        p.cursor = (p.cursor + picked.len().max(1)) % n;
-        picked
     }
 
     /// Number of outstanding requests.
@@ -260,6 +227,177 @@ impl BlockFetcher {
     /// references it).
     pub fn clear(&mut self) {
         self.pending.clear();
+    }
+}
+
+/// Picks up to `fanout` peers for the next retry round, preferring peers
+/// not yet tried, scanning round-robin from the entry's cursor. Shared by
+/// the block and batch fetchers.
+fn pick_targets(me: NodeId, n: usize, fanout: usize, p: &mut PendingFetch) -> Vec<NodeId> {
+    let mut picked = Vec::new();
+    if n <= 1 || fanout == 0 {
+        return picked;
+    }
+    for pass in 0..2 {
+        if pass == 1 {
+            if !picked.is_empty() {
+                break;
+            }
+            // Everyone has been tried: start a fresh rotation.
+            p.tried.clear();
+        }
+        for step in 0..n {
+            if picked.len() >= fanout {
+                break;
+            }
+            let cand = NodeId::from_index((p.cursor + step) % n);
+            if cand == me || p.tried.contains(&cand) || picked.contains(&cand) {
+                continue;
+            }
+            picked.push(cand);
+        }
+    }
+    for t in &picked {
+        p.tried.insert(*t);
+    }
+    p.cursor = (p.cursor + picked.len().max(1)) % n;
+    picked
+}
+
+/// What a [`BatchFetcher`] call wants done: `BatchRequest` frames to send
+/// and, if `rearm` is set, a [`TimerToken::BatchFetchTimer`] no later than
+/// that far in the future.
+///
+/// Batches live on the dissemination plane, *below* the consensus message
+/// enum — their requests are raw wire frames the driver sends directly —
+/// so the batch fetcher returns this plan instead of [`Output`]s.
+#[derive(Clone, Debug, Default)]
+pub struct BatchFetchPlan {
+    /// `(peer, digest)` pairs to send as `BatchRequest` frames.
+    pub requests: Vec<(NodeId, moonshot_crypto::Digest)>,
+    /// Arm a [`TimerToken::BatchFetchTimer`] within this duration.
+    pub rearm: Option<SimDuration>,
+}
+
+impl BatchFetchPlan {
+    /// Whether the plan asks for nothing.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty() && self.rearm.is_none()
+    }
+}
+
+/// Tracks outstanding **batch** fetches for digest-only proposals, with
+/// the same dedup/retry/backoff/abandon behaviour as [`BlockFetcher`].
+///
+/// A voter that receives a proposal referencing batches it cannot resolve
+/// locally asks the proposer (who certainly holds the bytes: it sealed or
+/// at least referenced them) and falls back to round-robin peers — any
+/// honest node that voted for the proposal must hold them too. Entries are
+/// cleared when the store resolves the digest; an abandoned entry restarts
+/// the next time a proposal or commit needs the digest.
+#[derive(Clone, Debug)]
+pub struct BatchFetcher {
+    me: NodeId,
+    n: usize,
+    policy: RetryPolicy,
+    /// `BTreeMap` so retry emission order is deterministic.
+    pending: BTreeMap<moonshot_crypto::Digest, PendingFetch>,
+}
+
+impl BatchFetcher {
+    /// A fetcher for node `me` of `n`, with `policy` already resolved
+    /// against Δ (see [`RetryPolicy::resolve`]).
+    pub fn new(me: NodeId, n: usize, policy: RetryPolicy) -> Self {
+        BatchFetcher { me, n, policy, pending: BTreeMap::new() }
+    }
+
+    /// Starts (or no-ops on an already outstanding) fetch for `digest`,
+    /// asking each distinct non-self peer in `hints` — falling back to
+    /// round-robin fanout when every hint is `me`.
+    pub fn request(
+        &mut self,
+        digest: moonshot_crypto::Digest,
+        hints: impl IntoIterator<Item = NodeId>,
+        now: SimTime,
+    ) -> BatchFetchPlan {
+        let mut plan = BatchFetchPlan::default();
+        if self.pending.contains_key(&digest) {
+            return plan;
+        }
+        let mut entry = PendingFetch {
+            attempts: 0,
+            deadline: now + self.policy.timeout,
+            tried: HashSet::new(),
+            cursor: self.me.as_usize() + 1,
+        };
+        let mut sent = false;
+        for hint in hints {
+            if hint != self.me && entry.tried.insert(hint) {
+                plan.requests.push((hint, digest));
+                sent = true;
+            }
+        }
+        if !sent {
+            for t in pick_targets(self.me, self.n, self.policy.fanout, &mut entry) {
+                plan.requests.push((t, digest));
+            }
+        }
+        self.pending.insert(digest, entry);
+        if self.policy.max_attempts > 0 {
+            plan.rearm = Some(self.policy.timeout);
+        }
+        plan
+    }
+
+    /// Marks a batch as no longer outstanding (the store resolved it).
+    pub fn fulfilled(&mut self, digest: &moonshot_crypto::Digest) {
+        self.pending.remove(digest);
+    }
+
+    /// Handles an expired [`TimerToken::BatchFetchTimer`]: re-requests
+    /// overdue batches from untried peers with exponential backoff,
+    /// abandoning each after [`RetryPolicy::max_attempts`] rounds, and
+    /// re-arms while anything stays outstanding.
+    pub fn on_timer(&mut self, now: SimTime) -> BatchFetchPlan {
+        let mut plan = BatchFetchPlan::default();
+        if self.policy.max_attempts == 0 {
+            return plan;
+        }
+        let overdue: Vec<moonshot_crypto::Digest> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(d, _)| *d)
+            .collect();
+        for digest in overdue {
+            let Some(p) = self.pending.get_mut(&digest) else { continue };
+            if p.attempts >= self.policy.max_attempts {
+                self.pending.remove(&digest);
+                continue;
+            }
+            p.attempts += 1;
+            let exp = p.attempts.min(16);
+            let backoff = SimDuration(self.policy.timeout.0.saturating_mul(1u64 << exp));
+            p.deadline = now + backoff;
+            for t in pick_targets(self.me, self.n, self.policy.fanout, p) {
+                plan.requests.push((t, digest));
+            }
+        }
+        if !self.pending.is_empty() {
+            let next = self.pending.values().map(|p| p.deadline).min().unwrap();
+            plan.rearm = Some(next.since(now).max(SimDuration(1)));
+        }
+        plan
+    }
+
+    /// Number of outstanding batch fetches.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether `digest` is currently being fetched.
+    pub fn is_pending(&self, digest: &moonshot_crypto::Digest) -> bool {
+        self.pending.contains_key(digest)
     }
 }
 
@@ -431,6 +569,60 @@ mod tests {
         assert_eq!(p.timeout, SimDuration::from_millis(200));
         let explicit = RetryPolicy { timeout: T, ..RetryPolicy::auto() };
         assert_eq!(explicit.resolve(SimDuration::from_millis(100)).timeout, T);
+    }
+
+    /// The batch fetcher mirrors the block fetcher's lifecycle — dedup
+    /// while outstanding, untried-peer retries with backoff, abandonment —
+    /// but emits `(peer, digest)` frame plans instead of consensus
+    /// messages.
+    #[test]
+    fn batch_fetcher_retries_and_abandons_like_block_fetcher() {
+        let policy = RetryPolicy { timeout: T, max_attempts: 3, fanout: 2 };
+        let mut f = BatchFetcher::new(NodeId(0), 4, policy);
+        let d = moonshot_crypto::Digest::hash(b"batch");
+
+        let plan = f.request(d, [NodeId(2)], SimTime::ZERO);
+        assert_eq!(plan.requests, vec![(NodeId(2), d)]);
+        assert_eq!(plan.rearm, Some(T));
+        assert!(f.is_pending(&d));
+        // Outstanding: suppressed.
+        assert!(f.request(d, [NodeId(3)], SimTime::ZERO).is_empty());
+
+        // Early fire: nothing overdue, but the timer stays armed.
+        let plan = f.on_timer(SimTime(500));
+        assert!(plan.requests.is_empty());
+        assert!(plan.rearm.is_some());
+
+        // Overdue: retry to untried peers, deadline doubled.
+        let plan = f.on_timer(SimTime(1_000));
+        assert_eq!(plan.requests.len(), 2);
+        assert!(plan.requests.iter().all(|(to, pd)| *to != NodeId(0)
+            && *to != NodeId(2)
+            && *pd == d));
+
+        // Resolution clears the entry; a fresh request goes out again.
+        f.fulfilled(&d);
+        assert_eq!(f.outstanding(), 0);
+        assert_eq!(f.request(d, [NodeId(1)], SimTime(2_000)).requests.len(), 1);
+
+        // Exhaust the retry budget: abandoned.
+        let mut now = SimTime(2_000);
+        for _ in 0..10 {
+            now += SimDuration(1_000_000);
+            f.on_timer(now);
+        }
+        assert_eq!(f.outstanding(), 0, "abandoned after max_attempts");
+    }
+
+    /// Self-only hints (a restarted leader refetching its own batch) fall
+    /// through to round-robin peers immediately.
+    #[test]
+    fn batch_fetcher_self_hints_fall_through_to_peers() {
+        let mut f = BatchFetcher::new(NodeId(1), 4, RetryPolicy::auto().resolve(T));
+        let d = moonshot_crypto::Digest::hash(b"own-batch");
+        let plan = f.request(d, [NodeId(1)], SimTime::ZERO);
+        assert_eq!(plan.requests.len(), RetryPolicy::auto().fanout);
+        assert!(plan.requests.iter().all(|(to, _)| *to != NodeId(1)));
     }
 
     #[derive(Debug)]

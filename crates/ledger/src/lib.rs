@@ -12,9 +12,14 @@
 //!   blocks, written off the hot path, CRC-checked and torn-tail-truncated
 //!   on open; doubles as the [`LocalBlockSource`] that lets catch-up serve
 //!   already-persisted blocks from disk instead of the network.
-//! * [`snapshot`] — periodic atomic summaries that bound WAL replay length;
-//!   recovery merges snapshot ⊔ WAL-tail ⊔ segment scan, taking maxima, so
-//!   a missing or corrupt snapshot costs time, never safety.
+//! * [`snapshot`] — periodic atomic summaries that bound WAL replay length
+//!   *and* WAL size: each snapshot write compacts away the WAL records its
+//!   floors summarise, so the log stays at about one snapshot-interval of
+//!   records. Recovery merges snapshot ⊔ WAL-tail ⊔ segment scan, taking
+//!   maxima. Before the first compaction a missing or corrupt snapshot
+//!   costs only a longer replay; after one, the snapshot is the sole
+//!   carrier of the compacted records' floors — which is safe because
+//!   compaction strictly follows a durable snapshot write.
 //!
 //! [`Ledger::open`] performs the whole recovery sequence and returns a
 //! [`RecoveredState`] ready to hand to any protocol constructor through
@@ -157,7 +162,13 @@ impl Ledger {
     }
 
     /// Writes a snapshot of the current durable state (atomic via
-    /// temp + rename).
+    /// temp + rename), then compacts the WAL: records at or below the
+    /// snapshot's recorded offset are summarised by the snapshot's floors,
+    /// so dropping them keeps the log bounded at about one
+    /// snapshot-interval of records instead of growing for the node's
+    /// whole lifetime. Compaction strictly follows the snapshot write —
+    /// a record is only ever dropped once a snapshot covering it is
+    /// durably in place.
     pub fn write_snapshot(&self) -> std::io::Result<()> {
         let snap = Snapshot {
             voted_view: View(self.voted_view.load(Ordering::Relaxed)),
@@ -166,7 +177,9 @@ impl Ledger {
             committed_height: self.committed_height.load(Ordering::Relaxed),
             wal_len: self.wal.lock().unwrap().len(),
         };
-        snap.write(&self.dir.join("snapshot.snap"))
+        snap.write(&self.dir.join("snapshot.snap"))?;
+        self.wal.lock().unwrap().compact(snap.wal_len)?;
+        Ok(())
     }
 
     /// Committed height found on disk at open (what the restarted node did
@@ -193,15 +206,17 @@ impl Ledger {
     /// Publishes `ledger.*` counters and the fsync histogram into a metrics
     /// registry (absolute values; callers re-publish periodically).
     pub fn publish_into(&self, m: &mut MetricsRegistry) {
-        let (wal_appended, _) = {
+        let (wal_appended, wal_bytes, wal_compactions) = {
             let wal = self.wal.lock().unwrap();
-            (wal.appended, wal.len())
+            (wal.appended, wal.physical_len(), wal.compactions)
         };
         let (segments, blocks_appended) = {
             let store = self.store.lock().unwrap();
             (store.segments, store.appended)
         };
         m.set_counter("ledger.wal_records", wal_appended);
+        m.set_counter("ledger.wal_bytes", wal_bytes);
+        m.set_counter("ledger.wal_compactions", wal_compactions);
         m.set_counter("ledger.segments", segments);
         m.set_counter("ledger.blocks_appended", blocks_appended);
         m.set_counter("ledger.replayed_records", self.replayed_records);
@@ -411,23 +426,124 @@ mod tests {
         }
         assert!(dir.path().join("snapshot.snap").exists(), "snapshot_every=3 must trigger");
 
+        // Reopening is idempotent: snapshot floors ⊔ the (compacted) WAL
+        // tail reproduce the full state, open after open.
         let (_, with_snap) = Ledger::open(dir.path(), opts(4, 3)).unwrap();
-        std::fs::remove_file(dir.path().join("snapshot.snap")).unwrap();
-        let (_, fresh) = Ledger::open(dir.path(), opts(4, 3)).unwrap();
+        let (_, again) = Ledger::open(dir.path(), opts(4, 3)).unwrap();
 
-        assert_eq!(with_snap.voted_view, fresh.voted_view);
-        assert_eq!(with_snap.timeout_view, fresh.timeout_view);
+        assert_eq!(with_snap.voted_view, again.voted_view);
+        assert_eq!(with_snap.timeout_view, again.timeout_view);
         assert_eq!(
             with_snap.lock.as_ref().map(|q| q.view()),
-            fresh.lock.as_ref().map(|q| q.view())
+            again.lock.as_ref().map(|q| q.view())
         );
         assert_eq!(
             with_snap.committed.iter().map(Block::id).collect::<Vec<_>>(),
-            fresh.committed.iter().map(Block::id).collect::<Vec<_>>()
+            again.committed.iter().map(Block::id).collect::<Vec<_>>()
         );
         assert_eq!(with_snap.voted_view, View(9));
         assert_eq!(with_snap.timeout_view, View(10));
         assert_eq!(with_snap.committed.len(), 9);
+    }
+
+    /// The compaction satellite, part 1: a long run's WAL stays bounded.
+    /// Without compaction the log grows with every vote forever; with it,
+    /// physical size oscillates around one snapshot-interval of records.
+    #[test]
+    fn long_run_wal_stays_bounded_by_compaction() {
+        let dir = TempDir::new("wal-bound");
+        let (ledger, _) = Ledger::open(dir.path(), opts(64, 8)).unwrap();
+        let blocks = chain(200);
+        let mut max_physical = 0u64;
+        let record_size = {
+            // One vote record's framed size, measured empirically.
+            ledger.persist_vote(View(1), &qc_at(0));
+            ledger.wal.lock().unwrap().physical_len()
+        };
+        for (i, b) in blocks.iter().enumerate() {
+            ledger.persist_vote(View(i as u64 + 2), &qc_at(i as u64));
+            ledger.append_committed(b).unwrap();
+            max_physical = max_physical.max(ledger.wal.lock().unwrap().physical_len());
+        }
+        let (logical, physical, compactions) = {
+            let wal = ledger.wal.lock().unwrap();
+            (wal.len(), wal.physical_len(), wal.compactions)
+        };
+        assert!(compactions >= 20, "snapshot_every=8 over 200 commits: {compactions}");
+        assert_eq!(logical, 201 * record_size, "logical offsets never shrink");
+        // The bound: never more than one snapshot interval of records plus
+        // the header and one in-flight record of slack.
+        let bound = record_size * (8 + 2) + 16;
+        assert!(
+            max_physical <= bound,
+            "WAL exceeded its compaction bound: {max_physical} > {bound}"
+        );
+        assert!(physical < logical / 10, "physical {physical} vs logical {logical}");
+
+        // On-disk file agrees with the accounting.
+        let disk = std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
+        assert_eq!(disk, physical);
+    }
+
+    /// The compaction satellite, part 2: recovery after compaction still
+    /// floors `voted_view` correctly — the compacted records' floors come
+    /// back through the snapshot, the surviving tail through replay, and
+    /// appending keeps working across the reopen.
+    #[test]
+    fn recovery_after_compaction_floors_voted_view() {
+        let dir = TempDir::new("wal-compact-rec");
+        {
+            let (ledger, _) = Ledger::open(dir.path(), opts(64, 4)).unwrap();
+            for (i, b) in chain(10).iter().enumerate() {
+                ledger.persist_vote(View(i as u64 + 1), &qc_at(i as u64));
+                ledger.append_committed(b).unwrap();
+            }
+            // Votes past the last snapshot (at commit 8) survive only in
+            // the WAL tail.
+            ledger.persist_vote(View(11), &qc_at(10));
+            ledger.persist_timeout(View(12), &qc_at(10));
+            assert!(ledger.wal.lock().unwrap().compactions >= 2);
+        }
+        let (ledger, rec) = Ledger::open(dir.path(), opts(64, 4)).unwrap();
+        assert_eq!(rec.voted_view, View(11), "snapshot floor ⊔ compacted tail");
+        assert_eq!(rec.timeout_view, View(12));
+        assert_eq!(rec.committed.len(), 10);
+        // The recovered floor keeps advancing and surviving further
+        // compaction cycles.
+        ledger.persist_vote(View(13), &qc_at(11));
+        ledger.write_snapshot().unwrap();
+        drop(ledger);
+        let (_, rec) = Ledger::open(dir.path(), opts(64, 4)).unwrap();
+        assert_eq!(rec.voted_view, View(13));
+        assert_eq!(rec.timeout_view, View(12));
+    }
+
+    /// A stale snapshot whose offset lies inside the compacted prefix is
+    /// distrusted: the whole surviving body replays (idempotent, floors
+    /// only), nothing panics, and the fresher state wins.
+    #[test]
+    fn stale_snapshot_offset_inside_compacted_prefix_replays_tail() {
+        let dir = TempDir::new("wal-stale-snap");
+        let (ledger, _) = Ledger::open(dir.path(), opts(64, 1000)).unwrap();
+        for i in 1..=6u64 {
+            ledger.persist_vote(View(i), &qc_at(i - 1));
+        }
+        // Snapshot at the current offset, then append more and compact.
+        ledger.write_snapshot().unwrap();
+        ledger.persist_vote(View(7), &qc_at(6));
+        {
+            let mut wal = ledger.wal.lock().unwrap();
+            let len = wal.len();
+            wal.compact(len - 1).unwrap(); // keeps only the last record
+            assert!(wal.physical_len() < len);
+        }
+        drop(ledger);
+        // Hand the WAL an offset *below* its base: Wal::open must fall
+        // back to replaying the surviving body rather than skipping it.
+        let (wal, replay) = Wal::open(&dir.path().join("wal.log"), 1).unwrap();
+        assert_eq!(replay.records.len(), 1, "surviving tail fully replayed");
+        assert!(matches!(replay.records[0], WalRecord::Vote { view: View(7), .. }));
+        assert!(wal.physical_len() < wal.len(), "file must still be compacted");
     }
 
     #[test]

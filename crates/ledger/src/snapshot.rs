@@ -6,8 +6,11 @@
 //! covers. It is written atomically (temp file, fsync, rename) so a crash
 //! mid-snapshot leaves the previous snapshot intact, and recovery treats it
 //! as a *floor*, merging it with whatever the WAL says after its recorded
-//! offset — so a stale, missing, or corrupt snapshot never loses state, it
-//! only costs a longer WAL replay.
+//! offset. A stale snapshot only costs a longer WAL replay; note that once
+//! WAL compaction has run (see [`crate::wal`]), the snapshot is the sole
+//! carrier of the compacted records' floors — deleting it by hand would
+//! lose them, which is why compaction only drops records a durably written
+//! snapshot already covers.
 
 use std::fs::File;
 use std::io::{Read, Write};

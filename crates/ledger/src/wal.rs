@@ -13,6 +13,18 @@
 //! how many bytes were discarded. Because the fsync happens before the
 //! network send, a torn record can only correspond to a message that was
 //! *never sent* — truncating it is always safe.
+//!
+//! ## Compaction
+//!
+//! Offsets in the WAL are **logical**: they count every byte ever appended,
+//! including bytes later compacted away. A compacted file carries a 16-byte
+//! header (`MSHTWAL1` magic + the logical offset of its first surviving
+//! byte); a fresh, never-compacted file has no header, so the format stays
+//! backward compatible with pre-compaction logs. [`Wal::compact`] drops
+//! whole records below a snapshot's recorded `wal_len` — state the snapshot
+//! already summarises — by rewriting the surviving tail through a temp file
+//! and an atomic rename, which bounds the log at roughly one
+//! snapshot-interval of records without ever touching record framing.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -85,33 +97,68 @@ pub struct WalReplay {
     pub truncated_bytes: u64,
 }
 
-/// An append-only, fsync-per-record log file.
+/// Header magic of a compacted WAL file. A fresh log has no header; the
+/// first compaction installs one. The magic can never collide with record
+/// framing: a record starts with a little-endian `u32` length, and these
+/// bytes decode to a length far beyond the framing bound.
+const WAL_MAGIC: &[u8; 8] = b"MSHTWAL1";
+/// Header size: magic + `u64` logical base offset.
+const WAL_HEADER_LEN: usize = 16;
+
+/// An append-only, fsync-per-record log file with logical offsets that
+/// survive [`Wal::compact`].
 #[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
+    /// Logical offset of the file's first surviving body byte (0 until the
+    /// first compaction).
+    base: u64,
+    /// Logical length: `base` + surviving body bytes. This is what
+    /// snapshots record, so it must never shrink.
     len: u64,
     /// Records appended by this incarnation (not counting replayed ones).
     pub appended: u64,
+    /// Compactions performed by this incarnation.
+    pub compactions: u64,
+}
+
+/// Splits raw file bytes into (logical base, body) according to the
+/// optional compaction header.
+fn split_header(bytes: &[u8]) -> (u64, &[u8]) {
+    if bytes.len() >= WAL_HEADER_LEN && &bytes[..8] == WAL_MAGIC {
+        let base = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        (base, &bytes[WAL_HEADER_LEN..])
+    } else {
+        (0, bytes)
+    }
 }
 
 impl Wal {
     /// Opens (creating if absent) the WAL at `path`, replays intact records
-    /// starting at byte `start` (from a snapshot's recorded offset; pass 0
-    /// for a full replay), and truncates any torn or corrupt tail in place.
+    /// starting at **logical** byte `start` (from a snapshot's recorded
+    /// offset; pass 0 for a full replay), and truncates any torn or corrupt
+    /// tail in place.
     pub fn open(path: &Path, start: u64) -> std::io::Result<(Wal, WalReplay)> {
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
+        let (base, body) = split_header(&bytes);
+        let header_len = bytes.len() - body.len();
 
         let mut replay = WalReplay::default();
-        // A snapshot offset beyond the file means the WAL shrank behind the
-        // snapshot's back — distrust it and replay everything.
-        let mut offset = if start as usize <= bytes.len() { start as usize } else { 0 };
-        while offset < bytes.len() {
-            match decode_record(&bytes[offset..]) {
-                Ok((body, consumed)) => match WalRecord::decode_body(body) {
+        // Translate the snapshot's logical offset into this file. An offset
+        // outside the surviving body — beyond the end (the WAL shrank
+        // behind the snapshot's back) or inside the compacted prefix (a
+        // stale snapshot) — is distrusted: replay the whole surviving body.
+        // Replaying extra records is always safe (recovery takes maxima).
+        let logical_end = base + body.len() as u64;
+        let mut offset =
+            if start >= base && start <= logical_end { (start - base) as usize } else { 0 };
+        while offset < body.len() {
+            match decode_record(&body[offset..]) {
+                Ok((rec_body, consumed)) => match WalRecord::decode_body(rec_body) {
                     Some(rec) => {
                         replay.records.push(rec);
                         offset += consumed;
@@ -123,14 +170,66 @@ impl Wal {
                 Err(_) => break,
             }
         }
-        if offset < bytes.len() {
-            replay.truncated_bytes = (bytes.len() - offset) as u64;
-            file.set_len(offset as u64)?;
+        if offset < body.len() {
+            replay.truncated_bytes = (body.len() - offset) as u64;
+            file.set_len((header_len + offset) as u64)?;
             file.sync_data()?;
         }
         file.seek(SeekFrom::End(0))?;
-        let wal = Wal { file, path: path.to_path_buf(), len: offset as u64, appended: 0 };
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            base,
+            len: base + offset as u64,
+            appended: 0,
+            compactions: 0,
+        };
         Ok((wal, replay))
+    }
+
+    /// Drops whole records whose bytes lie entirely below logical offset
+    /// `upto` — typically a freshly written snapshot's `wal_len`, whose
+    /// floors summarise exactly those records. The surviving tail is
+    /// rewritten through a temp file and atomically renamed into place, so
+    /// a crash mid-compaction leaves the previous file intact. Returns the
+    /// number of logical bytes dropped (0 when there is nothing to drop).
+    pub fn compact(&mut self, upto: u64) -> std::io::Result<u64> {
+        let upto = upto.min(self.len);
+        if upto <= self.base {
+            return Ok(0);
+        }
+        let bytes = std::fs::read(&self.path)?;
+        let (base, body) = split_header(&bytes);
+        debug_assert_eq!(base, self.base);
+        // Walk record boundaries up to the last one at or below `upto`;
+        // records straddling it stay (the snapshot does not cover them).
+        let target = (upto - self.base) as usize;
+        let mut boundary = 0usize;
+        while boundary < target {
+            match decode_record(&body[boundary..]) {
+                Ok((_, consumed)) if boundary + consumed <= target => boundary += consumed,
+                _ => break,
+            }
+        }
+        if boundary == 0 {
+            return Ok(0);
+        }
+        let new_base = self.base + boundary as u64;
+        let tmp = self.path.with_extension("wal-tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(WAL_MAGIC)?;
+            f.write_all(&new_base.to_le_bytes())?;
+            f.write_all(&body[boundary..])?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.base = new_base;
+        self.compactions += 1;
+        Ok(boundary as u64)
     }
 
     /// Appends `rec` and `fdatasync`s it to disk, returning the fsync
@@ -147,10 +246,18 @@ impl Wal {
         Ok(fsync_us)
     }
 
-    /// Current byte length (recorded into snapshots so replay can skip the
-    /// prefix already summarised there).
+    /// Current **logical** byte length (recorded into snapshots so replay
+    /// can skip the prefix already summarised there). Monotone across
+    /// compactions.
     pub fn len(&self) -> u64 {
         self.len
+    }
+
+    /// Bytes the log file actually occupies on disk right now — what
+    /// compaction bounds (surviving body plus the header, if any).
+    pub fn physical_len(&self) -> u64 {
+        let header = if self.base > 0 { WAL_HEADER_LEN as u64 } else { 0 };
+        self.len - self.base + header
     }
 
     /// Whether the log holds no bytes.

@@ -20,10 +20,12 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use moonshot_crypto::Digest;
 use moonshot_types::Payload;
 
 use crate::batch::{encode_batch, tx_timestamp_us};
-use crate::pool::Mempool;
+use crate::dissem::{batch_digest, DissemPlane, SealedBatch};
+use crate::pool::{Mempool, Tx};
 
 /// Batch-sizing policy for a [`BatchAssembler`].
 #[derive(Clone, Copy, Debug)]
@@ -136,6 +138,35 @@ impl BatchAssembler {
         BatchAssembler { slot, shutdown, batches, thread: Some(thread) }
     }
 
+    /// Spawns the assembler in **digest mode**: sealed batches go to the
+    /// dissemination plane's queue (for the driver to push and then
+    /// propose by reference) instead of the prepared slot. Sealing is
+    /// throttled by `backlog_cap_bytes` of sealed-but-unproposed payload
+    /// rather than by the single-slot handoff, so the data plane can run
+    /// several batches ahead of the ordering plane without outrunning it.
+    pub fn start_digest(
+        pool: Arc<Mempool>,
+        cfg: AssemblerConfig,
+        epoch: Instant,
+        plane: Arc<DissemPlane>,
+        backlog_cap_bytes: usize,
+    ) -> BatchAssembler {
+        let slot = PreparedSlot::default();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let batches = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let shutdown = shutdown.clone();
+            let batches = batches.clone();
+            thread::Builder::new()
+                .name("batch-assembler".into())
+                .spawn(move || {
+                    run_digest(pool, plane, shutdown, batches, cfg, epoch, backlog_cap_bytes)
+                })
+                .expect("spawn batch assembler")
+        };
+        BatchAssembler { slot, shutdown, batches, thread: Some(thread) }
+    }
+
     /// The handoff cell to wire into the leader's payload source.
     pub fn slot(&self) -> PreparedSlot {
         self.slot.clone()
@@ -187,10 +218,63 @@ fn run(
             .filter_map(|t| tx_timestamp_us(&t.bytes))
             .map(|submitted| sealed_at_us.saturating_sub(submitted))
             .collect();
+        let tx_digests = digests_of(&txs);
         // The one and only content hash of this batch happens here, on the
         // assembler thread — Payload::data charges *this* thread's counter.
         let payload = Payload::data(encode_batch(&txs));
+        // Pin the drained digests until the batch commits: the rolling
+        // seen window alone would let a retry land in a second batch.
+        pool.pin_batch(payload.digest(), &tx_digests);
         slot.put(PreparedPayload { payload, tx_count, sealed_at_us, queue_us });
+        batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn digests_of(txs: &[Tx]) -> Vec<Digest> {
+    txs.iter().map(|t| t.digest).collect()
+}
+
+fn run_digest(
+    pool: Arc<Mempool>,
+    plane: Arc<DissemPlane>,
+    shutdown: Arc<AtomicBool>,
+    batches: Arc<AtomicU64>,
+    cfg: AssemblerConfig,
+    epoch: Instant,
+    backlog_cap_bytes: usize,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        if plane.queue.backlog_bytes() >= backlog_cap_bytes as u64 || pool.is_empty() {
+            // Sealed-but-unproposed payload at the cap (the ordering plane
+            // is the bottleneck right now) or nothing to seal.
+            thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        let target = cfg.effective_target(pool.pending_bytes());
+        pool.set_batch_target(target as u64);
+        let txs = pool.drain_for_batch(target);
+        if txs.is_empty() {
+            continue;
+        }
+        if target > cfg.base_batch_bytes {
+            pool.note_batch_grown();
+        }
+        let tx_count = txs.len() as u64;
+        let sealed_at_us = epoch.elapsed().as_micros() as u64;
+        let queue_us = txs
+            .iter()
+            .filter_map(|t| tx_timestamp_us(&t.bytes))
+            .map(|submitted| sealed_at_us.saturating_sub(submitted))
+            .collect();
+        let tx_digests = digests_of(&txs);
+        let bytes: Arc<[u8]> = encode_batch(&txs).into();
+        // The batch's one content hash, on this thread.
+        let digest = batch_digest(&bytes);
+        pool.pin_batch(digest, &tx_digests);
+        // The local store insert makes the leader's own refs resolvable
+        // (and feeds the stored log the driver drains for trace events).
+        plane.store.insert(digest, bytes.clone());
+        plane.queue.push_sealed(SealedBatch { digest, bytes, tx_count, sealed_at_us, queue_us });
         batches.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -247,6 +331,65 @@ mod tests {
         stamps.sort_unstable();
         assert_eq!(stamps, (500..540).collect::<Vec<u64>>());
         assert!(assembler.batches_assembled() >= 5, "1.8kB cap forces multiple batches");
+    }
+
+    /// Digest mode: sealed batches land in the dissemination queue with
+    /// verified digests, the local store resolves them immediately, their
+    /// transactions are pinned against resubmission, and the backlog cap
+    /// throttles sealing until the queue drains.
+    #[test]
+    fn digest_mode_seals_into_dissem_queue_and_pins() {
+        use crate::dissem::{batch_digest, DissemPlane};
+        let pool = Arc::new(Mempool::new(MempoolConfig {
+            delay_target_multiple: 0,
+            ..MempoolConfig::default()
+        }));
+        let plane = DissemPlane::new(1 << 20);
+        let resubmit: Vec<Vec<u8>> =
+            (0..40u64).map(|seq| make_tx(500 + seq, 1, seq, 180)).collect();
+        for tx in &resubmit {
+            pool.submit(tx.clone()).unwrap();
+        }
+        let assembler = BatchAssembler::start_digest(
+            pool.clone(),
+            AssemblerConfig::fixed(1_800),
+            Instant::now(),
+            plane.clone(),
+            // Cap at ~2 batches of unproposed backlog: sealing must stall
+            // until the test drains the queue.
+            4_000,
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut drained_txs = 0u64;
+        while drained_txs < 40 && Instant::now() < deadline {
+            for sealed in plane.queue.take_sealed(16) {
+                assert_eq!(sealed.digest, batch_digest(&sealed.bytes));
+                assert!(sealed.bytes.len() <= 1_800);
+                assert_eq!(sealed.queue_us.len() as u64, sealed.tx_count);
+                // The assembler already made its own batch resolvable.
+                assert!(plane.store.contains(&sealed.digest));
+                let r = sealed.batch_ref();
+                assert_eq!(r.bytes, sealed.bytes.len() as u64);
+                drained_txs += sealed.tx_count;
+                plane.queue.push_proposable(crate::dissem::ProposableBatch {
+                    batch: r,
+                    tx_count: sealed.tx_count,
+                    sealed_at_us: sealed.sealed_at_us,
+                    queue_us: sealed.queue_us.clone(),
+                });
+            }
+            // Proposal side keeps draining, so the backlog cap lifts.
+            let _ = plane.queue.drain_proposable(usize::MAX, u64::MAX);
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(drained_txs, 40, "assembler never sealed all txs");
+        assert!(assembler.batches_assembled() >= 5);
+        assert!(pool.in_flight_batches() >= 1, "sealed batches must be pinned");
+        // Every drained tx is pinned: resubmission dedups even though the
+        // batches are uncommitted.
+        for tx in &resubmit {
+            assert_eq!(pool.submit(tx.clone()), Err(crate::pool::SubmitError::Duplicate));
+        }
     }
 
     /// The effective target grows linearly with backlog and saturates at

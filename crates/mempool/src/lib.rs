@@ -23,6 +23,12 @@
 //!   payload source is then a single lock-and-take: proposal assembly on
 //!   the driver never hashes payload bytes (asserted end to end by the
 //!   runtime's `driver.payload_hashes == 0` counter).
+//! * [`dissem`] — the node-local state of the **batch dissemination
+//!   plane** for digest-only proposals: a content-addressed
+//!   [`BatchStore`] (readers insert pushed/fetched batches, the driver
+//!   gates votes and resolves commits), the assembler→driver
+//!   [`DissemQueue`] whose two stages make push-before-propose structural,
+//!   and the `dissem.*` counters.
 //!
 //! The crate is std-only, like the rest of the workspace.
 
@@ -31,11 +37,16 @@
 
 pub mod assembler;
 pub mod batch;
+pub mod dissem;
 pub mod pool;
 
 pub use assembler::{AssemblerConfig, BatchAssembler, PreparedPayload, PreparedSlot};
 pub use batch::{
     batch_txs, encode_batch, make_tx, tx_client_id, tx_timestamp_us, BATCH_TX_OVERHEAD,
     TX_TIMESTAMP_BYTES,
+};
+pub use dissem::{
+    batch_digest, BatchStore, DissemCounters, DissemPlane, DissemQueue, DissemStats,
+    ProposableBatch, SealedBatch,
 };
 pub use pool::{Mempool, MempoolConfig, MempoolCounters, SubmitError, Tx};

@@ -205,6 +205,25 @@ struct Shard {
     bytes: usize,
     seen: HashSet<Digest>,
     seen_order: VecDeque<Digest>,
+    /// Digests of transactions inside sealed-but-uncommitted batches
+    /// ([`Mempool::pin_batch`]). Unlike `seen`, this set is not a rolling
+    /// window — entries stay until their batch commits (or the in-flight
+    /// cap evicts the whole batch), so a replay cannot ride a busy period
+    /// that rolled the seen window past the original.
+    pinned: HashSet<Digest>,
+}
+
+/// Hard cap on tracked in-flight batches: past this the oldest batch's
+/// pins are dropped (it is almost certainly committed or abandoned — the
+/// pipeline holds only a handful of uncommitted batches at a time).
+const MAX_IN_FLIGHT_BATCHES: usize = 4096;
+
+/// Sealed-but-uncommitted batch pins, keyed by batch digest so the driver
+/// can release a whole batch at commit time.
+#[derive(Debug, Default)]
+struct InFlightBatches {
+    by_batch: HashMap<Digest, Vec<Digest>>,
+    order: VecDeque<Digest>,
 }
 
 /// Drain-rate feedback state, written by [`Mempool::note_commit`] (driver
@@ -247,6 +266,10 @@ pub struct Mempool {
     batch_target: AtomicU64,
     /// Batches the assembler sealed above its base byte target.
     batches_grown: AtomicU64,
+    /// Sealed-in-flight batch pins. Lock order: `in_flight` before any
+    /// shard lock (pin/release); the submit and drain paths take only
+    /// shard locks, so the order is acyclic.
+    in_flight: Mutex<InFlightBatches>,
 }
 
 impl Mempool {
@@ -274,6 +297,7 @@ impl Mempool {
             fair_visits: AtomicU64::new(0),
             batch_target: AtomicU64::new(0),
             batches_grown: AtomicU64::new(0),
+            in_flight: Mutex::new(InFlightBatches::default()),
         }
     }
 
@@ -319,7 +343,7 @@ impl Mempool {
         }
         let idx = self.shard_index(&tx.digest);
         let mut shard = self.shards[idx].lock().unwrap();
-        if shard.seen.contains(&tx.digest) {
+        if shard.seen.contains(&tx.digest) || shard.pinned.contains(&tx.digest) {
             self.deduped.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Duplicate);
         }
@@ -633,6 +657,53 @@ impl Mempool {
         self.batch_target.load(Ordering::Relaxed)
     }
 
+    /// Pins the transactions of a sealed batch against resubmission until
+    /// [`release_batch`](Mempool::release_batch). Called by the assembler
+    /// right after sealing: the per-shard `seen` window is a *rolling*
+    /// window, so under sustained load a transaction drained minutes ago
+    /// can roll out of it while its batch is still uncommitted — without
+    /// the pin, a client retry would land the same digest in a second
+    /// batch. Idempotent per batch digest; past
+    /// [`MAX_IN_FLIGHT_BATCHES`] the oldest batch's pins are evicted.
+    pub fn pin_batch(&self, batch: Digest, txs: &[Digest]) {
+        let mut in_flight = self.in_flight.lock().unwrap();
+        if in_flight.by_batch.contains_key(&batch) {
+            return;
+        }
+        for d in txs {
+            self.shards[self.shard_index(d)].lock().unwrap().pinned.insert(*d);
+        }
+        in_flight.by_batch.insert(batch, txs.to_vec());
+        in_flight.order.push_back(batch);
+        if in_flight.order.len() > MAX_IN_FLIGHT_BATCHES {
+            if let Some(old) = in_flight.order.pop_front() {
+                if let Some(old_txs) = in_flight.by_batch.remove(&old) {
+                    for d in &old_txs {
+                        self.shards[self.shard_index(d)].lock().unwrap().pinned.remove(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases a batch's pins once it committed (driver commit feedback).
+    /// Unknown digests (another node's batch, an already-evicted pin) are
+    /// a no-op.
+    pub fn release_batch(&self, batch: &Digest) {
+        let mut in_flight = self.in_flight.lock().unwrap();
+        if let Some(txs) = in_flight.by_batch.remove(batch) {
+            in_flight.order.retain(|d| d != batch);
+            for d in &txs {
+                self.shards[self.shard_index(d)].lock().unwrap().pinned.remove(d);
+            }
+        }
+    }
+
+    /// Batches currently pinned as sealed-in-flight.
+    pub fn in_flight_batches(&self) -> usize {
+        self.in_flight.lock().unwrap().by_batch.len()
+    }
+
     /// Marks one batch sealed above its base byte target.
     pub fn note_batch_grown(&self) {
         self.batches_grown.fetch_add(1, Ordering::Relaxed);
@@ -703,6 +774,58 @@ mod tests {
         // replay while the original is in flight must not be re-admitted.
         assert_eq!(pool.submit(tx_bytes(7, 64)), Err(SubmitError::Duplicate));
         assert_identity(&pool);
+    }
+
+    /// The sealed-in-flight pin closes the dedup hole the rolling seen
+    /// window leaves: even after the window rolls past a drained digest,
+    /// a resubmission is rejected until the batch is released — and only
+    /// then re-admitted.
+    #[test]
+    fn in_flight_pin_outlives_the_seen_window() {
+        let cfg = MempoolConfig {
+            shards: 1,
+            dedup_window: 4, // tiny window so it rolls immediately
+            delay_target_multiple: 0,
+            ..MempoolConfig::default()
+        };
+        let pool = Mempool::new(cfg);
+        pool.submit(tx_bytes(7, 64)).unwrap();
+        let drained = pool.drain_for_batch(1 << 20);
+        assert_eq!(drained.len(), 1);
+        let batch = Digest::hash(b"batch-7");
+        let tx_digests: Vec<Digest> = drained.iter().map(|t| t.digest).collect();
+        pool.pin_batch(batch, &tx_digests);
+        assert_eq!(pool.in_flight_batches(), 1);
+        // Roll the seen window far past the drained digest.
+        for i in 100..110u64 {
+            pool.submit(tx_bytes(i, 64)).unwrap();
+        }
+        // Window no longer remembers it, but the pin does.
+        assert_eq!(pool.submit(tx_bytes(7, 64)), Err(SubmitError::Duplicate));
+        assert!(pool.counters().deduped >= 1);
+        // Commit releases the pin; the digest is admissible again (the
+        // committed-dedup problem is out of scope for the pool).
+        pool.release_batch(&batch);
+        assert_eq!(pool.in_flight_batches(), 0);
+        assert_eq!(pool.submit(tx_bytes(7, 64)), Ok(()));
+        assert_identity(&pool);
+    }
+
+    /// The in-flight cap evicts the oldest batch's pins instead of
+    /// leaking them forever when releases are lost.
+    #[test]
+    fn in_flight_cap_evicts_oldest_pins() {
+        let cfg =
+            MempoolConfig { shards: 1, delay_target_multiple: 0, ..MempoolConfig::default() };
+        let pool = Mempool::new(cfg);
+        let tx = Tx::new(tx_bytes(42, 64));
+        pool.pin_batch(Digest::hash(b"first"), &[tx.digest]);
+        for i in 0..MAX_IN_FLIGHT_BATCHES as u64 {
+            pool.pin_batch(Digest::hash(&i.to_le_bytes()), &[]);
+        }
+        assert_eq!(pool.in_flight_batches(), MAX_IN_FLIGHT_BATCHES);
+        // The first batch was evicted, so its tx is admissible again.
+        assert_eq!(pool.submit(tx_bytes(42, 64)), Ok(()));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!         [--protocol sm|pm|cm|jolteon]   # default: all four
 //!         [--verify both|reader|inline|off]   # default: both
 //!         [--load <batch-bytes>] [--tx-bytes 180] [--tx-rate 0]
+//!         [--clients 1] [--digest] [--drop-push-to <id>]
 //!         [--payload-sweep]
 //!         [--mixed-load] [--paced-clients 3] [--paced-rate 500]
 //!         [--out-dir results] [--min-commits 0] [--bench-json <path>]
@@ -28,6 +29,17 @@
 //! sockets: one loaded run per batch size in {1.8 kB, 18 kB, 180 kB}
 //! (Pipelined Moonshot, reader verification unless `--protocol`/`--verify`
 //! narrow it), recording genuine `throughput_bps` per size.
+//!
+//! `--digest` switches every loaded run to **digest-only dissemination**:
+//! batch bytes are pushed to peers on a dedicated plane before the leader
+//! proposes 40-byte refs, voters gate on local resolvability with a fetch
+//! fallback, and the output rows gain `dissem_batches_pushed`,
+//! `dissem_fetches`, `dissem_fetches_served`, `dissem_votes_gated`, and
+//! `batches_available_checked` (how many per-commit per-ref availability
+//! checks the invariant checker ran — a digest run fails if it is 0).
+//! `--drop-push-to <id>` additionally starves one node of every
+//! `BatchPush` so the fetch path must cover it — the fault-injection cell
+//! of the dissemination plane.
 //!
 //! `--mixed-load` appends the bufferbloat fairness scenario: for each
 //! loaded batch size (the sweep sizes, or `--load`'s, or 18 kB) it runs a
@@ -196,8 +208,36 @@ fn main() -> ExitCode {
     let min_commits: u64 = flag(&args, "--min-commits").and_then(|v| v.parse().ok()).unwrap_or(0);
     let tx_bytes: usize = flag(&args, "--tx-bytes").and_then(|v| v.parse().ok()).unwrap_or(180);
     let tx_rate: u64 = flag(&args, "--tx-rate").and_then(|v| v.parse().ok()).unwrap_or(0);
+    // One saturating in-process generator tops out near 10 MB/s of 1.8 kB
+    // transactions; past that the *client* is the benchmark's bottleneck,
+    // not the cluster. `--clients` fans submission out over several
+    // generator threads (ids 0..n), all shaped by --tx-bytes/--tx-rate.
+    let gen_clients: u32 = flag(&args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(1);
     let load_batch: Option<usize> = flag(&args, "--load").and_then(|v| v.parse().ok());
     let sweep = has_flag(&args, "--payload-sweep");
+    let digest = has_flag(&args, "--digest");
+    if digest && load_batch.is_none() && !sweep {
+        eprintln!("error: --digest needs a loaded run (--load <batch-bytes> or --payload-sweep)");
+        return ExitCode::from(2);
+    }
+    let drop_push_to: Option<u16> = match flag(&args, "--drop-push-to") {
+        Some(v) => match v.parse::<u16>() {
+            Ok(id) if digest && (id as usize) < n => Some(id),
+            Ok(id) if !digest => {
+                eprintln!("error: --drop-push-to {id} only makes sense with --digest");
+                return ExitCode::from(2);
+            }
+            Ok(id) => {
+                eprintln!("error: --drop-push-to {id} must be in 0..{n}");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("error: bad --drop-push-to: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let mixed_load = has_flag(&args, "--mixed-load");
     let paced_clients: u32 =
         flag(&args, "--paced-clients").and_then(|v| v.parse().ok()).unwrap_or(3);
@@ -251,10 +291,14 @@ fn main() -> ExitCode {
         // `LoadSpec::new` ships one saturating client 0; `--tx-bytes` /
         // `--tx-rate` reshape it without changing the client set.
         let mut l = LoadSpec::new(batch_bytes);
-        for c in &mut l.clients {
-            c.tx_bytes = tx_bytes;
-            c.txs_per_sec = tx_rate;
-        }
+        l.digest = digest;
+        l.clients = (0..gen_clients.max(1))
+            .map(|id| moonshot_node::TxClientConfig {
+                client_id: id,
+                tx_bytes,
+                txs_per_sec: tx_rate,
+            })
+            .collect();
         l
     };
     let mut plans: Vec<RunPlan> = if sweep {
@@ -306,7 +350,10 @@ fn main() -> ExitCode {
                 protocol,
                 verify,
                 payload_bytes: size as u64,
-                load: Some(LoadSpec::paced_only(size, paced_clients, paced_rate, tx_bytes)),
+                load: Some(LoadSpec {
+                    digest,
+                    ..LoadSpec::paced_only(size, paced_clients, paced_rate, tx_bytes)
+                }),
                 scenario: Scenario::PacedOnly,
                 baseline: None,
             });
@@ -314,7 +361,10 @@ fn main() -> ExitCode {
                 protocol,
                 verify,
                 payload_bytes: size as u64,
-                load: Some(LoadSpec::mixed(size, paced_clients, paced_rate, tx_bytes)),
+                load: Some(LoadSpec {
+                    digest,
+                    ..LoadSpec::mixed(size, paced_clients, paced_rate, tx_bytes)
+                }),
                 scenario: Scenario::Mixed,
                 baseline: Some(plans.len() - 1),
             });
@@ -352,6 +402,7 @@ fn main() -> ExitCode {
         spec.payload_bytes = *payload_bytes;
         spec.verify = *verify;
         spec.load = load.clone();
+        spec.drop_push_to = drop_push_to.map(moonshot_types::NodeId);
         // Each run gets its own data subdir: ledger state must not leak
         // across the protocol × verify grid.
         spec.data_dir = data_dir.as_ref().map(|d| d.join(&label));
@@ -457,20 +508,24 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("warning: cannot write {trace_path}: {e}"),
         }
 
-        let violations = match report.check_invariants() {
+        let (violations, batches_available_checked) = match report.check_invariants() {
             Ok(summary) => {
                 eprintln!(
-                    "  invariants ok: {} commits over {} heights ({} records)",
-                    summary.commits, summary.committed_heights, summary.records
+                    "  invariants ok: {} commits over {} heights ({} records, \
+                     {} batch availability checks)",
+                    summary.commits,
+                    summary.committed_heights,
+                    summary.records,
+                    summary.batches_available_checked
                 );
-                0
+                (0, summary.batches_available_checked)
             }
             Err(violations) => {
                 for v in &violations {
                     eprintln!("  INVARIANT VIOLATION: {v:?}");
                 }
                 failed = true;
-                violations.len() as u64
+                (violations.len() as u64, 0)
             }
         };
 
@@ -505,6 +560,7 @@ fn main() -> ExitCode {
         // `resync_blocks` is what the recovered node still owed the network
         // (cluster quorum height at restart minus its recovered height).
         let ledger_wal_records = sum_metric("ledger.wal_records");
+        let ledger_wal_bytes = sum_metric("ledger.wal_bytes");
         let restart_resync_blocks: u64 = report.restarts.iter().map(|r| r.resync_blocks).sum();
         for r in &report.restarts {
             eprintln!(
@@ -642,6 +698,41 @@ fn main() -> ExitCode {
             // within 50× of consensus commit latency (floor 50 ms for
             // very fast clusters). Pre-fix, saturation put tx p99 three
             // orders of magnitude above commit p99.
+            // Digest-mode gates: the dissemination plane must actually
+            // have carried the run (batches pushed, availability rule
+            // exercised at every commit, every tx committed exactly once),
+            // and the drop-push fault cell must show fetch traffic.
+            if l.digest {
+                let pushed = sum_metric("dissem.batches_pushed");
+                let fetches = sum_metric("dissem.fetches");
+                let served = sum_metric("dissem.fetches_served");
+                let gated = sum_metric("dissem.votes_gated");
+                eprintln!(
+                    "  dissem: {pushed} batches pushed, {gated} votes gated, \
+                     {fetches} fetches ({served} served), \
+                     {batches_available_checked} availability checks"
+                );
+                if pushed == 0 {
+                    eprintln!("  FAIL: digest run pushed no batches");
+                    failed = true;
+                }
+                if batches_available_checked == 0 && violations == 0 {
+                    eprintln!("  FAIL: digest run ran no committed-batch availability checks");
+                    failed = true;
+                }
+                let dups = report.duplicate_committed_txs();
+                if dups > 0 {
+                    eprintln!("  FAIL: {dups} transactions committed more than once");
+                    failed = true;
+                }
+                if drop_push_to.is_some() && (fetches == 0 || served == 0) {
+                    eprintln!(
+                        "  FAIL: --drop-push-to run shows no fetch traffic \
+                         ({fetches} fetches, {served} served)"
+                    );
+                    failed = true;
+                }
+            }
             let saturating = !l.clients.is_empty() && l.clients.iter().any(|c| c.txs_per_sec == 0);
             if saturating && txs_committed > 0 {
                 let bound = (50.0 * p99_ms).max(50.0);
@@ -696,8 +787,18 @@ fn main() -> ExitCode {
         o.field_u64("mempool_fair_visits", fair_visits);
         o.field_u64("mempool_batches_grown", batches_grown);
         o.field_u64("driver_payload_hashes", payload_hashes);
+        if load.as_ref().is_some_and(|l| l.digest) {
+            o.field_u64("dissem_batches_pushed", sum_metric("dissem.batches_pushed"));
+            o.field_u64("dissem_batch_bytes_pushed", sum_metric("dissem.batch_bytes_pushed"));
+            o.field_u64("dissem_votes_gated", sum_metric("dissem.votes_gated"));
+            o.field_u64("dissem_fetches", sum_metric("dissem.fetches"));
+            o.field_u64("dissem_fetches_served", sum_metric("dissem.fetches_served"));
+            o.field_u64("dissem_digest_mismatches", sum_metric("dissem.digest_mismatches"));
+            o.field_u64("batches_available_checked", batches_available_checked);
+        }
         if data_dir.is_some() {
             o.field_u64("ledger_wal_records", ledger_wal_records);
+            o.field_u64("ledger_wal_bytes", ledger_wal_bytes);
             o.field_u64("restart_resync_blocks", restart_resync_blocks);
         }
         o.field_u64("invariant_violations", violations);

@@ -16,7 +16,7 @@
 //! the call boundary — identical events to the simulator's, so the
 //! trace-driven invariant checker works on cluster runs unchanged.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -24,15 +24,19 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use moonshot_consensus::{CommittedBlock, ConsensusProtocol, Output, PreVerified, ProtocolObserver};
-use moonshot_crypto::VerifiedCache;
+use moonshot_consensus::{
+    BatchFetchPlan, BatchFetcher, CommittedBlock, ConsensusProtocol, Message, Output, PreVerified,
+    ProtocolObserver, TimerToken,
+};
+use moonshot_crypto::{Digest, VerifiedCache};
 use moonshot_ledger::Ledger;
+use moonshot_mempool::{DissemPlane, ProposableBatch};
 use moonshot_telemetry::{
     MetricsRegistry, TraceEvent, TraceRecord, TraceSink, STAGE_BUCKETS, STAGE_BUCKET_WIDTH_US,
 };
 use moonshot_types::time::{SimDuration, SimTime};
 use moonshot_types::{BlockId, NodeId, View};
-use moonshot_wire::encode_message;
+use moonshot_wire::{encode_frame, encode_message, Frame};
 
 use crate::introspect::{IntrospectServer, IntrospectState};
 use crate::timer::TimerWheel;
@@ -59,6 +63,15 @@ const LIVE_REFRESH: Duration = Duration::from_millis(200);
 /// Stage-map entries above which the tracker resets — a leak guard for
 /// blocks that never commit (e.g. equivocation garbage under faults).
 const STAGE_MAP_LIMIT: usize = 16_384;
+
+/// Most sealed batches pushed to peers per driver iteration. Bounds one
+/// iteration's broadcast work; the rest push next iteration (sub-ms away).
+const PUSH_LIMIT: usize = 64;
+
+/// Most messages parked while their batch refs resolve. Past it the oldest
+/// is dropped — the protocol's own sync machinery (certificates + the block
+/// fetcher) re-delivers anything that mattered.
+const GATED_LIMIT: usize = 1024;
 
 /// What the driver thread hands back when it stops.
 #[derive(Debug)]
@@ -214,6 +227,9 @@ impl NodeHandle {
         let mempool = cfg.mempool.clone();
         let introspect_addr = cfg.introspect;
         let stall_timeout = cfg.stall_timeout;
+        let dissem = cfg.dissem.clone();
+        let drop_push_to = cfg.drop_batch_push_to;
+        let batch_fetcher = BatchFetcher::new(node, cfg.peers.len().max(1), cfg.batch_fetch_retry);
         let (raw_tx, rx) = mpsc::channel::<Inbound>();
         let tx = InboundSender::new(raw_tx);
         let transport = match listener {
@@ -278,6 +294,11 @@ impl NodeHandle {
                         committed_height,
                         cache,
                         mempool,
+                        dissem,
+                        drop_push_to,
+                        batch_fetcher,
+                        gated: VecDeque::new(),
+                        gated_dropped: 0,
                         ledger,
                         ledger_writer,
                         stall_timeout,
@@ -348,6 +369,17 @@ impl NodeHandle {
     }
 }
 
+/// A message the vote gate parked: it references batches the local store
+/// cannot resolve yet, so handing it to the protocol now would either vote
+/// blind or reject a valid proposal.
+struct GatedMessage {
+    from: NodeId,
+    msg: Message,
+    verified: bool,
+    /// Refs still unresolved; delivery happens when this drains empty.
+    missing: HashSet<Digest>,
+}
+
 struct Driver {
     node: NodeId,
     transport: Transport,
@@ -365,6 +397,19 @@ struct Driver {
     /// The node's mempool (if the data path is wired up), so its admission
     /// counters land in the final report.
     mempool: Option<Arc<moonshot_mempool::Mempool>>,
+    /// The dissemination plane in digest-only mode (`None` = full-payload
+    /// proposals, every batch hook below is a no-op).
+    dissem: Option<Arc<DissemPlane>>,
+    /// Fault-injection knob: peer skipped by `BatchPush` broadcasts, so
+    /// tests can force its fetch fallback to cover.
+    drop_push_to: Option<NodeId>,
+    /// Outstanding batch fetches for the vote gate's fallback path.
+    batch_fetcher: BatchFetcher,
+    /// Proposals / synced blocks parked until every batch ref they carry
+    /// resolves in the local store.
+    gated: VecDeque<GatedMessage>,
+    /// Gated messages evicted by [`GATED_LIMIT`].
+    gated_dropped: u64,
     /// The durable ledger, for metrics publication.
     ledger: Option<Arc<Ledger>>,
     /// Channel + thread that append committed blocks to the ledger off the
@@ -413,10 +458,23 @@ fn run_driver(
         for token in driver.wheel.expire(now) {
             driver.timers_fired += 1;
             let t = driver.now();
+            if token == TimerToken::BatchFetchTimer {
+                // Dissemination-plane timer: handled entirely by the
+                // driver, never by the protocol.
+                let plan = driver.batch_fetcher.on_timer(t);
+                driver.execute_fetch_plan(plan, t);
+                continue;
+            }
             driver.observer.on_timer_fired(token, t, &mut driver.sink);
             let outputs = protocol.handle_timer(token, t);
             driver.process(protocol, outputs, t);
         }
+
+        // Dissemination plane, in digest mode: broadcast freshly sealed
+        // batches (before they can be proposed — push-before-propose), then
+        // drain the store's arrival log to release gated votes.
+        driver.push_batches();
+        driver.drain_stored(protocol);
 
         driver.check_stall(protocol);
         driver.publish_status(protocol);
@@ -552,6 +610,24 @@ impl Driver {
         if let Some(ledger) = &self.ledger {
             ledger.publish_into(&mut live);
         }
+        if let Some(plane) = &self.dissem {
+            let s = plane.counters.stats();
+            live.set_counter("dissem.batches_pushed", s.batches_pushed);
+            live.set_counter("dissem.batch_bytes_pushed", s.batch_bytes_pushed);
+            live.set_counter("dissem.batches_stored", s.batches_stored);
+            live.set_counter("dissem.digest_mismatches", s.digest_mismatches);
+            live.set_counter("dissem.fetches", s.fetches);
+            live.set_counter("dissem.fetches_served", s.fetches_served);
+            live.set_counter("dissem.fetches_missed", s.fetches_missed);
+            live.set_counter("dissem.votes_gated", s.votes_gated);
+            live.set_counter("dissem.evicted", s.evicted);
+            live.set_counter("dissem.gated_dropped", self.gated_dropped);
+            live.set_gauge("dissem.store_batches", plane.store.len() as f64);
+            live.set_gauge("dissem.store_bytes", plane.store.bytes() as f64);
+            live.set_gauge("dissem.backlog_bytes", plane.queue.backlog_bytes() as f64);
+            live.set_gauge("dissem.gated", self.gated.len() as f64);
+            live.set_gauge("dissem.fetch_outstanding", self.batch_fetcher.outstanding() as f64);
+        }
         if let Some(pool) = &mempool {
             let c = pool.counters();
             live.set_counter("mempool.submitted", c.submitted);
@@ -579,11 +655,44 @@ impl Driver {
         self.transport.snapshot_metrics(&mut live);
     }
 
-    /// Feeds one inbound message to the protocol. Messages the transport
-    /// already verified go through `handle_preverified` — the driver thread
-    /// itself performs no signature checks for them.
+    /// Feeds one inbound message toward the protocol. In digest mode a
+    /// proposal (or synced block) whose batch refs the local store cannot
+    /// resolve is *gated*: parked until the refs arrive (normally the
+    /// in-flight `BatchPush`, else the fetch fallback kicked off here) so
+    /// the protocol never votes for data this node could not re-serve.
     fn dispatch(&mut self, protocol: &mut dyn ConsensusProtocol, inbound: Inbound) {
         let Inbound { from, msg, verified } = inbound;
+        if let Some(missing) = self.unresolved_refs(&msg) {
+            let t = self.now();
+            if let Some(plane) = &self.dissem {
+                plane.counters.votes_gated.fetch_add(1, Ordering::Relaxed);
+            }
+            // The sender certainly holds the bytes (it proposed or voted
+            // for them), so it is the first fetch hint.
+            for d in &missing {
+                let plan = self.batch_fetcher.request(*d, [from], t);
+                self.execute_fetch_plan(plan, t);
+            }
+            if self.gated.len() >= GATED_LIMIT {
+                self.gated.pop_front();
+                self.gated_dropped += 1;
+            }
+            self.gated.push_back(GatedMessage { from, msg, verified, missing });
+            return;
+        }
+        self.deliver(protocol, from, msg, verified);
+    }
+
+    /// Hands one message to the protocol. Messages the transport already
+    /// verified go through `handle_preverified` — the driver thread itself
+    /// performs no signature checks for them.
+    fn deliver(
+        &mut self,
+        protocol: &mut dyn ConsensusProtocol,
+        from: NodeId,
+        msg: Message,
+        verified: bool,
+    ) {
         self.messages_handled += 1;
         let t = self.now();
         self.observer.on_message_received(from, &msg, t, &mut self.sink);
@@ -594,6 +703,105 @@ impl Driver {
             protocol.handle_message(from, msg, t)
         };
         self.process(protocol, outputs, t);
+    }
+
+    /// The batch refs in `msg` the local store cannot resolve, or `None`
+    /// when the message carries none (or everything resolves, or the node
+    /// is not in digest mode). `CompactPropose` carries no block — its
+    /// payload was gated with the view's optimistic proposal.
+    fn unresolved_refs(&self, msg: &Message) -> Option<HashSet<Digest>> {
+        let plane = self.dissem.as_ref()?;
+        let block = match msg {
+            Message::OptPropose { block, .. }
+            | Message::Propose { block, .. }
+            | Message::FbPropose { block, .. }
+            | Message::BlockResponse { block } => block,
+            _ => return None,
+        };
+        let refs = block.payload().batch_refs()?;
+        let missing: HashSet<Digest> =
+            refs.iter().filter(|r| !plane.store.contains(&r.digest)).map(|r| r.digest).collect();
+        if missing.is_empty() {
+            None
+        } else {
+            Some(missing)
+        }
+    }
+
+    /// Sends the `BatchRequest` frames a fetcher plan asks for and arms its
+    /// retry timer.
+    fn execute_fetch_plan(&mut self, plan: BatchFetchPlan, t: SimTime) {
+        if plan.is_empty() {
+            return;
+        }
+        if let Some(plane) = &self.dissem {
+            for (to, digest) in &plan.requests {
+                plane.counters.fetches.fetch_add(1, Ordering::Relaxed);
+                self.transport.send(*to, Arc::new(encode_frame(&Frame::BatchRequest {
+                    digest: *digest,
+                })));
+            }
+        }
+        if let Some(after) = plan.rearm {
+            self.wheel.arm(t + after, TimerToken::BatchFetchTimer);
+        }
+    }
+
+    /// Broadcasts freshly sealed batches as `BatchPush` frames, then stages
+    /// them proposable. The ordering is the push-before-propose guarantee:
+    /// a ref can only enter a proposal after its bytes sit in every peer's
+    /// send queue, and per-peer TCP FIFO keeps the push ahead of the
+    /// proposal on the wire.
+    fn push_batches(&mut self) {
+        let Some(plane) = self.dissem.clone() else { return };
+        for b in plane.queue.take_sealed(PUSH_LIMIT) {
+            let frame = Arc::new(encode_frame(&Frame::BatchPush {
+                digest: b.digest,
+                bytes: b.bytes.clone(),
+            }));
+            self.transport.broadcast_except(frame, self.drop_push_to);
+            plane.counters.batches_pushed.fetch_add(1, Ordering::Relaxed);
+            plane.counters.batch_bytes_pushed.fetch_add(b.bytes.len() as u64, Ordering::Relaxed);
+            // The assembler already inserted the bytes into the local store
+            // at seal time, so our own refs resolve without a loopback.
+            plane.queue.push_proposable(ProposableBatch {
+                batch: b.batch_ref(),
+                tx_count: b.tx_count,
+                sealed_at_us: b.sealed_at_us,
+                queue_us: b.queue_us,
+            });
+        }
+    }
+
+    /// Drains the store's arrival log: records `BatchStored` trace events,
+    /// settles outstanding fetches, and delivers any gated message whose
+    /// missing set drained empty.
+    fn drain_stored(&mut self, protocol: &mut dyn ConsensusProtocol) {
+        let Some(plane) = self.dissem.clone() else { return };
+        let stored = plane.store.take_stored();
+        if stored.is_empty() {
+            return;
+        }
+        let t = self.now();
+        for d in &stored {
+            self.batch_fetcher.fulfilled(d);
+            self.sink.record(TraceRecord {
+                at: t,
+                event: TraceEvent::BatchStored { node: self.node, batch: *d },
+            });
+        }
+        let mut i = 0;
+        while i < self.gated.len() {
+            for d in &stored {
+                self.gated[i].missing.remove(d);
+            }
+            if self.gated[i].missing.is_empty() {
+                let g = self.gated.remove(i).expect("index bounded by len");
+                self.deliver(protocol, g.from, g.msg, g.verified);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     fn process(&mut self, protocol: &mut dyn ConsensusProtocol, outputs: Vec<Output>, t: SimTime) {
@@ -621,6 +829,20 @@ impl Driver {
                             txs += 1;
                             bytes += tx.len() as u64;
                         }
+                    } else if let (Some(refs), Some(plane)) =
+                        (c.block.payload().batch_refs(), &self.dissem)
+                    {
+                        // Digest mode: reconstruct our committed batches
+                        // from the store — a lookup plus a length-prefix
+                        // walk, never a hash.
+                        for r in refs {
+                            if let Some(data) = plane.store.get(&r.digest) {
+                                for tx in moonshot_mempool::batch_txs(&data) {
+                                    txs += 1;
+                                    bytes += tx.len() as u64;
+                                }
+                            }
+                        }
                     }
                 }
                 pool.note_commit(ours, txs, bytes, latency, t.0);
@@ -635,6 +857,11 @@ impl Driver {
                         // verified.
                         let _ =
                             self.loopback.send(Inbound { from: self.node, msg, verified: true });
+                    } else if matches!(msg, Message::BlockResponse { .. }) {
+                        // Sync responses ride the protected queue class:
+                        // dropping one under drop-oldest pressure would
+                        // starve the exact node whose progress blocks on it.
+                        self.transport.send_priority(to, Arc::new(encode_message(&msg)));
                     } else {
                         self.transport.send(to, Arc::new(encode_message(&msg)));
                     }
@@ -649,6 +876,40 @@ impl Driver {
                     self.wheel.arm(t + after, token);
                 }
                 Output::Commit(c) => {
+                    // Commit-time availability audit: one `BatchCommitted`
+                    // record per ref, carrying whether this node's store
+                    // resolved it. The committed-batch-availability
+                    // invariant fails the run on any `resolved: false` —
+                    // an honest node committed data it cannot materialise.
+                    if let Some(refs) = c.block.payload().batch_refs() {
+                        if let Some(plane) = self.dissem.clone() {
+                            for r in refs {
+                                let resolved = plane.store.contains(&r.digest);
+                                self.sink.record(TraceRecord {
+                                    at: t,
+                                    event: TraceEvent::BatchCommitted {
+                                        node: self.node,
+                                        batch: r.digest,
+                                        resolved,
+                                    },
+                                });
+                            }
+                        }
+                        // Commitment unpins the batches' transactions (only
+                        // our own seals are pinned here; foreign digests
+                        // no-op).
+                        if let Some(pool) = &self.mempool {
+                            for r in refs {
+                                pool.release_batch(&r.digest);
+                            }
+                        }
+                    } else if let Some(pool) = &self.mempool {
+                        if c.block.payload().data_bytes().is_some() {
+                            // Full-payload mode pins under the payload
+                            // digest (cached — no hashing here).
+                            pool.release_batch(&c.block.payload().digest());
+                        }
+                    }
                     if let Some((tx, _)) = &self.ledger_writer {
                         let _ = tx.send(c.block.clone());
                     }

@@ -28,8 +28,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use moonshot_consensus::{Message, MessageVerifier};
-use moonshot_mempool::Mempool;
+use moonshot_consensus::{Message, MessageVerifier, RetryPolicy};
+use moonshot_mempool::{batch_digest, DissemPlane, Mempool};
 use moonshot_telemetry::MetricsRegistry;
 use moonshot_types::NodeId;
 use moonshot_wire::{encode_frame, Frame, FrameReader};
@@ -125,6 +125,23 @@ pub struct TransportConfig {
     /// `TraceEvent::Stall` snapshot whenever this long passes without a
     /// commit. `None` disables the watchdog.
     pub stall_timeout: Option<Duration>,
+    /// When set, the node runs digest-only dissemination: reader threads
+    /// validate and store `BatchPush`/`BatchResponse` frames into the
+    /// plane's batch store and answer `BatchRequest` frames from it, and
+    /// the driver pushes sealed batches / gates votes through the same
+    /// plane. `None` = full-payload proposals, batch frames ignored.
+    pub dissem: Option<Arc<DissemPlane>>,
+    /// Outbound *bytes* of protected (sync-response) frames buffered per
+    /// peer before **drop-new** kicks in. Protected frames — `BlockResponse`
+    /// and `BatchResponse` — are never evicted by drop-oldest backpressure:
+    /// dropping one would starve the exact node whose vote is blocked on it.
+    pub protected_byte_capacity: usize,
+    /// Fault-injection knob (tests): skip this peer when the driver
+    /// broadcasts `BatchPush` frames, forcing its fetch path to cover.
+    pub drop_batch_push_to: Option<NodeId>,
+    /// Retry policy of the driver's batch fetcher (digest mode). Must be
+    /// resolved against the deployment's Δ ([`RetryPolicy::resolve`]).
+    pub batch_fetch_retry: RetryPolicy,
 }
 
 impl TransportConfig {
@@ -143,6 +160,11 @@ impl TransportConfig {
             mempool: None,
             introspect: None,
             stall_timeout: None,
+            dissem: None,
+            protected_byte_capacity: 32 * 1024 * 1024,
+            drop_batch_push_to: None,
+            batch_fetch_retry: RetryPolicy::auto()
+                .resolve(moonshot_types::time::SimDuration::from_millis(100)),
         }
     }
 
@@ -168,6 +190,11 @@ pub struct PeerMetrics {
     /// Outbound frames discarded by drop-oldest backpressure or lost on a
     /// failed write.
     pub dropped_frames: AtomicU64,
+    /// Protected (sync-response) frames refused because the protected byte
+    /// budget was full. Protected frames use drop-*new*: the queued
+    /// responses are older requests' answers and must not be evicted by a
+    /// fresh one — the requester's retry re-asks for whatever was refused.
+    pub protected_dropped: AtomicU64,
     /// Connections *re*-established after a previously working one failed.
     /// The initial dial — including retries while the remote listener is
     /// still binding at startup — never counts, so a clean run reports 0
@@ -189,24 +216,37 @@ struct OutboundQueue {
     signal: Condvar,
     capacity: usize,
     byte_capacity: usize,
+    /// Byte budget of the protected class ([`push_protected`]
+    /// (OutboundQueue::push_protected)); drop-new past it.
+    protected_byte_capacity: usize,
 }
 
 struct VecFrames {
     queue: std::collections::VecDeque<Arc<Vec<u8>>>,
     /// Running sum of queued frame lengths.
     bytes: usize,
+    /// The protected class: sync-response frames (`BlockResponse`,
+    /// `BatchResponse`). Served before `queue`, never evicted by
+    /// drop-oldest — a full protected budget refuses the *new* frame
+    /// instead (the requester's retry machinery re-asks).
+    protected: std::collections::VecDeque<Arc<Vec<u8>>>,
+    /// Running sum of protected frame lengths.
+    protected_bytes: usize,
 }
 
 impl OutboundQueue {
-    fn new(capacity: usize, byte_capacity: usize) -> Self {
+    fn new(capacity: usize, byte_capacity: usize, protected_byte_capacity: usize) -> Self {
         OutboundQueue {
             frames: Mutex::new(VecFrames {
                 queue: std::collections::VecDeque::new(),
                 bytes: 0,
+                protected: std::collections::VecDeque::new(),
+                protected_bytes: 0,
             }),
             signal: Condvar::new(),
             capacity: capacity.max(1),
             byte_capacity: byte_capacity.max(1),
+            protected_byte_capacity: protected_byte_capacity.max(1),
         }
     }
 
@@ -229,19 +269,44 @@ impl OutboundQueue {
         }
         inner.bytes += frame.len();
         inner.queue.push_back(frame);
-        let depth = inner.queue.len() as u64;
+        let depth = (inner.queue.len() + inner.protected.len()) as u64;
         drop(inner);
         self.signal.notify_one();
         (dropped, depth)
     }
 
-    /// Waits up to `wait` for a frame. Loops on the condvar until a frame
-    /// arrives or the deadline passes — a spurious wakeup (or a notify that
-    /// raced with another consumer) must not cut the wait short.
+    /// Enqueues a frame in the **protected** class. Protected frames are
+    /// written before anything in the normal queue and are never evicted by
+    /// [`push`](OutboundQueue::push)'s drop-oldest; when the protected byte
+    /// budget is full, the *new* frame is refused instead (drop-new) —
+    /// returns `false` and the caller counts it. The budget exists only to
+    /// bound a request flood; the requester's retry machinery re-asks.
+    fn push_protected(&self, frame: Arc<Vec<u8>>) -> bool {
+        let mut inner = self.frames.lock().unwrap();
+        if !inner.protected.is_empty()
+            && inner.protected_bytes + frame.len() > self.protected_byte_capacity
+        {
+            return false;
+        }
+        inner.protected_bytes += frame.len();
+        inner.protected.push_back(frame);
+        drop(inner);
+        self.signal.notify_one();
+        true
+    }
+
+    /// Waits up to `wait` for a frame, serving the protected class first.
+    /// Loops on the condvar until a frame arrives or the deadline passes —
+    /// a spurious wakeup (or a notify that raced with another consumer)
+    /// must not cut the wait short.
     fn pop(&self, wait: Duration) -> Option<Arc<Vec<u8>>> {
         let deadline = Instant::now() + wait;
         let mut inner = self.frames.lock().unwrap();
         loop {
+            if let Some(frame) = inner.protected.pop_front() {
+                inner.protected_bytes -= frame.len();
+                return Some(frame);
+            }
             if let Some(frame) = inner.queue.pop_front() {
                 inner.bytes -= frame.len();
                 return Some(frame);
@@ -256,12 +321,14 @@ impl OutboundQueue {
     }
 
     fn depth(&self) -> u64 {
-        self.frames.lock().unwrap().queue.len() as u64
+        let inner = self.frames.lock().unwrap();
+        (inner.queue.len() + inner.protected.len()) as u64
     }
 
-    /// Bytes currently buffered (tests and diagnostics).
+    /// Bytes currently buffered across both classes (tests, diagnostics).
     fn buffered_bytes(&self) -> usize {
-        self.frames.lock().unwrap().bytes
+        let inner = self.frames.lock().unwrap();
+        inner.bytes + inner.protected_bytes
     }
 }
 
@@ -326,10 +393,16 @@ impl Transport {
                     queue: Arc::new(OutboundQueue::new(
                         cfg.queue_capacity,
                         cfg.queue_byte_capacity,
+                        cfg.protected_byte_capacity,
                     )),
                 },
             );
         }
+        // Reader threads answer `BatchRequest` frames themselves (the
+        // driver never sees them), so they need each peer's outbound queue
+        // to push the `BatchResponse` into.
+        let queues: Arc<BTreeMap<NodeId, Arc<OutboundQueue>>> =
+            Arc::new(peers.iter().map(|(id, p)| (*id, p.queue.clone())).collect());
 
         let mut threads = Vec::new();
 
@@ -341,6 +414,8 @@ impl Transport {
             let metrics_map = peer_metrics.clone();
             let verifier = cfg.verifier.clone();
             let mempool = cfg.mempool.clone();
+            let dissem = cfg.dissem.clone();
+            let queues = queues.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("accept-{}", cfg.node_id))
@@ -353,6 +428,8 @@ impl Transport {
                             metrics_map,
                             verifier,
                             mempool,
+                            dissem,
+                            queues,
                         );
                     })
                     .expect("spawn acceptor"),
@@ -417,6 +494,39 @@ impl Transport {
         }
     }
 
+    /// Like [`broadcast`](Transport::broadcast), but skipping `except` —
+    /// the driver's `BatchPush` path under the drop-push fault knob.
+    pub fn broadcast_except(&self, frame: Arc<Vec<u8>>, except: Option<NodeId>) {
+        for (id, peer) in self.peers.iter() {
+            if Some(*id) == except {
+                continue;
+            }
+            let (dropped, depth) = peer.queue.push(frame.clone());
+            peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
+            peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
+            peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Queues `frame` for `to` in the **protected** class: served before
+    /// the normal queue and exempt from drop-oldest. For sync responses
+    /// (`BlockResponse`, `BatchResponse`) whose loss would wedge the
+    /// requester behind its own retry timeout.
+    pub fn send_priority(&self, to: NodeId, frame: Arc<Vec<u8>>) {
+        if let Some(peer) = self.peers.get(&to) {
+            if !peer.queue.push_protected(frame) {
+                peer.metrics.protected_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            peer.metrics.queue_depth.store(peer.queue.depth(), Ordering::Relaxed);
+            peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Every peer id this transport can send to (self excluded).
+    pub fn peer_ids(&self) -> Vec<NodeId> {
+        self.peers.keys().copied().collect()
+    }
+
     /// Snapshots per-peer and aggregate counters into `reg` under
     /// `net.peer<id>.*` and `net.total.*`. The atomics hold absolute
     /// totals, so the snapshot writes absolute values (`set_counter`)
@@ -454,6 +564,10 @@ impl Transport {
                 &format!("net.peer{}.verify_failures", id.0),
                 m.verify_failures.load(Ordering::Relaxed),
             );
+            reg.set_counter(
+                &format!("net.peer{}.protected_dropped", id.0),
+                m.protected_dropped.load(Ordering::Relaxed),
+            );
         }
         for (i, name) in
             ["bytes_out", "frames_out", "bytes_in", "frames_in", "dropped_frames", "reconnects"]
@@ -490,6 +604,7 @@ impl Transport {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one seam per transport subsystem
 fn accept_loop(
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -498,6 +613,8 @@ fn accept_loop(
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
     verifier: Option<Arc<MessageVerifier>>,
     mempool: Option<Arc<Mempool>>,
+    dissem: Option<Arc<DissemPlane>>,
+    queues: Arc<BTreeMap<NodeId, Arc<OutboundQueue>>>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -507,10 +624,14 @@ fn accept_loop(
                 let metrics = metrics.clone();
                 let verifier = verifier.clone();
                 let mempool = mempool.clone();
+                let dissem = dissem.clone();
+                let queues = queues.clone();
                 let handle = std::thread::Builder::new()
                     .name("read".into())
                     .spawn(move || {
-                        reader_loop(stream, shutdown, inbound, metrics, verifier, mempool)
+                        reader_loop(
+                            stream, shutdown, inbound, metrics, verifier, mempool, dissem, queues,
+                        )
                     })
                     .expect("spawn reader");
                 readers.lock().unwrap().push(handle);
@@ -521,6 +642,7 @@ fn accept_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one seam per transport subsystem
 fn reader_loop(
     stream: TcpStream,
     shutdown: Arc<AtomicBool>,
@@ -528,6 +650,8 @@ fn reader_loop(
     metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
     verifier: Option<Arc<MessageVerifier>>,
     mempool: Option<Arc<Mempool>>,
+    dissem: Option<Arc<DissemPlane>>,
+    queues: Arc<BTreeMap<NodeId, Arc<OutboundQueue>>>,
 ) {
     let mut stream = stream;
     let _ = stream.set_read_timeout(Some(POLL));
@@ -575,6 +699,47 @@ fn reader_loop(
                     // id feeds per-client fairness accounting in the pool.
                     if let Some(pool) = &mempool {
                         let _ = pool.submit_from(client, tx);
+                    }
+                }
+                // Dissemination plane. Handled entirely here on the reader
+                // thread: the digest is *recomputed* over the received
+                // bytes (hashing stays off the driver), a mismatch is
+                // counted and dropped like a verify failure, and fetch
+                // requests are answered straight from the store through
+                // the requester's protected outbound queue.
+                Ok(Some(Frame::BatchPush { digest, bytes }))
+                | Ok(Some(Frame::BatchResponse { digest, bytes })) => {
+                    let Some(plane) = &dissem else { continue };
+                    if from.is_none() {
+                        return; // batch frames before hello: protocol violation
+                    }
+                    if batch_digest(&bytes) != digest {
+                        plane.counters.digest_mismatches.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    plane.store.insert(digest, bytes);
+                }
+                Ok(Some(Frame::BatchRequest { digest })) => {
+                    let Some(plane) = &dissem else { continue };
+                    let Some(id) = from else {
+                        return; // fetches are a validator-only path
+                    };
+                    match plane.store.get(&digest) {
+                        Some(bytes) => {
+                            plane.counters.fetches_served.fetch_add(1, Ordering::Relaxed);
+                            let frame =
+                                Arc::new(encode_frame(&Frame::BatchResponse { digest, bytes }));
+                            if let Some(q) = queues.get(&id) {
+                                if !q.push_protected(frame) {
+                                    if let Some(m) = metrics.get(&id) {
+                                        m.protected_dropped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            plane.counters.fetches_missed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 Ok(Some(Frame::Consensus(msg))) => {
@@ -685,7 +850,7 @@ mod tests {
 
     #[test]
     fn queue_drops_oldest_when_full() {
-        let q = OutboundQueue::new(2, usize::MAX);
+        let q = OutboundQueue::new(2, usize::MAX, usize::MAX);
         let f = |b: u8| Arc::new(vec![b]);
         assert_eq!(q.push(f(1)).0, 0);
         assert_eq!(q.push(f(2)).0, 0);
@@ -702,7 +867,7 @@ mod tests {
         // budget must evict the oldest frames instead.
         const FRAME: usize = 1_800_000;
         const BUDGET: usize = 8 * 1024 * 1024;
-        let q = OutboundQueue::new(1024, BUDGET);
+        let q = OutboundQueue::new(1024, BUDGET, usize::MAX);
         let mut dropped_total = 0;
         for i in 0..100u8 {
             dropped_total += q.push(Arc::new(vec![i; FRAME])).0;
@@ -722,7 +887,7 @@ mod tests {
 
         // A frame larger than the whole byte budget is still queued (memory
         // bound = max(budget, one frame)).
-        let q = OutboundQueue::new(1024, 1024);
+        let q = OutboundQueue::new(1024, 1024, usize::MAX);
         q.push(Arc::new(vec![1; 4096]));
         assert_eq!(q.depth(), 1);
         let (dropped, depth) = q.push(Arc::new(vec![2; 8]));
@@ -732,7 +897,7 @@ mod tests {
 
     #[test]
     fn pop_survives_spurious_wakeups_until_deadline_or_frame() {
-        let q = Arc::new(OutboundQueue::new(4, usize::MAX));
+        let q = Arc::new(OutboundQueue::new(4, usize::MAX, usize::MAX));
         let q2 = q.clone();
         let waiter = std::thread::spawn(move || q2.pop(Duration::from_millis(500)));
         // A notify with an empty queue (indistinguishable from a spurious
@@ -748,6 +913,41 @@ mod tests {
         let start = Instant::now();
         assert!(q.pop(Duration::from_millis(50)).is_none());
         assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    /// Regression for the sync-response starvation bug: a flood of normal
+    /// frames used to evict queued `BlockResponse`/`BatchResponse` frames
+    /// via drop-oldest, wedging the requester behind its retry timeout.
+    /// Protected frames must survive any normal-class pressure, be served
+    /// first, and bound themselves with drop-*new* (never evicting an
+    /// already-promised response).
+    #[test]
+    fn protected_frames_survive_drop_oldest_and_pop_first() {
+        let q = OutboundQueue::new(2, 64, 10);
+
+        assert!(q.push_protected(Arc::new(vec![0xA; 4])));
+        // Flood the normal class far past both its budgets.
+        for i in 0..50u8 {
+            q.push(Arc::new(vec![i; 32]));
+        }
+        // The protected frame is untouched and is served before the
+        // (newer) normal frames.
+        assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 0xA);
+
+        // Protected overflow drops the NEW frame, not a queued response.
+        assert!(q.push_protected(Arc::new(vec![0xB; 8])));
+        assert!(!q.push_protected(Arc::new(vec![0xC; 8])), "over budget: must refuse new");
+        assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 0xB);
+        // A single response larger than the whole budget still goes through
+        // when the class is empty (memory bound = max(budget, one frame)).
+        assert!(q.push_protected(Arc::new(vec![0xD; 64])));
+        assert_eq!(q.pop(Duration::ZERO).unwrap()[0], 0xD);
+        // Normal frames are still there underneath, newest retained.
+        let mut last = 0;
+        while let Some(f) = q.pop(Duration::ZERO) {
+            last = f[0];
+        }
+        assert_eq!(last, 49);
     }
 
     #[test]

@@ -127,6 +127,28 @@ pub enum TraceEvent {
         /// Framed batch size in bytes.
         bytes: u64,
     },
+    /// A batch became locally resolvable on the dissemination plane — a
+    /// `BatchPush`, a fetched `BatchResponse`, or the node's own seal
+    /// landed in its `BatchStore`.
+    BatchStored {
+        /// The node whose store now resolves the batch.
+        node: NodeId,
+        /// The batch digest.
+        batch: BlockId,
+    },
+    /// One batch reference of a committed digest-only block was resolved
+    /// (or not) against the committing node's `BatchStore` at commit time.
+    /// The committed-batch-availability invariant requires `resolved` on
+    /// every record: a committed ref an honest node cannot materialise
+    /// means dissemination (push + fetch fallback) failed its contract.
+    BatchCommitted {
+        /// The committing node.
+        node: NodeId,
+        /// The referenced batch digest.
+        batch: BlockId,
+        /// Whether the node's store resolved the digest at commit time.
+        resolved: bool,
+    },
     /// The driver's stall watchdog fired: no commit landed within its
     /// threshold (k× the expected block period). Carries a state snapshot
     /// so wedges become diagnosable artifacts instead of silent timeouts.
@@ -162,6 +184,8 @@ impl TraceEvent {
             TraceEvent::SyncRequested { .. } => "sync-requested",
             TraceEvent::NodeRestarted { .. } => "node-restarted",
             TraceEvent::BatchSealed { .. } => "batch-sealed",
+            TraceEvent::BatchStored { .. } => "batch-stored",
+            TraceEvent::BatchCommitted { .. } => "batch-committed",
             TraceEvent::Stall { .. } => "stall",
         }
     }
@@ -180,6 +204,8 @@ impl TraceEvent {
             | TraceEvent::SyncRequested { node, .. }
             | TraceEvent::NodeRestarted { node, .. }
             | TraceEvent::BatchSealed { node, .. }
+            | TraceEvent::BatchStored { node, .. }
+            | TraceEvent::BatchCommitted { node, .. }
             | TraceEvent::Stall { node, .. } => node,
         }
     }
@@ -244,6 +270,13 @@ impl TraceRecord {
                 o.field_u64("txs", txs);
                 o.field_u64("bytes", bytes);
             }
+            TraceEvent::BatchStored { batch, .. } => {
+                o.field_str("batch", &batch.short());
+            }
+            TraceEvent::BatchCommitted { batch, resolved, .. } => {
+                o.field_str("batch", &batch.short());
+                o.field_bool("resolved", resolved);
+            }
             TraceEvent::Stall { view, height, inbound, timers, mempool, .. } => {
                 o.field_u64("view", view.0);
                 o.field_u64("height", height.0);
@@ -303,6 +336,8 @@ mod tests {
             TraceEvent::SyncRequested { node: NodeId(1), block: bid() },
             TraceEvent::NodeRestarted { node: NodeId(1) },
             TraceEvent::BatchSealed { node: NodeId(1), batch: bid(), txs: 10, bytes: 1_800 },
+            TraceEvent::BatchStored { node: NodeId(1), batch: bid() },
+            TraceEvent::BatchCommitted { node: NodeId(1), batch: bid(), resolved: true },
             TraceEvent::Stall {
                 node: NodeId(1),
                 view: View(9),

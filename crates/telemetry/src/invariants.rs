@@ -10,6 +10,12 @@
 //! 3. **Commit-height monotonicity**: each node's committed heights are
 //!    strictly increasing (commits deliver the chain in order).
 //! 4. **Causal timestamps**: trace time never goes backwards.
+//! 5. **Committed-batch availability**: every batch reference of every
+//!    committed digest-only block resolved in the committing node's
+//!    `BatchStore` at commit time (each `BatchCommitted` record carries
+//!    `resolved: true`). Dissemination (push plus fetch fallback) must
+//!    deliver the bytes behind every digest the chain orders — an
+//!    unresolved committed ref is data loss, not lag.
 //!
 //! All checks are valid on a trace *suffix*, so they compose with a bounded
 //! [`RingBufferSink`](crate::sink::RingBufferSink) that has evicted early
@@ -63,6 +69,14 @@ pub enum Violation {
         /// The smaller timestamp that followed it.
         at: SimTime,
     },
+    /// A node committed a block referencing a batch its store could not
+    /// resolve at commit time.
+    CommittedBatchUnavailable {
+        /// The committing node.
+        node: NodeId,
+        /// The unresolvable batch digest.
+        batch: BlockId,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -92,6 +106,12 @@ impl std::fmt::Display for Violation {
             Violation::TimeWentBackwards { previous, at } => {
                 write!(f, "trace time went backwards: {previous} then {at}")
             }
+            Violation::CommittedBatchUnavailable { node, batch } => write!(
+                f,
+                "node {} committed batch {} its store could not resolve",
+                node.0,
+                batch.short()
+            ),
         }
     }
 }
@@ -110,6 +130,9 @@ pub struct InvariantSummary {
     /// `NodeRestarted` events examined (each resets that node's
     /// monotonicity baselines).
     pub restarts: u64,
+    /// `BatchCommitted` records checked by the committed-batch-availability
+    /// rule. 0 on a full-payload run (rule vacuously holds, still enabled).
+    pub batches_available_checked: u64,
 }
 
 /// Checks the invariants over `records` (any trace suffix, oldest first).
@@ -176,6 +199,16 @@ pub fn check(
                     }
                 }
                 view_of.insert(node, view);
+            }
+            TraceEvent::BatchCommitted { node, batch, resolved } => {
+                // Checked per record, against the committing node's own
+                // store at commit time — so the rule stays valid on any
+                // trace suffix even after the ring buffer evicted the
+                // corresponding `BatchStored` records.
+                summary.batches_available_checked += 1;
+                if !resolved {
+                    violations.push(Violation::CommittedBatchUnavailable { node, batch });
+                }
             }
             TraceEvent::NodeRestarted { node } => {
                 // A fresh state machine legitimately starts over from view 1
@@ -321,6 +354,39 @@ mod tests {
         let trace = vec![commit(10, 1, 3, bid(3)), restart, commit(30, 0, 3, bid(4))];
         let errs = check(trace).unwrap_err();
         assert!(matches!(errs[0], Violation::ConflictingCommit { .. }));
+    }
+
+    /// Every `BatchCommitted` record is checked; one `resolved: false`
+    /// fails the run with `CommittedBatchUnavailable`.
+    #[test]
+    fn committed_batch_availability_rule() {
+        let stored = |at, node, batch| TraceRecord {
+            at: SimTime(at),
+            event: TraceEvent::BatchStored { node: NodeId(node), batch },
+        };
+        let committed = |at, node, batch, resolved| TraceRecord {
+            at: SimTime(at),
+            event: TraceEvent::BatchCommitted { node: NodeId(node), batch, resolved },
+        };
+        let trace = vec![
+            stored(0, 0, bid(9)),
+            stored(1, 1, bid(9)),
+            committed(10, 0, bid(9), true),
+            committed(11, 1, bid(9), true),
+        ];
+        let s = check(trace).unwrap();
+        assert_eq!(s.batches_available_checked, 2);
+
+        // An unresolved ref at commit time is a violation, even if the
+        // `BatchStored` history was evicted from the ring (the check is
+        // per-record, not cross-referenced).
+        let trace = vec![committed(10, 2, bid(7), false)];
+        let errs = check(trace).unwrap_err();
+        assert_eq!(
+            errs[0],
+            Violation::CommittedBatchUnavailable { node: NodeId(2), batch: bid(7) }
+        );
+        assert!(errs[0].to_string().contains("could not resolve"));
     }
 
     #[test]

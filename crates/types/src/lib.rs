@@ -59,7 +59,7 @@ pub use certificate::{
     TimeoutContent, TimeoutEntry,
 };
 pub use ids::{Height, NodeId, View};
-pub use payload::{Payload, PAYLOAD_ITEM_BYTES};
+pub use payload::{BatchRef, Payload, PAYLOAD_ITEM_BYTES};
 pub use rng::DetRng;
 
 pub use time::{SimDuration, SimTime};

@@ -53,6 +53,37 @@ fn empty_digest() -> Digest {
     *EMPTY.get_or_init(|| Digest::hash_parts(&[b"moonshot-data-payload", b""]))
 }
 
+/// A reference to a disseminated transaction batch: the batch's content
+/// digest plus its byte size. Digest-only proposals carry a list of these
+/// instead of the batch bytes; the bytes travel on the dissemination plane
+/// and are resolved from each node's batch store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchRef {
+    /// Content digest of the batch bytes (the dissemination-plane key).
+    pub digest: Digest,
+    /// Size of the referenced batch in bytes.
+    pub bytes: u64,
+}
+
+impl fmt::Debug for BatchRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BatchRef({}, {} B)", self.digest.short(), self.bytes)
+    }
+}
+
+/// Digest of a batch-reference list. This is O(refs), not O(payload bytes),
+/// and deliberately does **not** charge [`data_hashes_on_thread`]: a
+/// digest-only proposal is assembled on the driver without touching batch
+/// bytes, which is the entire point of the dissemination plane.
+fn batch_refs_digest(refs: &[BatchRef]) -> Digest {
+    let mut buf = Vec::with_capacity(refs.len() * 40);
+    for r in refs {
+        buf.extend_from_slice(r.digest.as_bytes());
+        buf.extend_from_slice(&r.bytes.to_le_bytes());
+    }
+    Digest::hash_parts(&[b"moonshot-batch-refs", &buf])
+}
+
 /// The transactions carried by a block (`b_v` in the paper).
 #[derive(Clone)]
 pub enum Payload {
@@ -70,6 +101,17 @@ pub enum Payload {
         /// Total payload size in bytes.
         size: u64,
         /// Digest standing in for the payload contents.
+        digest: Digest,
+    },
+    /// A digest-only payload: references to batches already travelling on
+    /// the dissemination plane. The block id commits to the reference list
+    /// (via the cached digest); voters resolve every reference in their
+    /// batch store before voting, so committed bytes are recoverable
+    /// without ever riding a proposal.
+    Batches {
+        /// The referenced batches, in proposal order.
+        refs: Arc<[BatchRef]>,
+        /// Cached digest of the reference list, computed once.
         digest: Digest,
     },
 }
@@ -115,11 +157,23 @@ impl Payload {
         Payload::synthetic_items(bytes / PAYLOAD_ITEM_BYTES, view_seed)
     }
 
-    /// Payload size in bytes.
+    /// A digest-only payload referencing disseminated batches. Hashes only
+    /// the 40-byte references (never batch bytes), on the calling thread,
+    /// without charging the data-hash counter.
+    pub fn batches(refs: impl Into<Arc<[BatchRef]>>) -> Self {
+        let refs = refs.into();
+        let digest = batch_refs_digest(&refs);
+        Payload::Batches { refs, digest }
+    }
+
+    /// Payload size in bytes. For digest-only payloads this is the total
+    /// size of the *referenced* batches — the data the block commits, not
+    /// the 40-byte references that ride the proposal.
     pub fn size(&self) -> u64 {
         match self {
             Payload::Data { bytes, .. } => bytes.len() as u64,
             Payload::Synthetic { size, .. } => *size,
+            Payload::Batches { refs, .. } => refs.iter().map(|r| r.bytes).sum(),
         }
     }
 
@@ -134,6 +188,7 @@ impl Payload {
         match self {
             Payload::Data { digest, .. } => *digest,
             Payload::Synthetic { digest, .. } => *digest,
+            Payload::Batches { digest, .. } => *digest,
         }
     }
 
@@ -141,7 +196,15 @@ impl Payload {
     pub fn data_bytes(&self) -> Option<&Arc<[u8]>> {
         match self {
             Payload::Data { bytes, .. } => Some(bytes),
-            Payload::Synthetic { .. } => None,
+            Payload::Synthetic { .. } | Payload::Batches { .. } => None,
+        }
+    }
+
+    /// The referenced batches, if this is a digest-only payload.
+    pub fn batch_refs(&self) -> Option<&[BatchRef]> {
+        match self {
+            Payload::Batches { refs, .. } => Some(refs),
+            _ => None,
         }
     }
 
@@ -159,6 +222,10 @@ impl Payload {
                 }
             }
             Payload::Synthetic { .. } => true,
+            // The block id commits to the reference list; re-derive its
+            // digest from the refs (O(refs), counter-free). Availability of
+            // the referenced bytes is enforced by the vote gate, not here.
+            Payload::Batches { refs, digest } => batch_refs_digest(refs) == *digest,
         }
     }
 }
@@ -181,6 +248,7 @@ impl PartialEq for Payload {
                 Payload::Synthetic { size: sa, digest: a },
                 Payload::Synthetic { size: sb, digest: b },
             ) => sa == sb && a == b,
+            (Payload::Batches { digest: a, .. }, Payload::Batches { digest: b, .. }) => a == b,
             _ => false,
         }
     }
@@ -200,6 +268,10 @@ impl Hash for Payload {
                 size.hash(state);
                 digest.hash(state);
             }
+            Payload::Batches { digest, .. } => {
+                state.write_u8(2);
+                digest.hash(state);
+            }
         }
     }
 }
@@ -215,6 +287,10 @@ impl WireSize for Payload {
         match self {
             Payload::Data { bytes, .. } => 1 + 4 + 32 + bytes.len(),
             Payload::Synthetic { size, .. } => 1 + 8 + 32 + *size as usize,
+            // Digest-only: the wire carries the 40-byte references, never
+            // the batch bytes — this is what frees proposals from the
+            // leader's O(n²) payload multicast.
+            Payload::Batches { refs, .. } => 1 + 4 + refs.len() * 40,
         }
     }
 }
@@ -227,6 +303,15 @@ impl fmt::Debug for Payload {
             }
             Payload::Synthetic { size, digest } => {
                 write!(f, "Payload::Synthetic({size} bytes, {})", digest.short())
+            }
+            Payload::Batches { refs, digest } => {
+                write!(
+                    f,
+                    "Payload::Batches({} refs, {} bytes, {})",
+                    refs.len(),
+                    self.size(),
+                    digest.short()
+                )
             }
         }
     }
@@ -320,6 +405,41 @@ mod tests {
         // point: the block id commits to the digest, so integrity needs the
         // explicit byte check.
         assert_eq!(honest, tampered);
+    }
+
+    #[test]
+    fn batch_refs_payload_never_charges_the_hash_counter() {
+        let refs = vec![
+            BatchRef { digest: Digest::hash(b"batch-a"), bytes: 180_000 },
+            BatchRef { digest: Digest::hash(b"batch-b"), bytes: 20_000 },
+        ];
+        let before = data_hashes_on_thread();
+        let p = Payload::batches(refs.clone());
+        assert_eq!(p.size(), 200_000);
+        assert_eq!(p.batch_refs().unwrap(), &refs[..]);
+        assert!(p.data_bytes().is_none());
+        assert!(p.digest_matches_bytes());
+        // Wire size is the references, not the referenced bytes.
+        assert_eq!(p.wire_size(), 1 + 4 + 2 * 40);
+        assert_eq!(
+            data_hashes_on_thread(),
+            before,
+            "digest-only payloads must not charge the data-hash counter"
+        );
+    }
+
+    #[test]
+    fn batch_refs_digest_commits_to_order_and_sizes() {
+        let a = BatchRef { digest: Digest::hash(b"a"), bytes: 10 };
+        let b = BatchRef { digest: Digest::hash(b"b"), bytes: 20 };
+        assert_eq!(Payload::batches(vec![a, b]), Payload::batches(vec![a, b]));
+        assert_ne!(Payload::batches(vec![a, b]).digest(), Payload::batches(vec![b, a]).digest());
+        let resized = BatchRef { bytes: 11, ..a };
+        assert_ne!(Payload::batches(vec![a]).digest(), Payload::batches(vec![resized]).digest());
+        // A tampered reference list fails the integrity check.
+        let honest = Payload::batches(vec![a, b]);
+        let tampered = Payload::Batches { refs: Arc::from(vec![a]), digest: honest.digest() };
+        assert!(!tampered.digest_matches_bytes());
     }
 
     #[test]

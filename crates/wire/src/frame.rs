@@ -17,7 +17,10 @@
 //! a corrupt or hostile stream is rejected without buffering anything close
 //! to the declared length.
 
+use std::sync::Arc;
+
 use moonshot_consensus::Message;
+use moonshot_crypto::Digest;
 use moonshot_types::wire::ENVELOPE_WIRE;
 use moonshot_types::NodeId;
 
@@ -48,6 +51,15 @@ pub const TAG_HELLO: u8 = 0x40;
 /// Type tag for [`Frame::SubmitTx`]: a client transaction submission.
 pub const TAG_SUBMIT_TX: u8 = 0x41;
 
+/// Type tag for [`Frame::BatchPush`]: dissemination-plane batch delivery.
+pub const TAG_BATCH_PUSH: u8 = 0x42;
+
+/// Type tag for [`Frame::BatchRequest`]: a straggler fetching a batch.
+pub const TAG_BATCH_REQUEST: u8 = 0x43;
+
+/// Type tag for [`Frame::BatchResponse`]: a served batch.
+pub const TAG_BATCH_RESPONSE: u8 = 0x44;
+
 /// A top-level frame: the transport handshake, a client transaction
 /// submission, or a consensus message.
 // Frames are decoded and consumed immediately, never stored in bulk, so the
@@ -74,6 +86,32 @@ pub enum Frame {
     },
     /// A consensus protocol message.
     Consensus(Message),
+    /// Dissemination plane: a sealed transaction batch pushed to every peer
+    /// *before* the leader proposes its digest. Handled entirely on the
+    /// transport reader thread (validate digest, insert into the batch
+    /// store); it never reaches the consensus state machine.
+    BatchPush {
+        /// Content digest of `bytes` (the batch-store key). Receivers
+        /// re-hash and reject mismatches.
+        digest: Digest,
+        /// The batch bytes, shared zero-copy with the store.
+        bytes: Arc<[u8]>,
+    },
+    /// Dissemination plane: ask a peer for a batch referenced by a proposal
+    /// but missing from the local store (the straggler fetch path).
+    BatchRequest {
+        /// Digest of the wanted batch.
+        digest: Digest,
+    },
+    /// Dissemination plane: a served batch. Protected from drop-oldest in
+    /// the outbound queue, like `BlockResponse` — dropping it would starve
+    /// the very node whose vote is blocked on it.
+    BatchResponse {
+        /// Content digest of `bytes`.
+        digest: Digest,
+        /// The batch bytes.
+        bytes: Arc<[u8]>,
+    },
 }
 
 /// A parsed frame header.
@@ -179,7 +217,30 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             enc.put_bytes(tx);
         }),
         Frame::Consensus(msg) => encode_message(msg),
+        Frame::BatchPush { digest, bytes } => {
+            encode_sealed(TAG_BATCH_PUSH, 32 + bytes.len(), |enc| {
+                enc.put_bytes(digest.as_bytes());
+                enc.put_bytes(bytes);
+            })
+        }
+        Frame::BatchRequest { digest } => {
+            encode_sealed(TAG_BATCH_REQUEST, 32, |enc| enc.put_bytes(digest.as_bytes()))
+        }
+        Frame::BatchResponse { digest, bytes } => {
+            encode_sealed(TAG_BATCH_RESPONSE, 32 + bytes.len(), |enc| {
+                enc.put_bytes(digest.as_bytes());
+                enc.put_bytes(bytes);
+            })
+        }
     }
+}
+
+/// Reads a digest followed by the rest of the body as batch bytes.
+fn decode_digest_and_bytes(dec: &mut Decoder<'_>) -> Result<(Digest, Arc<[u8]>), WireError> {
+    let mut digest = [0u8; 32];
+    digest.copy_from_slice(dec.take(32)?);
+    let bytes: Arc<[u8]> = Arc::from(dec.take(dec.remaining())?);
+    Ok((Digest(digest), bytes))
 }
 
 fn decode_body(tag: u8, body: &[u8]) -> Result<Frame, WireError> {
@@ -191,6 +252,16 @@ fn decode_body(tag: u8, body: &[u8]) -> Result<Frame, WireError> {
         // frame header already bounds and checksums it.
         let client = dec.get_u32()?;
         Frame::SubmitTx { client, tx: dec.take(dec.remaining())?.to_vec() }
+    } else if tag == TAG_BATCH_PUSH {
+        let (digest, bytes) = decode_digest_and_bytes(&mut dec)?;
+        Frame::BatchPush { digest, bytes }
+    } else if tag == TAG_BATCH_REQUEST {
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(dec.take(32)?);
+        Frame::BatchRequest { digest: Digest(digest) }
+    } else if tag == TAG_BATCH_RESPONSE {
+        let (digest, bytes) = decode_digest_and_bytes(&mut dec)?;
+        Frame::BatchResponse { digest, bytes }
     } else {
         Frame::Consensus(decode_message_body(tag, &mut dec)?)
     };
@@ -438,6 +509,34 @@ mod tests {
         let mut truncated = encode_frame(&empty);
         truncated[8..12].copy_from_slice(&2u32.to_le_bytes());
         truncated.truncate(FRAME_HEADER_LEN + 2);
+        let crc = crc32(&truncated[FRAME_HEADER_LEN..]);
+        truncated[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert!(decode_frame(&truncated).is_err());
+    }
+
+    #[test]
+    fn batch_frames_roundtrip() {
+        let bytes: Arc<[u8]> = Arc::from((0u16..700).map(|i| i as u8).collect::<Vec<u8>>());
+        let digest = Digest::hash(&bytes);
+        for frame in [
+            Frame::BatchPush { digest, bytes: bytes.clone() },
+            Frame::BatchRequest { digest },
+            Frame::BatchResponse { digest, bytes: bytes.clone() },
+            // Empty batch bytes are legal framing.
+            Frame::BatchPush { digest, bytes: Arc::from([] as [u8; 0]) },
+        ] {
+            let encoded = encode_frame(&frame);
+            assert_eq!(decode_frame(&encoded).unwrap(), frame);
+            let mut reader = FrameReader::new();
+            for piece in encoded.chunks(11) {
+                reader.extend(piece);
+            }
+            assert_eq!(reader.next_frame().unwrap(), Some(frame));
+        }
+        // A body shorter than the digest is malformed.
+        let mut truncated = encode_frame(&Frame::BatchRequest { digest });
+        truncated[8..12].copy_from_slice(&16u32.to_le_bytes());
+        truncated.truncate(FRAME_HEADER_LEN + 16);
         let crc = crc32(&truncated[FRAME_HEADER_LEN..]);
         truncated[12..16].copy_from_slice(&crc.to_le_bytes());
         assert!(decode_frame(&truncated).is_err());

@@ -20,7 +20,7 @@ use moonshot_consensus::Message;
 use moonshot_crypto::signature::SIGNATURE_LEN;
 use moonshot_crypto::{Digest, MultiSig, Signature};
 use moonshot_types::{
-    Block, Height, NodeId, Payload, QuorumCertificate, SignedCommitVote, SignedTimeout,
+    BatchRef, Block, Height, NodeId, Payload, QuorumCertificate, SignedCommitVote, SignedTimeout,
     SignedVote, TimeoutCertificate, View, Vote, VoteKind,
 };
 use moonshot_types::certificate::{TimeoutContent, TimeoutEntry};
@@ -30,6 +30,7 @@ use crate::codec::{Decode, Decoder, Encode, Encoder, WireError};
 
 const PAYLOAD_DATA: u8 = 0;
 const PAYLOAD_SYNTHETIC: u8 = 1;
+const PAYLOAD_BATCHES: u8 = 2;
 
 impl Encode for View {
     fn encode(&self, enc: &mut Encoder) {
@@ -141,6 +142,17 @@ impl Encode for Payload {
                 digest.encode(enc);
                 enc.put_zeros(*size as usize);
             }
+            Payload::Batches { refs, .. } => {
+                // Digest-only: 40 bytes per referenced batch, never the
+                // batch bytes. The list digest is recomputed at decode
+                // (O(refs)), so it does not ride the wire.
+                enc.put_u8(PAYLOAD_BATCHES);
+                enc.put_u32(refs.len() as u32);
+                for r in refs.iter() {
+                    r.digest.encode(enc);
+                    enc.put_u64(r.bytes);
+                }
+            }
         }
     }
 }
@@ -165,6 +177,19 @@ impl Decode for Payload {
                 // The filler carries no information; skip it without copying.
                 let _ = dec.take(size as usize)?;
                 Ok(Payload::Synthetic { size, digest })
+            }
+            PAYLOAD_BATCHES => {
+                let count = dec.get_count(40)?;
+                let mut refs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let digest = Digest::decode(dec)?;
+                    let bytes = dec.get_u64()?;
+                    refs.push(BatchRef { digest, bytes });
+                }
+                // Rebuilds the cached list digest (what the block id commits
+                // to) from the decoded refs — tampering cannot smuggle in a
+                // mismatched digest because it is never trusted off the wire.
+                Ok(Payload::batches(refs))
             }
             t => Err(WireError::UnknownTag(t)),
         }
@@ -472,6 +497,22 @@ mod tests {
         roundtrip(&Payload::from(vec![1u8, 2, 3]));
         roundtrip(&Payload::empty());
         roundtrip(&Payload::synthetic_items(10, 7));
+        roundtrip(&Payload::batches(vec![
+            BatchRef { digest: Digest::hash(b"batch-a"), bytes: 180_000 },
+            BatchRef { digest: Digest::hash(b"batch-b"), bytes: 1_800 },
+        ]));
+        roundtrip(&Payload::batches(Vec::new()));
+    }
+
+    #[test]
+    fn batches_payload_wire_cost_is_refs_not_bytes() {
+        // A digest-only proposal referencing megabytes costs tens of bytes.
+        let p = Payload::batches(vec![BatchRef {
+            digest: Digest::hash(b"big"),
+            bytes: 9_000_000,
+        }]);
+        assert_eq!(p.to_wire_bytes().len(), 1 + 4 + 40);
+        assert_eq!(p.size(), 9_000_000);
     }
 
     #[test]
