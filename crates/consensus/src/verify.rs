@@ -26,7 +26,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use moonshot_crypto::{Keyring, VerifiedCache};
+use moonshot_crypto::{batch_verify, BatchItem, Digest, Keyring, Signature, VerifiedCache};
 
 use crate::message::Message;
 use crate::protocol::NodeConfig;
@@ -212,6 +212,170 @@ impl MessageVerifier {
         }
         Ok(PreVerified(message))
     }
+
+    /// Verifies a batch of messages accumulated across connections,
+    /// returning one result per input in order.
+    ///
+    /// Semantically equivalent to calling [`MessageVerifier::verify`] on
+    /// each message, but the *outer* signatures of votes, commit-votes and
+    /// timeouts — the O(n²)-per-view hot path — are collected into a single
+    /// [`batch_verify`] call instead of being dispatched one by one. The
+    /// [`VerifiedCache`] fast path is preserved: a vote whose cache key is
+    /// already present resolves without entering the batch, and verified
+    /// vote/commit-vote signatures are inserted afterwards so duplicates in
+    /// later batches are hits. On a batch failure the offending item is
+    /// rejected and the remainder re-submitted, so one forged signature
+    /// costs one extra `batch_verify` call rather than failing neighbors.
+    ///
+    /// Certificate-carrying messages (proposals, standalone QCs/TCs,
+    /// status) keep their per-message cached verification — certificates
+    /// deduplicate so aggressively through the cache that batching their
+    /// raw multisig checks would mostly batch cache hits.
+    pub fn verify_batch(
+        &self,
+        messages: Vec<Message>,
+    ) -> Vec<Result<PreVerified, VerifyError>> {
+        if !self.enabled {
+            return messages.into_iter().map(|m| Ok(PreVerified(m))).collect();
+        }
+        let ring = &self.ring;
+        let cache = &self.cache;
+
+        /// How one input message resolves.
+        enum Plan {
+            /// Settled during collection (cache hit, or an inline check
+            /// such as a timeout's lock already failed).
+            Resolved(Result<(), VerifyError>),
+            /// Outer signature is item `idx` of the accumulated batch.
+            Batched(usize),
+            /// Not a batchable kind: run the per-message `verify` path.
+            Inline,
+        }
+
+        /// One batched signature check plus what to do on success.
+        struct Pending {
+            signer: u16,
+            bytes: Vec<u8>,
+            sig: Signature,
+            /// Error label, matching the sequential path's strings.
+            what: &'static str,
+            /// Cache insert on success (votes and commit-votes; timeout
+            /// outer signatures are never cached).
+            insert: Option<(Digest, u64)>,
+            /// Whether a failure counts a cache reject (mirrors
+            /// `verify_cached`, which only votes/commit-votes route
+            /// through).
+            reject_counts: bool,
+        }
+
+        let mut plans: Vec<Plan> = Vec::with_capacity(messages.len());
+        let mut pending: Vec<Pending> = Vec::new();
+        for message in &messages {
+            match message {
+                Message::Vote(sv) => {
+                    let key = sv.cache_key();
+                    if cache.contains(&key) {
+                        plans.push(Plan::Resolved(Ok(())));
+                    } else {
+                        pending.push(Pending {
+                            signer: sv.voter.signer_index(),
+                            bytes: sv.vote.signing_bytes(),
+                            sig: sv.signature,
+                            what: "vote",
+                            insert: Some((key, sv.vote.view.0)),
+                            reject_counts: true,
+                        });
+                        plans.push(Plan::Batched(pending.len() - 1));
+                    }
+                }
+                Message::CommitVote(cv) => {
+                    let key = cv.cache_key();
+                    if cache.contains(&key) {
+                        plans.push(Plan::Resolved(Ok(())));
+                    } else {
+                        pending.push(Pending {
+                            signer: cv.voter.signer_index(),
+                            bytes: cv.vote.signing_bytes(),
+                            sig: cv.signature,
+                            what: "commit-vote",
+                            insert: Some((key, cv.vote.view.0)),
+                            reject_counts: true,
+                        });
+                        plans.push(Plan::Batched(pending.len() - 1));
+                    }
+                }
+                Message::Timeout(st) => {
+                    // The lock certificate check is cache-friendly and
+                    // cheap; run it now so only the raw outer signature
+                    // enters the batch.
+                    let lock_ok = match (&st.content.lock_view, &st.lock) {
+                        (None, None) => true,
+                        (Some(v), Some(qc)) => {
+                            *v == qc.view() && qc.verify_cached(ring, cache).is_ok()
+                        }
+                        _ => false,
+                    };
+                    if !lock_ok {
+                        plans.push(Plan::Resolved(Err(VerifyError::BadSignature("timeout"))));
+                    } else {
+                        pending.push(Pending {
+                            signer: st.sender.signer_index(),
+                            bytes: st.content.signing_bytes(),
+                            sig: st.signature,
+                            what: "timeout",
+                            insert: None,
+                            reject_counts: false,
+                        });
+                        plans.push(Plan::Batched(pending.len() - 1));
+                    }
+                }
+                _ => plans.push(Plan::Inline),
+            }
+        }
+
+        // One batch_verify over everything collected; on failure, reject
+        // the pinpointed item and re-submit the tail.
+        let mut failures: Vec<Option<VerifyError>> = Vec::new();
+        failures.resize_with(pending.len(), || None);
+        let items: Vec<BatchItem<'_>> =
+            pending.iter().map(|p| (p.signer, p.bytes.as_slice(), &p.sig)).collect();
+        let mut start = 0;
+        while start < items.len() {
+            cache.note_batch(items.len() - start);
+            match batch_verify(ring, &items[start..]) {
+                Ok(()) => break,
+                Err(offset) => {
+                    let bad = start + offset;
+                    failures[bad] = Some(VerifyError::BadSignature(pending[bad].what));
+                    if pending[bad].reject_counts {
+                        cache.note_rejected();
+                    }
+                    start = bad + 1;
+                }
+            }
+        }
+        for (p, failure) in pending.iter().zip(&failures) {
+            if failure.is_none() {
+                if let Some((key, view)) = p.insert {
+                    cache.insert(key, view);
+                }
+            }
+        }
+
+        plans
+            .into_iter()
+            .zip(messages)
+            .map(|(plan, message)| match plan {
+                Plan::Resolved(Ok(())) => Ok(PreVerified(message)),
+                Plan::Resolved(Err(e)) => Err(e),
+                Plan::Batched(i) => match &failures[i] {
+                    None => Ok(PreVerified(message)),
+                    Some(e) => Err(e.clone()),
+                },
+                Plan::Inline => self.verify(message),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +543,101 @@ mod tests {
         let v = verifier();
         let b = Block::build(View(1), NodeId(0), &Block::genesis(), Payload::from(vec![7u8; 256]));
         assert!(v.verify(Message::OptPropose { view: View(1), block: b }).is_ok());
+    }
+
+    fn vote_from(i: u16, b: &Block) -> SignedVote {
+        SignedVote::sign(
+            Vote {
+                kind: VoteKind::Normal,
+                block_id: b.id(),
+                block_height: b.height(),
+                view: b.view(),
+            },
+            NodeId(i),
+            &KeyPair::from_seed(i as u64),
+        )
+    }
+
+    #[test]
+    fn batch_of_valid_votes_verifies_in_one_call() {
+        let v = verifier();
+        let b = block();
+        let msgs: Vec<Message> = (0..4u16).map(|i| Message::Vote(vote_from(i, &b))).collect();
+        let results = v.verify_batch(msgs.clone());
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        let s = v.cache.stats();
+        assert_eq!((s.batch_calls, s.batch_items), (1, 4));
+        assert_eq!(s.inserts, 4, "verified votes must land in the cache");
+
+        // The same votes again: all cache hits, nothing batched.
+        let results = v.verify_batch(msgs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let s = v.cache.stats();
+        assert_eq!((s.batch_calls, s.batch_items), (1, 4), "hits must bypass the batch");
+        assert_eq!(s.hits, 4);
+    }
+
+    #[test]
+    fn batch_failure_pinpoints_forgery_and_spares_neighbors() {
+        let v = verifier();
+        let b = block();
+        let mut forged = vote_from(1, &b);
+        forged.voter = NodeId(2); // claims node 2, signed by node 1
+        let msgs = vec![
+            Message::Vote(vote_from(0, &b)),
+            Message::Vote(forged),
+            Message::Vote(vote_from(3, &b)),
+        ];
+        let results = v.verify_batch(msgs);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].clone().unwrap_err(), VerifyError::BadSignature("vote"));
+        assert!(results[2].is_ok());
+        let s = v.cache.stats();
+        assert_eq!(s.rejects, 1);
+        assert_eq!(s.inserts, 2, "survivors of a split batch still cache");
+        assert_eq!(s.batch_calls, 2, "one retry after the failure split");
+    }
+
+    #[test]
+    fn mixed_batch_routes_certificates_through_verify() {
+        let v = verifier();
+        let b = block();
+        let qc = qc_for(&b);
+        let st = SignedTimeout::sign(View(5), Some(qc.clone()), NodeId(0), &KeyPair::from_seed(0));
+        let msgs = vec![
+            Message::Certificate(qc),
+            Message::Vote(vote_from(1, &b)),
+            Message::Timeout(st),
+            Message::BlockRequest { block_id: b.id() },
+        ];
+        let results = v.verify_batch(msgs);
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        let s = v.cache.stats();
+        // Vote + timeout outer signature batched together.
+        assert_eq!((s.batch_calls, s.batch_items), (1, 2));
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_verify_on_bad_timeout_lock() {
+        let v = verifier();
+        let b = block();
+        let qc = qc_for(&b);
+        let mut st = SignedTimeout::sign(View(5), Some(qc), NodeId(0), &KeyPair::from_seed(0));
+        st.lock = Some(QuorumCertificate::genesis());
+        let results = v.verify_batch(vec![Message::Timeout(st)]);
+        assert_eq!(results[0].clone().unwrap_err(), VerifyError::BadSignature("timeout"));
+        assert_eq!(v.cache.stats().batch_items, 0, "lock mismatch resolves before the batch");
+    }
+
+    #[test]
+    fn disabled_verifier_batch_waves_everything_through() {
+        let v = MessageVerifier::new(ring(), Arc::new(VerifiedCache::default()), false);
+        let b = block();
+        let mut forged = vote_from(1, &b);
+        forged.voter = NodeId(2);
+        let results = v.verify_batch(vec![Message::Vote(forged)]);
+        assert!(results[0].is_ok());
+        assert_eq!(v.cache.stats().batch_calls, 0);
     }
 
     #[test]

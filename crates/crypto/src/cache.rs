@@ -51,6 +51,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently cached.
     pub len: u64,
+    /// Calls into [`batch_verify`] recorded via
+    /// [`VerifiedCache::note_batch`].
+    pub batch_calls: u64,
+    /// Total signatures submitted across those calls; `batch_items /
+    /// batch_calls` is the mean batch size the sigverify stage achieved.
+    pub batch_items: u64,
 }
 
 #[derive(Debug, Default)]
@@ -95,6 +101,8 @@ pub struct VerifiedCache {
     inserts: AtomicU64,
     rejects: AtomicU64,
     evictions: AtomicU64,
+    batch_calls: AtomicU64,
+    batch_items: AtomicU64,
 }
 
 impl Default for VerifiedCache {
@@ -115,6 +123,8 @@ impl VerifiedCache {
             inserts: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            batch_calls: AtomicU64::new(0),
+            batch_items: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +164,16 @@ impl VerifiedCache {
         self.rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one [`batch_verify`] call over `items` signatures, so the
+    /// mean batch size the sigverify stage achieves is observable.
+    /// `batch_verify` itself is a free function below the cache in the
+    /// dependency order; the verify pipeline owns both and calls this next
+    /// to it.
+    pub fn note_batch(&self, items: usize) {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(items as u64, Ordering::Relaxed);
+    }
+
     /// Drops every entry formed in a view below `view`. Protocols call this
     /// alongside their own state GC once a view can no longer matter.
     pub fn gc_below(&self, view: u64) {
@@ -186,6 +206,8 @@ impl VerifiedCache {
             rejects: self.rejects.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             len: self.len() as u64,
+            batch_calls: self.batch_calls.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
         }
     }
 }

@@ -57,6 +57,9 @@ pub struct DissemCounters {
     pub votes_gated: AtomicU64,
     /// Batches evicted from the store by the byte budget.
     pub evicted: AtomicU64,
+    /// Batches pruned from the store because the chain committed past
+    /// them (see [`BatchStore::prune_committed`]).
+    pub pruned_committed: AtomicU64,
 }
 
 /// A plain snapshot of [`DissemCounters`].
@@ -80,6 +83,8 @@ pub struct DissemStats {
     pub votes_gated: u64,
     /// See [`DissemCounters::evicted`].
     pub evicted: u64,
+    /// See [`DissemCounters::pruned_committed`].
+    pub pruned_committed: u64,
 }
 
 impl DissemCounters {
@@ -95,6 +100,7 @@ impl DissemCounters {
             fetches_missed: self.fetches_missed.load(Ordering::Relaxed),
             votes_gated: self.votes_gated.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            pruned_committed: self.pruned_committed.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,12 +115,17 @@ const STORED_LOG_CAP: usize = 64 * 1024;
 #[derive(Debug, Default)]
 struct StoreInner {
     map: HashMap<Digest, Arc<[u8]>>,
-    /// Insertion order for byte-budget FIFO eviction.
+    /// Insertion order for byte-budget FIFO eviction. May hold digests
+    /// already removed by [`BatchStore::prune_committed`]; the eviction
+    /// loop skips them.
     order: VecDeque<Digest>,
     bytes: usize,
     /// Digests stored since the driver last drained — its wake-up list for
     /// releasing gated votes and recording `BatchStored` trace events.
     stored_log: VecDeque<Digest>,
+    /// Digest → height of the committed block that referenced it, recorded
+    /// by the driver at commit time. The prune floor walks this map.
+    committed: HashMap<Digest, u64>,
 }
 
 /// The node-local content-addressed batch store.
@@ -172,6 +183,49 @@ impl BatchStore {
     /// Whether `digest` is resolvable locally.
     pub fn contains(&self, digest: &Digest) -> bool {
         self.inner.lock().unwrap().map.contains_key(digest)
+    }
+
+    /// Records that the committed block at `height` referenced `digest`.
+    /// Once the chain commits far enough past it (see
+    /// [`prune_committed`](BatchStore::prune_committed)), the batch's
+    /// bytes can be dropped — every correct node has either stored or can
+    /// no longer need them, and the byte budget stops being the only thing
+    /// standing between a long run and an ever-growing store.
+    pub fn mark_committed(&self, digest: Digest, height: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let h = inner.committed.entry(digest).or_insert(height);
+        *h = (*h).max(height);
+    }
+
+    /// Drops every batch whose committing block height is ≤ `floor`.
+    /// Returns how many batches were pruned (also counted in
+    /// `dissem.store_pruned_committed`). Callers keep a retention window
+    /// (`floor = committed_height − RETAIN`) so recent batches stay
+    /// fetchable by lagging peers.
+    pub fn prune_committed(&self, floor: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let ripe: Vec<Digest> = inner
+            .committed
+            .iter()
+            .filter(|(_, h)| **h <= floor)
+            .map(|(d, _)| *d)
+            .collect();
+        let mut pruned = 0usize;
+        for d in ripe {
+            inner.committed.remove(&d);
+            if let Some(b) = inner.map.remove(&d) {
+                inner.bytes -= b.len();
+                pruned += 1;
+            }
+        }
+        if pruned > 0 {
+            self.counters.pruned_committed.fetch_add(pruned as u64, Ordering::Relaxed);
+            // Keep the FIFO eviction order from accumulating stale
+            // entries across a long run.
+            let StoreInner { map, order, .. } = &mut *inner;
+            order.retain(|d| map.contains_key(d));
+        }
+        pruned
     }
 
     /// Drains the digests stored since the last call (driver only).
@@ -405,6 +459,37 @@ mod tests {
         assert!(plane.store.contains(&batches[3].0));
         assert!(plane.store.bytes() <= 250);
         assert_eq!(plane.counters.stats().evicted, 2);
+    }
+
+    #[test]
+    fn store_prunes_batches_committed_below_the_floor() {
+        let plane = DissemPlane::new(1 << 20);
+        let batches: Vec<(Digest, Arc<[u8]>)> = (0u8..4)
+            .map(|i| {
+                let b = arc_bytes(100, i);
+                (batch_digest(&b), b)
+            })
+            .collect();
+        for (d, b) in &batches {
+            plane.store.insert(*d, b.clone());
+        }
+        // Heights 1..=3 committed; batch 3 never referenced by a commit.
+        plane.store.mark_committed(batches[0].0, 1);
+        plane.store.mark_committed(batches[1].0, 2);
+        plane.store.mark_committed(batches[2].0, 3);
+        // A re-reference at a higher height keeps the max.
+        plane.store.mark_committed(batches[0].0, 2);
+
+        assert_eq!(plane.store.prune_committed(0), 0, "floor below every commit");
+        assert_eq!(plane.store.prune_committed(2), 2, "heights 1 and 2 are ripe");
+        assert!(!plane.store.contains(&batches[0].0));
+        assert!(!plane.store.contains(&batches[1].0));
+        assert!(plane.store.contains(&batches[2].0), "height 3 above the floor");
+        assert!(plane.store.contains(&batches[3].0), "uncommitted batches stay");
+        assert_eq!(plane.store.bytes(), 200);
+        assert_eq!(plane.counters.stats().pruned_committed, 2);
+        // Pruning is idempotent: the ripe set was consumed.
+        assert_eq!(plane.store.prune_committed(2), 0);
     }
 
     #[test]

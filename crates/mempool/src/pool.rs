@@ -491,17 +491,20 @@ impl Mempool {
 
     /// Pops transactions until the batch — with its per-transaction framing
     /// overhead — would exceed `max_batch_bytes` or the pool is empty.
-    /// Shards are visited round-robin; within a shard, two passes per
-    /// visit:
+    /// Two phases:
     ///
-    /// 1. **Sparse pass** (fq_codel-style): every client whose *entire*
-    ///    backlog fits in one quantum is served completely, ahead of the
-    ///    rotation. A paced client with a couple of small transactions
-    ///    never waits behind a bulk queue or for its rotation turn — its
-    ///    queueing delay is one drain interval, not `clients ×` intervals
-    ///    when the batch budget can't cover the full rotation.
-    /// 2. **Bulk pass**: classic deficit round-robin over the remaining
-    ///    (backlogged) clients — the front client's deficit is credited
+    /// 1. **Global sparse sweep** (fq_codel-style): every shard is visited
+    ///    and every client whose *entire* backlog fits in one quantum is
+    ///    served completely, ahead of any bulk traffic. A paced client
+    ///    with a couple of small transactions never waits behind a bulk
+    ///    queue, for its rotation turn, *or for the rotation cursor to
+    ///    reach its shard* — its queueing delay is one drain interval
+    ///    flat. (An earlier version ran the sparse pass only on shards
+    ///    the bulk rotation reached before the batch filled, which tied
+    ///    sparse latency to `shards ÷ shards-per-batch` drain intervals.)
+    /// 2. **Bulk rotation**: classic deficit round-robin over the
+    ///    remaining (backlogged) clients, shards visited round-robin from
+    ///    a persistent cursor — the front client's deficit is credited
     ///    one quantum and its head transactions are popped while deficit
     ///    and budget cover them — so competing saturators split drain
     ///    bandwidth evenly and cannot starve each other.
@@ -513,32 +516,23 @@ impl Mempool {
     pub fn drain_for_batch(&self, max_batch_bytes: usize) -> Vec<Tx> {
         let mut out = Vec::new();
         let mut budget = max_batch_bytes;
-        let start = self.drain_cursor.fetch_add(1, Ordering::Relaxed);
-        let mut exhausted = 0usize;
         let mut visits = 0u64;
-        let mut i = start;
-        while exhausted < self.cfg.shards {
-            let shard_idx = i % self.cfg.shards;
-            i += 1;
+        // Phase 1: sparse sweep over every shard.
+        for shard_idx in 0..self.cfg.shards {
+            if budget == 0 {
+                break;
+            }
             let mut shard = self.shards[shard_idx].lock().unwrap();
             if shard.rr.is_empty() {
-                exhausted += 1;
                 continue;
             }
             let mut popped = 0usize;
             let mut popped_bytes = 0u64;
-            let mut budget_blocked = false;
-            // Sparse pass.
             let mut k = 0;
             while k < shard.rr.len() {
                 let client = shard.rr[k];
                 let queue = shard.clients.get_mut(&client).expect("rr client has a queue");
-                if queue.cost > self.cfg.drr_quantum {
-                    k += 1;
-                    continue;
-                }
-                if queue.cost > budget {
-                    budget_blocked = true;
+                if queue.cost > self.cfg.drr_quantum || queue.cost > budget {
                     k += 1;
                     continue;
                 }
@@ -554,6 +548,29 @@ impl Mempool {
                 shard.clients.remove(&client);
                 shard.rr.remove(k);
             }
+            shard.txs -= popped;
+            shard.bytes -= popped_bytes as usize;
+            drop(shard);
+            if popped > 0 {
+                self.pending_txs.fetch_sub(popped as u64, Ordering::Relaxed);
+                self.pending_bytes.fetch_sub(popped_bytes, Ordering::Relaxed);
+            }
+        }
+        // Phase 2: bulk rotation.
+        let start = self.drain_cursor.fetch_add(1, Ordering::Relaxed);
+        let mut exhausted = 0usize;
+        let mut i = start;
+        while exhausted < self.cfg.shards {
+            let shard_idx = i % self.cfg.shards;
+            i += 1;
+            let mut shard = self.shards[shard_idx].lock().unwrap();
+            if shard.rr.is_empty() {
+                exhausted += 1;
+                continue;
+            }
+            let mut popped = 0usize;
+            let mut popped_bytes = 0u64;
+            let mut budget_blocked = false;
             // Bulk pass.
             if let Some(&client) = shard.rr.front() {
                 visits += 1;
@@ -1077,6 +1094,52 @@ mod tests {
         let batch2 = pool.drain_for_batch(5 * (100 + BATCH_TX_OVERHEAD));
         assert_eq!(batch2[0].client, 2);
         assert!(pool.len() > 400, "bulk client keeps its backlog");
+    }
+
+    /// The sparse sweep is global: a sparse client is served even when
+    /// its transactions hash to shards the bulk rotation never reaches
+    /// before the batch budget fills. (Regression: the sparse pass used
+    /// to run only on rotation-visited shards, so with 8 shards and a
+    /// budget covering ~2 of them, a paced client waited several drain
+    /// calls for the cursor to come around.)
+    #[test]
+    fn sparse_sweep_covers_shards_beyond_the_batch_budget() {
+        let cfg = MempoolConfig {
+            shards: 8,
+            delay_target_multiple: 0,
+            drr_quantum: 256,
+            ..MempoolConfig::default()
+        };
+        let pool = Mempool::new(cfg);
+        // A saturator with backlog in every shard (hash-sharded spread).
+        for seq in 0..2_000u64 {
+            pool.submit_from(1, crate::batch::make_tx(1_000 + seq, 1, seq, 100)).unwrap();
+        }
+        // Budget ≈ 6 txs; bulk rotation covers ~2 shards before it fills.
+        let budget = 6 * (100 + BATCH_TX_OVERHEAD);
+        for round in 0..8u64 {
+            // Two sparse txs per round, landing on whatever shards their
+            // digests pick — across 8 rounds effectively all of them.
+            pool.submit_from(2, crate::batch::make_tx(9_000 + 2 * round, 2, 2 * round, 100))
+                .unwrap();
+            pool.submit_from(2, crate::batch::make_tx(9_001 + 2 * round, 2, 2 * round + 1, 100))
+                .unwrap();
+            let batch = pool.drain_for_batch(budget);
+            let sparse: Vec<usize> = batch
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.client == 2)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(sparse.len(), 2, "round {round}: sparse client not fully served");
+            let first_bulk =
+                batch.iter().position(|t| t.client == 1).unwrap_or(batch.len());
+            assert!(
+                sparse.iter().all(|&i| i < first_bulk),
+                "round {round}: sparse txs must precede all bulk txs"
+            );
+        }
+        assert!(pool.len() > 1_900, "bulk client keeps its backlog");
     }
 
     /// A transaction wider than the DRR quantum is still served: the

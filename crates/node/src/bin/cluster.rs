@@ -8,6 +8,7 @@
 //!         [--clients 1] [--digest] [--drop-push-to <id>]
 //!         [--payload-sweep]
 //!         [--mixed-load] [--paced-clients 3] [--paced-rate 500]
+//!         [--shape table2|uniform:<ms>]
 //!         [--out-dir results] [--min-commits 0] [--bench-json <path>]
 //!         [--data-dir <dir>] [--restart-node <id>]
 //! ```
@@ -47,8 +48,10 @@
 //! tx/s each, no saturating traffic) and then the **mixed** cell (the same
 //! paced clients plus one saturating client 0). The run fails unless the
 //! paced clients' p99 submit→commit latency in the mixed cell stays within
-//! `max(2×, +50 ms)` of the paced-only baseline — one greedy client must
-//! not inflate everyone else's latency. Every loaded run additionally
+//! `max(2× baseline, baseline + 50 ms, 4× the mixed cell's commit p99)` —
+//! one greedy client must not inflate everyone else's latency beyond the
+//! consensus floor (under saturation, adaptive batching grows blocks, and
+//! nobody's transaction can commit faster than the block carrying it). Every loaded run additionally
 //! fails if tx p99 exceeds `max(50× commit p99, 50 ms)` while a saturating
 //! client is running (the bufferbloat gate), if the mempool counter
 //! identity `accepted + rejected + deduped == submitted` does not hold, or
@@ -86,14 +89,32 @@
 //! the CI job keys off. The node must not be 0 (node 0 serves the mid-run
 //! scrape) and requires `--data-dir`.
 //!
+//! `--shape` turns the loopback cluster into an emulated WAN: every
+//! directed link gets a one-way delay (Table II's ten-region matrix with
+//! nodes assigned round-robin, or `uniform:<ms>`), enforced sender-side by
+//! the shared event loops — the fig6-style latency curves at 50–200 nodes
+//! without leaving one machine.
+//!
+//! Every row also records the event-driven core's shape: `process_threads`
+//! (sampled mid-run, gated against a per-node×n + 2×cores + 16 ceiling —
+//! one driver and one introspection thread per node, an assembler/ledger
+//! writer where configured, plus the O(cores) shared pool), `reactor_shards`,
+//! `reactor_loop_wakeups`, `reactor_frames_per_wakeup`, and the sigverify
+//! stage's `batch_verify_calls`/`batch_verify_items` (mean batch size > 1
+//! is the proof signatures are actually being batched under load).
+//!
 //! Exits nonzero on invariant violations or when fewer than
 //! `--min-commits` blocks were quorum-committed — which is exactly what
 //! the CI smoke job keys off.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use moonshot_node::{Cluster, ClusterSpec, LoadSpec, ProtocolChoice, VerifyMode};
+use moonshot_node::{
+    process_threads, Cluster, ClusterSpec, LinkShape, LoadSpec, ProtocolChoice, ShapeMatrix,
+    VerifyMode,
+};
 use moonshot_telemetry::json::JsonObject;
 use moonshot_telemetry::{Histogram, JsonlSink, TraceSink};
 use moonshot_types::time::SimDuration;
@@ -262,6 +283,32 @@ fn main() -> ExitCode {
         eprintln!("error: --restart-node requires --data-dir (restart recovery needs a ledger)");
         return ExitCode::from(2);
     }
+    // --shape: per-link WAN emulation, enforced sender-side by the shared
+    // event loops. "table2" assigns nodes round-robin to the paper's ten
+    // regions; "uniform:<ms>" gives every directed link the same one-way
+    // delay.
+    let shape: Option<Arc<ShapeMatrix>> = match flag(&args, "--shape").as_deref() {
+        None => None,
+        Some("table2") => Some(Arc::new(ShapeMatrix::table2(n))),
+        Some(s) if s.starts_with("uniform:") => match s["uniform:".len()..].parse::<u64>() {
+            Ok(ms) => Some(Arc::new(ShapeMatrix::uniform(
+                n,
+                LinkShape {
+                    delay: Duration::from_millis(ms),
+                    rate_bps: 0,
+                    burst_bytes: 0,
+                },
+            ))),
+            Err(e) => {
+                eprintln!("error: bad --shape uniform delay: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Some(other) => {
+            eprintln!("error: unknown --shape {other} (want table2 or uniform:<ms>)");
+            return ExitCode::from(2);
+        }
+    };
     let out_dir = flag(&args, "--out-dir").unwrap_or_else(|| "results".into());
     let bench_json = flag(&args, "--bench-json").unwrap_or_else(|| "BENCH_cluster.json".into());
     let protocol_flag: Option<ProtocolChoice> = match flag(&args, "--protocol") {
@@ -382,7 +429,7 @@ fn main() -> ExitCode {
 
     for plan in &plans {
         let RunPlan { protocol, verify, payload_bytes, load, scenario, .. } = plan;
-        let label = match (load, *scenario) {
+        let mut label = match (load, *scenario) {
             (Some(l), Scenario::Default) => {
                 format!("{}-{}-{}B", protocol.label(), verify.label(), l.batch_bytes)
             }
@@ -391,6 +438,9 @@ fn main() -> ExitCode {
             }
             (None, _) => format!("{}-{}", protocol.label(), verify.label()),
         };
+        if shape.is_some() {
+            label.push_str("-shaped");
+        }
         eprintln!(
             "cluster: {} verify={} n={n} delta={delta_ms}ms payload={payload_bytes}B{} for {duration_secs}s",
             protocol.name(),
@@ -406,6 +456,15 @@ fn main() -> ExitCode {
         // Each run gets its own data subdir: ledger state must not leak
         // across the protocol × verify grid.
         spec.data_dir = data_dir.as_ref().map(|d| d.join(&label));
+        spec.shape = shape.clone();
+        if let Some(m) = &shape {
+            eprintln!(
+                "  shaping: mean one-way link delay {:.0}ms over {}x{} links",
+                m.mean_delay().as_secs_f64() * 1000.0,
+                m.len(),
+                m.len()
+            );
+        }
         let mut cluster = match Cluster::launch(spec) {
             Ok(c) => c,
             Err(e) => {
@@ -428,6 +487,7 @@ fn main() -> ExitCode {
         let mut victim_restarted = false;
         let mut live_status: Option<String> = None;
         let mut live_metrics: Option<String> = None;
+        let mut mid_threads: Option<u64> = None;
         while Instant::now() < stop_at {
             if let Some(id) = restart_node {
                 if !victim_killed && Instant::now() >= kill_at {
@@ -444,10 +504,18 @@ fn main() -> ExitCode {
                     victim_restarted = true;
                 }
             }
-            if live_status.is_none() && Instant::now() >= scrape_at {
-                if let Some(Some(addr)) = cluster.introspect_addrs().first() {
-                    live_status = scrape(*addr, "/status");
-                    live_metrics = scrape(*addr, "/metrics");
+            if Instant::now() >= scrape_at {
+                // Sample the thread count mid-run, while every node (and
+                // any restart victim) is live — after stop() the pool is
+                // gone and the count proves nothing.
+                if mid_threads.is_none() {
+                    mid_threads = process_threads();
+                }
+                if live_status.is_none() {
+                    if let Some(Some(addr)) = cluster.introspect_addrs().first() {
+                        live_status = scrape(*addr, "/status");
+                        live_metrics = scrape(*addr, "/metrics");
+                    }
                 }
             }
             std::thread::sleep(Duration::from_millis(100));
@@ -495,6 +563,25 @@ fn main() -> ExitCode {
         }
         let report = cluster.stop();
         let elapsed = report.elapsed.as_secs_f64();
+
+        // Thread ceiling: the event-driven core must hold the process to
+        // one driver thread and one introspection server per node plus an
+        // O(cores) shared pool — not the old O(n²) reader/writer threads
+        // (for n=50 those alone were ~2500). Loaded runs add one batch
+        // assembler (and with --data-dir one ledger writer) per node.
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let per_node = 2 + load.is_some() as usize + data_dir.is_some() as usize;
+        let thread_ceiling = (per_node * n + 2 * cores + 16) as u64;
+        if let Some(t) = mid_threads {
+            eprintln!("  process threads @ t/2: {t} (ceiling {thread_ceiling})");
+            if t > thread_ceiling {
+                eprintln!(
+                    "  FAIL: {t} live threads exceed ceiling {thread_ceiling} \
+                     ({per_node}×n + 2×cores + 16)"
+                );
+                failed = true;
+            }
+        }
 
         // Record the merged trace so the checker can be re-run offline.
         let trace_path = format!("{out_dir}/cluster-{label}.trace.jsonl");
@@ -555,6 +642,37 @@ fn main() -> ExitCode {
             report.reports.iter().map(|r| r.metrics.counter(name)).sum()
         };
         let payload_hashes = sum_metric("driver.payload_hashes");
+        // Sigverify-stage accounting: how often batch verification ran and
+        // how many signatures each call amortised over.
+        let batch_verify_calls = sum_metric("crypto.batch_verify_calls");
+        let batch_verify_items = sum_metric("crypto.batch_verify_items");
+        let batch_verify_mean = if batch_verify_calls > 0 {
+            batch_verify_items as f64 / batch_verify_calls as f64
+        } else {
+            0.0
+        };
+        // The shared pool's counters are process-wide — every node reports
+        // the same values, so take the max rather than a meaningless sum.
+        let pool_metric = |name: &str| -> u64 {
+            report.reports.iter().map(|r| r.metrics.counter(name)).max().unwrap_or(0)
+        };
+        let loop_wakeups = pool_metric("reactor.loop_wakeups");
+        let frames_processed = pool_metric("reactor.frames_processed");
+        let reactor_shards = report
+            .reports
+            .iter()
+            .filter_map(|r| r.metrics.gauge("reactor.shards"))
+            .fold(0.0, f64::max) as u64;
+        let frames_per_wakeup = if loop_wakeups > 0 {
+            frames_processed as f64 / loop_wakeups as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  reactor: {reactor_shards} shard(s), {loop_wakeups} wakeups, \
+             {frames_per_wakeup:.1} frames/wakeup; sigverify {batch_verify_calls} \
+             batch calls, mean batch {batch_verify_mean:.1}"
+        );
         // Durability accounting. `ledger.wal_records` counts safety records
         // fsync'd before votes/timeouts hit the wire; a restart row's
         // `resync_blocks` is what the recovered node still owed the network
@@ -804,6 +922,17 @@ fn main() -> ExitCode {
         o.field_u64("invariant_violations", violations);
         o.field_u64("cache_hits", cache_hits);
         o.field_u64("cache_misses", cache_misses);
+        o.field_u64("process_threads", mid_threads.unwrap_or(0));
+        o.field_u64("thread_ceiling", thread_ceiling);
+        o.field_u64("reactor_shards", reactor_shards);
+        o.field_u64("reactor_loop_wakeups", loop_wakeups);
+        o.field_f64("reactor_frames_per_wakeup", frames_per_wakeup);
+        o.field_u64("batch_verify_calls", batch_verify_calls);
+        o.field_u64("batch_verify_items", batch_verify_items);
+        o.field_f64("batch_verify_mean", batch_verify_mean);
+        if let Some(m) = &shape {
+            o.field_f64("shape_mean_delay_ms", m.mean_delay().as_secs_f64() * 1000.0);
+        }
         // The half-duration scrape, verbatim, so every benchmark row
         // carries proof of what the live plane answered mid-run.
         if let Some(status) = &live_status {
@@ -928,8 +1057,18 @@ fn main() -> ExitCode {
 
     // The fairness gate: every mixed cell's paced p99 against its
     // paced-only baseline. A saturating client sharing the cluster must
-    // not inflate the paced clients' tail latency past max(2×, +50 ms) —
-    // this is the regression the per-client DRR drain exists to prevent.
+    // not inflate the paced clients' tail latency past
+    // max(2× baseline, +50 ms, 4× the mixed cell's own commit p99) —
+    // this is the regression the sparse fast lane and per-client DRR
+    // drain exist to prevent. The commit-relative term is the consensus
+    // floor: under saturation, adaptive batching legitimately grows
+    // blocks (trading commit latency for goodput), and a paced
+    // transaction cannot commit faster than the block that carries it —
+    // so the gate bounds paced latency to a few commit tails rather
+    // than to the light-load baseline's absolute numbers. The
+    // PR-7-era bufferbloat regime sat three orders of magnitude above
+    // this bound (paced p99 ≈ 1000× commit p99), so the gate still has
+    // plenty of teeth.
     for (i, plan) in plans.iter().enumerate() {
         let Some(b) = plan.baseline else { continue };
         let (Some(mixed), Some(base)) = (rows[i].paced_p99_ms, rows[b].paced_p99_ms) else {
@@ -940,12 +1079,12 @@ fn main() -> ExitCode {
             failed = true;
             continue;
         };
-        let bound = (2.0 * base).max(base + 50.0);
+        let bound = (2.0 * base).max(base + 50.0).max(4.0 * rows[i].p99_ms);
         if mixed > bound {
             eprintln!(
                 "FAIL: mixed-load gate: paced p99 {mixed:.1}ms in {} exceeds {bound:.1}ms \
-                 (baseline {base:.1}ms in {})",
-                rows[i].label, rows[b].label
+                 (baseline {base:.1}ms in {}, commit p99 {:.1}ms)",
+                rows[i].label, rows[b].label, rows[i].p99_ms
             );
             failed = true;
         } else {

@@ -18,18 +18,26 @@
 //!
 //! The data flows one way: the driver and transport *publish* into
 //! [`IntrospectState`] (atomics for the hot fields, a mutex-guarded
-//! registry refreshed every ~200 ms for the rest), and server threads only
-//! ever read. A wedged driver therefore cannot wedge `/status` — the
+//! registry refreshed every ~200 ms for the rest), and the server only
+//! ever reads. A wedged driver therefore cannot wedge `/status` — the
 //! snapshot just stops advancing, which is itself the diagnostic.
+//!
+//! The server is a single readiness-driven thread: one [`Poller`] owns the
+//! listener and every live connection, so N nodes with M curious clients
+//! cost N threads total, not N×(M+1). Responses are one JSON line; a
+//! connection that falls behind buffers its response and drains it on
+//! writability rather than blocking the loop.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use moonshot_mempool::Mempool;
+use moonshot_reactor::{Event, Interest, Poller, Waker, WAKE_TOKEN};
 use moonshot_telemetry::json::{array, JsonObject};
 use moonshot_telemetry::MetricsRegistry;
 use moonshot_types::NodeId;
@@ -167,17 +175,21 @@ impl IntrospectState {
     }
 }
 
-/// How often blocked server threads wake to check the shutdown flag.
-const POLL: Duration = Duration::from_millis(50);
+/// Longest request line (and largest buffered-but-unparsed input) a client
+/// may send before the server hangs up on it.
+const LINE_LIMIT: usize = 4096;
 
-/// The per-node introspection server: one acceptor thread plus one thread
-/// per live connection. Start with [`IntrospectServer::start`], tear down
-/// with [`IntrospectServer::stop`].
+/// The listener's poller token. Connection slots start above it.
+const LISTENER: usize = 0;
+
+/// The per-node introspection server: a single readiness-driven thread
+/// owning the listener and every live connection. Start with
+/// [`IntrospectServer::start`], tear down with [`IntrospectServer::stop`].
 pub struct IntrospectServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    waker: Waker,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for IntrospectServer {
@@ -192,32 +204,18 @@ impl IntrospectServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        let waker = Waker::for_poller(&poller)?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
+        let thread = {
             let shutdown = shutdown.clone();
-            let handlers = handlers.clone();
             std::thread::Builder::new()
                 .name(format!("introspect-{}", state.node))
-                .spawn(move || {
-                    while !shutdown.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let state = state.clone();
-                                let shutdown = shutdown.clone();
-                                let handle = std::thread::Builder::new()
-                                    .name("introspect-conn".into())
-                                    .spawn(move || serve_connection(stream, state, shutdown))
-                                    .expect("spawn introspect handler");
-                                handlers.lock().unwrap().push(handle);
-                            }
-                            Err(_) => std::thread::sleep(POLL),
-                        }
-                    }
-                })
-                .expect("spawn introspect acceptor")
+                .spawn(move || serve(poller, listener, state, shutdown))
+                .expect("spawn introspect server")
         };
-        Ok(IntrospectServer { local_addr, shutdown, acceptor: Some(acceptor), handlers })
+        Ok(IntrospectServer { local_addr, shutdown, waker, thread: Some(thread) })
     }
 
     /// The bound address (useful with port 0).
@@ -225,43 +223,122 @@ impl IntrospectServer {
         self.local_addr
     }
 
-    /// Signals every thread to stop and joins them.
+    /// Signals the server thread to stop and joins it.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.acceptor.take() {
-            let _ = t.join();
-        }
-        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
-        for t in handlers {
+        let _ = self.waker.wake();
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
 }
 
-/// Serves one connection: request lines in, JSON lines out, until EOF or
-/// shutdown. HTTP-style requests get a minimal HTTP response and a close.
-fn serve_connection(stream: TcpStream, state: Arc<IntrospectState>, shutdown: Arc<AtomicBool>) {
-    let _ = stream.set_read_timeout(Some(POLL));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    while !shutdown.load(Ordering::SeqCst) {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
+/// One live client connection.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into a complete request line.
+    rbuf: Vec<u8>,
+    /// Response bytes queued behind a slow reader; `sent` is the flush
+    /// cursor so a partial write never re-sends a prefix.
+    wbuf: Vec<u8>,
+    sent: usize,
+    /// HTTP-style clients get one response and a close (what curl expects).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    /// The interest this connection currently needs from the poller.
+    fn interest(&self) -> Interest {
+        if self.sent < self.wbuf.len() {
+            Interest::BOTH
+        } else {
+            Interest::READABLE
         }
-        let raw = line.trim();
+    }
+}
+
+/// The server loop: accepts, reads request lines, answers, and drains slow
+/// writers — all on this one thread, woken only by readiness.
+fn serve(
+    mut poller: Poller,
+    listener: TcpListener,
+    state: Arc<IntrospectState>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        if poller.wait(&mut events, None).is_err() {
+            return;
+        }
+        for &ev in &events {
+            match ev.token {
+                WAKE_TOKEN => {} // shutdown re-checked at loop top
+                LISTENER => accept_ready(&mut poller, &listener, &mut conns),
+                token => {
+                    let slot = token - 1;
+                    let Some(mut c) = conns.get_mut(slot).and_then(Option::take) else {
+                        continue;
+                    };
+                    let alive = !ev.hangup
+                        && (!ev.readable || drive_read(&mut c, &state))
+                        && (!ev.writable || drive_write(&mut c));
+                    if alive {
+                        let _ = poller.reregister(c.stream.as_raw_fd(), token, c.interest());
+                        conns[slot] = Some(c);
+                    } else {
+                        let _ = poller.deregister(c.stream.as_raw_fd());
+                    }
+                }
+            }
+        }
+    }
+}
+
+
+/// Accepts every pending connection, parking each in the lowest free slot.
+fn accept_ready(poller: &mut Poller, listener: &TcpListener, conns: &mut Vec<Option<Conn>>) {
+    while let Ok((stream, _)) = listener.accept() {
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let slot = match conns.iter().position(Option::is_none) {
+            Some(s) => s,
+            None => {
+                conns.push(None);
+                conns.len() - 1
+            }
+        };
+        let c = Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            sent: 0,
+            close_after_flush: false,
+        };
+        if poller.register(c.stream.as_raw_fd(), slot + 1, Interest::READABLE).is_ok() {
+            conns[slot] = Some(c);
+        }
+    }
+}
+
+/// Reads what the socket has and answers every complete request line.
+/// Returns false when the connection should be dropped.
+fn drive_read(c: &mut Conn, state: &IntrospectState) -> bool {
+    let mut chunk = [0u8; 1024];
+    loop {
+        match c.stream.read(&mut chunk) {
+            Ok(0) => return false, // client closed
+            Ok(n) => c.rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    while let Some(nl) = c.rbuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = c.rbuf.drain(..=nl).collect();
+        let raw = String::from_utf8_lossy(&line);
+        let raw = raw.trim();
         // Accept "GET /status HTTP/1.1" (curl), "/status", and "status".
         let http = raw.starts_with("GET ");
         let path = if http { raw.split_whitespace().nth(1).unwrap_or("") } else { raw };
@@ -274,27 +351,49 @@ fn serve_connection(stream: TcpStream, state: Arc<IntrospectState>, shutdown: Ar
                 o.finish()
             }
         };
-        let ok = if http {
-            // Drain the rest of the HTTP request headers is unnecessary:
+        if http {
+            // Draining the rest of the HTTP request headers is unnecessary:
             // we answer and close, which every HTTP client accepts.
             let head = format!(
                 "HTTP/1.0 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
                 body.len()
             );
-            writer.write_all(head.as_bytes()).is_ok() && writer.write_all(body.as_bytes()).is_ok()
-        } else {
-            writer.write_all(body.as_bytes()).is_ok() && writer.write_all(b"\n").is_ok()
-        };
-        if !ok || http {
-            return;
+            c.wbuf.extend_from_slice(head.as_bytes());
+            c.wbuf.extend_from_slice(body.as_bytes());
+            c.close_after_flush = true;
+            break;
+        }
+        c.wbuf.extend_from_slice(body.as_bytes());
+        c.wbuf.push(b'\n');
+    }
+    if c.rbuf.len() > LINE_LIMIT {
+        return false; // a request line this long is not a request
+    }
+    drive_write(c)
+}
+
+/// Flushes as much queued response as the socket accepts. Returns false
+/// when the connection should be dropped (error, or done after an HTTP
+/// response).
+fn drive_write(c: &mut Conn) -> bool {
+    while c.sent < c.wbuf.len() {
+        match c.stream.write(&c.wbuf[c.sent..]) {
+            Ok(0) => return false,
+            Ok(n) => c.sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         }
     }
+    c.wbuf.clear();
+    c.sent = 0;
+    !c.close_after_flush
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
+    use std::io::{BufRead, BufReader, Read};
 
     fn request_line(addr: SocketAddr, req: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();

@@ -8,9 +8,14 @@
 //!
 //! * [`timer`] — a hashed [`TimerWheel`](timer::TimerWheel) for protocol
 //!   timers, keyed by microseconds since a shared cluster epoch.
-//! * [`transport`] — per-peer TCP with reader/writer threads, bounded
+//! * [`netpool`] — the shared event-driven network core: a fixed set of
+//!   readiness-driven shard loops (via `moonshot-reactor`), one dialer,
+//!   and a batched sigverify stage, shared by every node in a process.
+//! * [`transport`] — the per-node facade over the pool: bounded
 //!   drop-oldest outbound queues, exponential-backoff redial, and per-peer
 //!   byte/frame/drop/reconnect counters.
+//! * [`shape`] — per-link latency/bandwidth shaping matrices (Table II
+//!   WAN emulation) enforced sender-side by the pool's event loops.
 //! * [`runtime`] — the driver thread gluing protocol, wheel and transport
 //!   together, with [`ProtocolObserver`](moonshot_consensus::ProtocolObserver)
 //!   tracing at the call boundary so cluster runs feed the same invariant
@@ -32,7 +37,9 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod introspect;
+pub mod netpool;
 pub mod runtime;
+pub mod shape;
 pub mod timer;
 pub mod transport;
 
@@ -40,5 +47,7 @@ pub use client::{ClientStats, ClientTarget, TxClient, TxClientConfig};
 pub use cluster::{Cluster, ClusterReport, ClusterSpec, LoadSpec, RestartStat, StageLatencies};
 pub use config::{node_config, ClusterConfig, ProtocolChoice, VerifyMode};
 pub use introspect::{IntrospectServer, IntrospectState, NodeStatus};
-pub use runtime::{NodeHandle, NodeReport, SharedSink};
+pub use netpool::{NetPool, NetPoolConfig, NetPoolStats};
+pub use runtime::{process_threads, NodeHandle, NodeReport, SharedSink};
+pub use shape::{LinkShape, ShapeMatrix};
 pub use transport::{Inbound, InboundSender, PeerMetrics, Transport, TransportConfig};

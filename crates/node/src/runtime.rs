@@ -73,6 +73,22 @@ const PUSH_LIMIT: usize = 64;
 /// fetcher) re-delivers anything that mattered.
 const GATED_LIMIT: usize = 1024;
 
+/// How many blocks behind the commit frontier a committed batch stays in the
+/// `BatchStore` before GC. Wide enough that report-time tx accounting and a
+/// lagging peer's fetch both resolve; narrow enough that steady-state store
+/// bytes stay flat instead of riding the eviction budget.
+const DISSEM_RETAIN_BLOCKS: u64 = 512;
+
+/// This process's live thread count, from `/proc/self/status`. `None` where
+/// procfs is absent — the `process.threads` gauge is simply not published.
+pub fn process_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
 /// What the driver thread hands back when it stops.
 #[derive(Debug)]
 pub struct NodeReport {
@@ -607,6 +623,11 @@ impl Driver {
         live.set_counter("verify.cache_rejects", cache.rejects);
         live.set_counter("verify.cache_evictions", cache.evictions);
         live.set_gauge("verify.cache_len", cache.len as f64);
+        live.set_counter("crypto.batch_verify_calls", cache.batch_calls);
+        live.set_counter("crypto.batch_verify_items", cache.batch_items);
+        if let Some(threads) = process_threads() {
+            live.set_gauge("process.threads", threads as f64);
+        }
         if let Some(ledger) = &self.ledger {
             ledger.publish_into(&mut live);
         }
@@ -621,6 +642,7 @@ impl Driver {
             live.set_counter("dissem.fetches_missed", s.fetches_missed);
             live.set_counter("dissem.votes_gated", s.votes_gated);
             live.set_counter("dissem.evicted", s.evicted);
+            live.set_counter("dissem.store_pruned_committed", s.pruned_committed);
             live.set_counter("dissem.gated_dropped", self.gated_dropped);
             live.set_gauge("dissem.store_batches", plane.store.len() as f64);
             live.set_gauge("dissem.store_bytes", plane.store.bytes() as f64);
@@ -893,7 +915,16 @@ impl Driver {
                                         resolved,
                                     },
                                 });
+                                plane.store.mark_committed(r.digest, c.block.height().0);
                             }
+                            // Committed batches only need to stick around long
+                            // enough for report-time tx accounting and for
+                            // lagging peers to fetch them; after the retention
+                            // window they are dead weight the byte-budget
+                            // eviction would otherwise churn through.
+                            plane
+                                .store
+                                .prune_committed(c.block.height().0.saturating_sub(DISSEM_RETAIN_BLOCKS));
                         }
                         // Commitment unpins the batches' transactions (only
                         // our own seals are pinned here; foreign digests

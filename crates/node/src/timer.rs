@@ -13,7 +13,11 @@
 use moonshot_consensus::TimerToken;
 use moonshot_types::time::{SimDuration, SimTime};
 
-/// A fixed-granularity hashed timer wheel.
+/// A fixed-granularity hashed timer wheel, generic over the timer payload.
+///
+/// Protocol drivers use the default `T = TimerToken`; the event-loop shards
+/// in the transport reuse the same wheel with their own timer enum (redial
+/// backoff, shaping release).
 ///
 /// # Examples
 ///
@@ -30,14 +34,14 @@ use moonshot_types::time::{SimDuration, SimTime};
 /// assert!(wheel.is_empty());
 /// ```
 #[derive(Debug)]
-pub struct TimerWheel {
+pub struct TimerWheel<T = TimerToken> {
     granularity_us: u64,
-    slots: Vec<Vec<(u64, TimerToken)>>,
+    slots: Vec<Vec<(u64, T)>>,
     /// Absolute time (µs) at the start of the slot under the cursor.
     cursor_time: u64,
     cursor: usize,
     /// Entries beyond the horizon, waiting to be slotted.
-    overflow: Vec<(u64, TimerToken)>,
+    overflow: Vec<(u64, T)>,
     len: usize,
     /// Cached earliest armed deadline (µs), kept in sync by `arm`/`expire`
     /// so the driver's per-iteration `next_deadline` probe is O(1) instead
@@ -45,7 +49,7 @@ pub struct TimerWheel {
     earliest: Option<u64>,
 }
 
-impl TimerWheel {
+impl<T> TimerWheel<T> {
     /// A wheel of `slots` slots of `granularity` each (horizon =
     /// `granularity × slots`). Granularity must be non-zero.
     pub fn new(granularity: SimDuration, slots: usize) -> Self {
@@ -79,7 +83,7 @@ impl TimerWheel {
 
     /// Arms `token` to fire at `deadline`. Past deadlines fire on the next
     /// [`expire`](TimerWheel::expire) call.
-    pub fn arm(&mut self, deadline: SimTime, token: TimerToken) {
+    pub fn arm(&mut self, deadline: SimTime, token: T) {
         self.len += 1;
         let deadline = deadline.0;
         self.earliest = Some(self.earliest.map_or(deadline, |e| e.min(deadline)));
@@ -116,16 +120,16 @@ impl TimerWheel {
 
     /// Fires every timer with `deadline ≤ now`, earliest first, advancing
     /// the cursor to `now`.
-    pub fn expire(&mut self, now: SimTime) -> Vec<TimerToken> {
+    pub fn expire(&mut self, now: SimTime) -> Vec<T> {
         let now = now.0;
-        let mut due: Vec<(u64, TimerToken)> = Vec::new();
+        let mut due: Vec<(u64, T)> = Vec::new();
         let nslots = self.slots.len();
         let horizon = self.granularity_us * nslots as u64;
 
         // Sweep every slot the cursor passes, plus the one it lands in.
         // Entries in a swept slot that are not yet due (same slot, later
         // rotation — or later within the cursor's current slot) go back in.
-        let mut requeue: Vec<(u64, TimerToken)> = Vec::new();
+        let mut requeue: Vec<(u64, T)> = Vec::new();
         if now >= self.cursor_time + horizon {
             // The clock jumped a full rotation or more (idle wheel, or a
             // node started long after the shared cluster epoch): every slot
@@ -161,7 +165,7 @@ impl TimerWheel {
 
         // Overflow entries now inside the horizon can be slotted.
         let cursor_time = self.cursor_time;
-        let mut still_far: Vec<(u64, TimerToken)> = Vec::new();
+        let mut still_far: Vec<(u64, T)> = Vec::new();
         for entry in self.overflow.drain(..) {
             if entry.0 <= now {
                 due.push(entry);

@@ -1,4 +1,5 @@
-//! Per-peer TCP transport.
+//! Per-peer TCP transport — the facade over the shared event-driven
+//! network core ([`crate::netpool`]).
 //!
 //! Topology: every node listens on one socket and dials one outbound
 //! connection per peer. A pair of nodes is therefore joined by two
@@ -7,32 +8,41 @@
 //! connection ownership trivial (no simultaneous-dial deduplication) at the
 //! cost of one extra socket per pair.
 //!
-//! Threads per node: one acceptor, one reader per accepted connection, one
-//! writer per peer. Writers drain a bounded outbound queue with
-//! **drop-oldest** backpressure (consensus tolerates message loss — the
-//! protocols re-sync via certificates and the block fetcher — so dropping
-//! the stalest frame beats unbounded buffering or blocking the driver) and
-//! redial with exponential backoff after any connection failure. Every
-//! dialed connection opens with a [`Frame::Hello`] so the accepting side
-//! learns who is talking before the first consensus message.
+//! Threading: none of it lives here anymore. A [`NetPool`] — a fixed set
+//! of readiness-driven shard loops, one dialer, and a batched sigverify
+//! stage — owns every socket. The transport contributes the per-peer
+//! bounded outbound queues with **drop-oldest** backpressure (consensus
+//! tolerates message loss — the protocols re-sync via certificates and the
+//! block fetcher — so dropping the stalest frame beats unbounded buffering
+//! or blocking the driver), a protected drop-*new* class for sync
+//! responses, and per-peer counters. A transport either owns a private
+//! pool (created when [`TransportConfig::pool`] is `None`) or shares one
+//! with every other node in an in-process cluster, which is what takes a
+//! 50-node localhost cluster from ~50·(n+2) threads to 50 drivers plus one
+//! constant-size pool.
 //!
-//! All sockets run with short read/wait timeouts so threads observe the
-//! shutdown flag promptly; [`Transport::stop`] joins every thread.
+//! Every dialed connection opens with a [`Frame::Hello`] so the accepting
+//! side learns who is talking before the first consensus message.
 
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use moonshot_consensus::{Message, MessageVerifier, RetryPolicy};
-use moonshot_mempool::{batch_digest, DissemPlane, Mempool};
+use moonshot_mempool::{DissemPlane, Mempool};
 use moonshot_telemetry::MetricsRegistry;
 use moonshot_types::NodeId;
-use moonshot_wire::{encode_frame, Frame, FrameReader};
+
+use crate::netpool::{NetPool, NetPoolConfig, NodeCore, PeerState};
+use crate::shape::ShapeMatrix;
+
+// Frame is only mentioned in docs now that the reader/writer loops moved
+// to the pool, but the hello contract is part of this module's story.
+#[allow(unused_imports)]
+use moonshot_wire::Frame;
 
 /// A message delivered by the transport to the driver loop.
 #[derive(Debug)]
@@ -42,9 +52,9 @@ pub struct Inbound {
     pub from: NodeId,
     /// The consensus message.
     pub msg: Message,
-    /// Whether every signature in `msg` was already checked (on a reader
-    /// thread, or trivially for loopback copies of this node's own
-    /// messages). The driver routes `verified` messages through
+    /// Whether every signature in `msg` was already checked (in the
+    /// pool's sigverify stage, or trivially for loopback copies of this
+    /// node's own messages). The driver routes `verified` messages through
     /// `handle_preverified`, skipping inline crypto.
     pub verified: bool,
 }
@@ -53,9 +63,9 @@ pub struct Inbound {
 ///
 /// `std::sync::mpsc` channels cannot report their length, but the
 /// introspection plane and the stall watchdog both want to know how deep
-/// the driver's inbox is. Every producer (reader threads, the loopback
-/// path) sends through this wrapper, which bumps a shared gauge; the
-/// driver decrements the same gauge once per message it dequeues. The
+/// the driver's inbox is. Every producer (shard loops, verify workers, the
+/// loopback path) sends through this wrapper, which bumps a shared gauge;
+/// the driver decrements the same gauge once per message it dequeues. The
 /// gauge is therefore an upper bound that is exact whenever the driver is
 /// between messages.
 #[derive(Clone, Debug)]
@@ -108,14 +118,14 @@ pub struct TransportConfig {
     pub reconnect_base: Duration,
     /// Reconnect delay ceiling.
     pub reconnect_max: Duration,
-    /// When set, reader threads verify every decoded message before
-    /// handing it to the driver: failures are dropped (and counted in
-    /// [`PeerMetrics::verify_failures`]), successes arrive with
+    /// When set, the pool's sigverify stage verifies every decoded message
+    /// before handing it to the driver: failures are dropped (and counted
+    /// in [`PeerMetrics::verify_failures`]), successes arrive with
     /// [`Inbound::verified`] set. When `None`, messages are delivered
     /// unverified and the driver checks them inline.
     pub verifier: Option<Arc<MessageVerifier>>,
     /// When set, `SubmitTx` frames from client connections are fed into
-    /// this mempool on the reader thread (hash + admission control there,
+    /// this mempool on the shard loop (hash + admission control there,
     /// never on the driver). When `None`, submissions are ignored.
     pub mempool: Option<Arc<Mempool>>,
     /// When set, the node runtime serves the live introspection plane
@@ -125,7 +135,7 @@ pub struct TransportConfig {
     /// `TraceEvent::Stall` snapshot whenever this long passes without a
     /// commit. `None` disables the watchdog.
     pub stall_timeout: Option<Duration>,
-    /// When set, the node runs digest-only dissemination: reader threads
+    /// When set, the node runs digest-only dissemination: shard loops
     /// validate and store `BatchPush`/`BatchResponse` frames into the
     /// plane's batch store and answer `BatchRequest` frames from it, and
     /// the driver pushes sealed batches / gates votes through the same
@@ -142,6 +152,14 @@ pub struct TransportConfig {
     /// Retry policy of the driver's batch fetcher (digest mode). Must be
     /// resolved against the deployment's Δ ([`RetryPolicy::resolve`]).
     pub batch_fetch_retry: RetryPolicy,
+    /// The shared network core to attach to. `None` (the default) gives
+    /// the transport a private pool it owns and shuts down with itself;
+    /// in-process clusters pass one pool to every node so the whole
+    /// cluster costs a constant number of transport threads.
+    pub pool: Option<Arc<NetPool>>,
+    /// Per-link latency/bandwidth shaping applied to this node's outbound
+    /// connections (sender-side). `None` = unshaped.
+    pub shape: Option<Arc<ShapeMatrix>>,
 }
 
 impl TransportConfig {
@@ -165,6 +183,8 @@ impl TransportConfig {
             drop_batch_push_to: None,
             batch_fetch_retry: RetryPolicy::auto()
                 .resolve(moonshot_types::time::SimDuration::from_millis(100)),
+            pool: None,
+            shape: None,
         }
     }
 
@@ -175,8 +195,8 @@ impl TransportConfig {
     }
 }
 
-/// Per-peer transport counters (atomics: written by transport threads, read
-/// by whoever snapshots metrics).
+/// Per-peer transport counters (atomics: written by pool threads, read by
+/// whoever snapshots metrics).
 #[derive(Debug, Default)]
 pub struct PeerMetrics {
     /// Payload bytes written to this peer (frames included).
@@ -206,14 +226,14 @@ pub struct PeerMetrics {
     pub queue_bytes: AtomicU64,
     /// Frames from this peer the decoder rejected (connection then dropped).
     pub decode_errors: AtomicU64,
-    /// Messages from this peer dropped by reader-thread signature
+    /// Messages from this peer dropped by sigverify-stage signature
     /// verification (bad signature or certificate).
     pub verify_failures: AtomicU64,
 }
 
-struct OutboundQueue {
+pub(crate) struct OutboundQueue {
     frames: Mutex<VecFrames>,
-    signal: Condvar,
+    pub(crate) signal: Condvar,
     capacity: usize,
     byte_capacity: usize,
     /// Byte budget of the protected class ([`push_protected`]
@@ -235,7 +255,11 @@ struct VecFrames {
 }
 
 impl OutboundQueue {
-    fn new(capacity: usize, byte_capacity: usize, protected_byte_capacity: usize) -> Self {
+    pub(crate) fn new(
+        capacity: usize,
+        byte_capacity: usize,
+        protected_byte_capacity: usize,
+    ) -> Self {
         OutboundQueue {
             frames: Mutex::new(VecFrames {
                 queue: std::collections::VecDeque::new(),
@@ -255,7 +279,7 @@ impl OutboundQueue {
     /// larger than the whole byte budget still gets sent; the queue's
     /// memory is bounded by `max(byte_capacity, largest frame)`). Returns
     /// the number of frames dropped and the new depth.
-    fn push(&self, frame: Arc<Vec<u8>>) -> (u64, u64) {
+    pub(crate) fn push(&self, frame: Arc<Vec<u8>>) -> (u64, u64) {
         let mut inner = self.frames.lock().unwrap();
         let mut dropped = 0;
         while !inner.queue.is_empty()
@@ -281,7 +305,7 @@ impl OutboundQueue {
     /// budget is full, the *new* frame is refused instead (drop-new) —
     /// returns `false` and the caller counts it. The budget exists only to
     /// bound a request flood; the requester's retry machinery re-asks.
-    fn push_protected(&self, frame: Arc<Vec<u8>>) -> bool {
+    pub(crate) fn push_protected(&self, frame: Arc<Vec<u8>>) -> bool {
         let mut inner = self.frames.lock().unwrap();
         if !inner.protected.is_empty()
             && inner.protected_bytes + frame.len() > self.protected_byte_capacity
@@ -298,8 +322,10 @@ impl OutboundQueue {
     /// Waits up to `wait` for a frame, serving the protected class first.
     /// Loops on the condvar until a frame arrives or the deadline passes —
     /// a spurious wakeup (or a notify that raced with another consumer)
-    /// must not cut the wait short.
-    fn pop(&self, wait: Duration) -> Option<Arc<Vec<u8>>> {
+    /// must not cut the wait short. The shard loops call this with
+    /// `Duration::ZERO` (pure nonblocking drain); the wait path survives
+    /// for tests and any future blocking consumer.
+    pub(crate) fn pop(&self, wait: Duration) -> Option<Arc<Vec<u8>>> {
         let deadline = Instant::now() + wait;
         let mut inner = self.frames.lock().unwrap();
         loop {
@@ -320,48 +346,41 @@ impl OutboundQueue {
         }
     }
 
-    fn depth(&self) -> u64 {
+    pub(crate) fn depth(&self) -> u64 {
         let inner = self.frames.lock().unwrap();
         (inner.queue.len() + inner.protected.len()) as u64
     }
 
     /// Bytes currently buffered across both classes (tests, diagnostics).
-    fn buffered_bytes(&self) -> usize {
+    pub(crate) fn buffered_bytes(&self) -> usize {
         let inner = self.frames.lock().unwrap();
         inner.bytes + inner.protected_bytes
     }
 }
 
-struct Peer {
-    metrics: Arc<PeerMetrics>,
-    queue: Arc<OutboundQueue>,
-}
-
-/// The TCP transport for one node: an acceptor, per-peer writers, per-
-/// connection readers. Create with [`Transport::start`], tear down with
-/// [`Transport::stop`].
+/// The TCP transport for one node: per-peer outbound queues and counters,
+/// attached to a [`NetPool`] that does all the socket work. Create with
+/// [`Transport::start`], tear down with [`Transport::stop`].
 pub struct Transport {
     node: NodeId,
-    peers: BTreeMap<NodeId, Peer>,
-    shutdown: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
-    /// Reader threads are spawned by the acceptor as connections arrive.
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    core: Arc<NodeCore>,
+    pool: Arc<NetPool>,
+    /// Whether [`stop`](Transport::stop) also shuts the pool down (true
+    /// for the private pool a solo transport creates for itself).
+    owns_pool: bool,
     local_addr: SocketAddr,
 }
 
 impl std::fmt::Debug for Transport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Transport(node={}, peers={})", self.node, self.peers.len())
+        write!(f, "Transport(node={}, peers={})", self.node, self.core.peers.len())
     }
 }
 
-/// How often blocked threads wake to check the shutdown flag.
-const POLL: Duration = Duration::from_millis(50);
-
 impl Transport {
-    /// Binds the listener and spawns the acceptor and per-peer writer
-    /// threads. Inbound messages flow into `inbound`.
+    /// Binds the listener and attaches this node to its network pool
+    /// (creating a private one when the config names none). Inbound
+    /// messages flow into `inbound`.
     pub fn start(cfg: TransportConfig, inbound: InboundSender) -> std::io::Result<Transport> {
         let listener = TcpListener::bind(cfg.listen)?;
         Self::start_with_listener(cfg, listener, inbound)
@@ -378,85 +397,48 @@ impl Transport {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (pool, owns_pool) = match &cfg.pool {
+            Some(p) => (p.clone(), false),
+            None => (NetPool::new(NetPoolConfig::default())?, true),
+        };
 
-        let mut peers = BTreeMap::new();
-        let mut peer_metrics: BTreeMap<NodeId, Arc<PeerMetrics>> = BTreeMap::new();
-        for (id, _) in cfg.peers.iter().filter(|(id, _)| *id != cfg.node_id) {
-            let metrics = Arc::new(PeerMetrics::default());
-            peer_metrics.insert(*id, metrics.clone());
+        let mut peers: BTreeMap<NodeId, Arc<PeerState>> = BTreeMap::new();
+        let mut addrs: BTreeMap<NodeId, SocketAddr> = BTreeMap::new();
+        for (id, addr) in cfg.peers.iter().filter(|(id, _)| *id != cfg.node_id) {
             peers.insert(
                 *id,
-                Peer {
-                    metrics,
+                Arc::new(PeerState {
                     queue: Arc::new(OutboundQueue::new(
                         cfg.queue_capacity,
                         cfg.queue_byte_capacity,
                         cfg.protected_byte_capacity,
                     )),
-                },
+                    metrics: Arc::new(PeerMetrics::default()),
+                    conn: Mutex::new(None),
+                    backoff: Mutex::new(cfg.reconnect_base),
+                    established_once: AtomicBool::new(false),
+                }),
             );
-        }
-        // Reader threads answer `BatchRequest` frames themselves (the
-        // driver never sees them), so they need each peer's outbound queue
-        // to push the `BatchResponse` into.
-        let queues: Arc<BTreeMap<NodeId, Arc<OutboundQueue>>> =
-            Arc::new(peers.iter().map(|(id, p)| (*id, p.queue.clone())).collect());
-
-        let mut threads = Vec::new();
-
-        // Acceptor: non-blocking accept + sleep, so shutdown is observed.
-        {
-            let shutdown = shutdown.clone();
-            let readers = readers.clone();
-            let inbound = inbound.clone();
-            let metrics_map = peer_metrics.clone();
-            let verifier = cfg.verifier.clone();
-            let mempool = cfg.mempool.clone();
-            let dissem = cfg.dissem.clone();
-            let queues = queues.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("accept-{}", cfg.node_id))
-                    .spawn(move || {
-                        accept_loop(
-                            listener,
-                            shutdown,
-                            readers,
-                            inbound,
-                            metrics_map,
-                            verifier,
-                            mempool,
-                            dissem,
-                            queues,
-                        );
-                    })
-                    .expect("spawn acceptor"),
-            );
+            addrs.insert(*id, *addr);
         }
 
-        // One writer per peer.
-        for (id, addr) in cfg.peers.iter().filter(|(id, _)| *id != cfg.node_id) {
-            let peer = &peers[id];
-            let queue = peer.queue.clone();
-            let metrics = peer.metrics.clone();
-            let shutdown = shutdown.clone();
-            let me = cfg.node_id;
-            let addr = *addr;
-            let base = cfg.reconnect_base;
-            let max = cfg.reconnect_max;
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("write-{}-{}", cfg.node_id, id))
-                    .spawn(move || {
-                        writer_loop(me, addr, queue, metrics, shutdown, base, max);
-                    })
-                    .expect("spawn writer"),
-            );
-        }
+        let core = Arc::new(NodeCore {
+            id: pool.next_core_id(),
+            node: cfg.node_id,
+            inbound,
+            verifier: cfg.verifier.clone(),
+            mempool: cfg.mempool.clone(),
+            dissem: cfg.dissem.clone(),
+            peers,
+            addrs,
+            reconnect_base: cfg.reconnect_base,
+            reconnect_max: cfg.reconnect_max,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            shape: cfg.shape.clone(),
+        });
+        pool.attach(core.clone(), listener);
 
-        Ok(Transport { node: cfg.node_id, peers, shutdown, threads, readers, local_addr })
+        Ok(Transport { node: cfg.node_id, core, pool, owns_pool, local_addr })
     }
 
     /// The bound listen address (useful with port 0).
@@ -464,40 +446,47 @@ impl Transport {
         self.local_addr
     }
 
-    /// The shared shutdown flag. Lets a holder wind the transport threads
-    /// down before the owning driver exits (idempotent with
-    /// [`stop`](Transport::stop)) — cluster teardown broadcasts it so no
-    /// writer redials a peer that is merely being joined first.
+    /// The shared shutdown flag. Lets a holder wind this node's network
+    /// activity down before the owning driver exits (idempotent with
+    /// [`stop`](Transport::stop)) — cluster teardown broadcasts it so the
+    /// pool never redials a peer that is merely being joined first.
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
-        self.shutdown.clone()
+        self.core.shutdown.clone()
+    }
+
+    /// The pool this transport is attached to (cluster-level stats).
+    pub fn pool(&self) -> Arc<NetPool> {
+        self.pool.clone()
     }
 
     /// Queues `frame` for `to`. Unknown peers are ignored (the config is the
     /// membership). Never blocks: full queues drop their oldest frame.
     pub fn send(&self, to: NodeId, frame: Arc<Vec<u8>>) {
-        if let Some(peer) = self.peers.get(&to) {
+        if let Some(peer) = self.core.peers.get(&to) {
             let (dropped, depth) = peer.queue.push(frame);
             peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
             peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
             peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
+            self.pool.nudge_peer(peer);
         }
     }
 
     /// Queues `frame` for every peer (self excluded — the driver loops its
     /// own multicasts back directly).
     pub fn broadcast(&self, frame: Arc<Vec<u8>>) {
-        for (_, peer) in self.peers.iter() {
+        for (_, peer) in self.core.peers.iter() {
             let (dropped, depth) = peer.queue.push(frame.clone());
             peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
             peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
             peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
+            self.pool.nudge_peer(peer);
         }
     }
 
     /// Like [`broadcast`](Transport::broadcast), but skipping `except` —
     /// the driver's `BatchPush` path under the drop-push fault knob.
     pub fn broadcast_except(&self, frame: Arc<Vec<u8>>, except: Option<NodeId>) {
-        for (id, peer) in self.peers.iter() {
+        for (id, peer) in self.core.peers.iter() {
             if Some(*id) == except {
                 continue;
             }
@@ -505,6 +494,7 @@ impl Transport {
             peer.metrics.dropped_frames.fetch_add(dropped, Ordering::Relaxed);
             peer.metrics.queue_depth.store(depth, Ordering::Relaxed);
             peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
+            self.pool.nudge_peer(peer);
         }
     }
 
@@ -513,18 +503,19 @@ impl Transport {
     /// (`BlockResponse`, `BatchResponse`) whose loss would wedge the
     /// requester behind its own retry timeout.
     pub fn send_priority(&self, to: NodeId, frame: Arc<Vec<u8>>) {
-        if let Some(peer) = self.peers.get(&to) {
+        if let Some(peer) = self.core.peers.get(&to) {
             if !peer.queue.push_protected(frame) {
                 peer.metrics.protected_dropped.fetch_add(1, Ordering::Relaxed);
             }
             peer.metrics.queue_depth.store(peer.queue.depth(), Ordering::Relaxed);
             peer.metrics.queue_bytes.store(peer.queue.buffered_bytes() as u64, Ordering::Relaxed);
+            self.pool.nudge_peer(peer);
         }
     }
 
     /// Every peer id this transport can send to (self excluded).
     pub fn peer_ids(&self) -> Vec<NodeId> {
-        self.peers.keys().copied().collect()
+        self.core.peers.keys().copied().collect()
     }
 
     /// Snapshots per-peer and aggregate counters into `reg` under
@@ -534,7 +525,7 @@ impl Transport {
     /// registry refreshes it instead of double-counting.
     pub fn snapshot_metrics(&self, reg: &mut MetricsRegistry) {
         let mut totals = [0u64; 6];
-        for (id, peer) in &self.peers {
+        for (id, peer) in &self.core.peers {
             let m = &peer.metrics;
             let depth = peer.queue.depth();
             m.queue_depth.store(depth, Ordering::Relaxed);
@@ -576,265 +567,45 @@ impl Transport {
         {
             reg.set_counter(&format!("net.total.{name}"), totals[i]);
         }
+        // The pool's shard/stage counters. With a shared pool these are
+        // process-wide, not per-node — every node in a cluster reports the
+        // same values, which is exactly what a "how busy is the network
+        // core" question wants answered.
+        let s = self.pool.stats();
+        reg.set_gauge("reactor.shards", s.shards as f64);
+        reg.set_counter("reactor.loop_wakeups", s.loop_wakeups);
+        reg.set_counter("reactor.frames_processed", s.frames_processed);
+        reg.set_gauge(
+            "reactor.frames_per_wakeup",
+            if s.loop_wakeups > 0 { s.frames_processed as f64 / s.loop_wakeups as f64 } else { 0.0 },
+        );
+        reg.set_counter("reactor.verify_dropped", s.verify_dropped);
+        reg.set_gauge("reactor.verify_queue_depth", s.verify_queue_depth as f64);
+        reg.set_gauge("reactor.ingest_queue_depth", s.ingest_queue_depth as f64);
     }
 
     /// Per-peer metrics handle (for tests and live inspection).
     pub fn peer_metrics(&self, id: NodeId) -> Option<Arc<PeerMetrics>> {
-        self.peers.get(&id).map(|p| p.metrics.clone())
+        self.core.peers.get(&id).map(|p| p.metrics.clone())
     }
 
     /// Every peer's metrics handle, for the introspection plane.
     pub fn peer_metrics_all(&self) -> Vec<(NodeId, Arc<PeerMetrics>)> {
-        self.peers.iter().map(|(id, p)| (*id, p.metrics.clone())).collect()
+        self.core.peers.iter().map(|(id, p)| (*id, p.metrics.clone())).collect()
     }
 
-    /// Signals every thread to stop and joins them.
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for (_, peer) in self.peers.iter() {
-            peer.queue.signal.notify_all();
-        }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
-        for t in readers {
-            let _ = t.join();
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // one seam per transport subsystem
-fn accept_loop(
-    listener: TcpListener,
-    shutdown: Arc<AtomicBool>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    inbound: InboundSender,
-    metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
-    verifier: Option<Arc<MessageVerifier>>,
-    mempool: Option<Arc<Mempool>>,
-    dissem: Option<Arc<DissemPlane>>,
-    queues: Arc<BTreeMap<NodeId, Arc<OutboundQueue>>>,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shutdown = shutdown.clone();
-                let inbound = inbound.clone();
-                let metrics = metrics.clone();
-                let verifier = verifier.clone();
-                let mempool = mempool.clone();
-                let dissem = dissem.clone();
-                let queues = queues.clone();
-                let handle = std::thread::Builder::new()
-                    .name("read".into())
-                    .spawn(move || {
-                        reader_loop(
-                            stream, shutdown, inbound, metrics, verifier, mempool, dissem, queues,
-                        )
-                    })
-                    .expect("spawn reader");
-                readers.lock().unwrap().push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // one seam per transport subsystem
-fn reader_loop(
-    stream: TcpStream,
-    shutdown: Arc<AtomicBool>,
-    inbound: InboundSender,
-    metrics: BTreeMap<NodeId, Arc<PeerMetrics>>,
-    verifier: Option<Arc<MessageVerifier>>,
-    mempool: Option<Arc<Mempool>>,
-    dissem: Option<Arc<DissemPlane>>,
-    queues: Arc<BTreeMap<NodeId, Arc<OutboundQueue>>>,
-) {
-    let mut stream = stream;
-    let _ = stream.set_read_timeout(Some(POLL));
-    let mut reader = FrameReader::new();
-    let mut from: Option<NodeId> = None;
-    let mut buf = vec![0u8; 64 * 1024];
-    while !shutdown.load(Ordering::SeqCst) {
-        let n = match stream.read(&mut buf) {
-            Ok(0) => return, // peer closed; it will redial
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        };
-        if let Some(id) = from {
-            if let Some(m) = metrics.get(&id) {
-                m.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-            }
-        }
-        reader.extend(&buf[..n]);
-        loop {
-            match reader.next_frame() {
-                Ok(Some(Frame::Hello { node })) => {
-                    if from.is_some() || !metrics.contains_key(&node) {
-                        return; // re-hello or unknown peer: drop connection
-                    }
-                    // Bytes read before identification attribute here.
-                    if let Some(m) = metrics.get(&node) {
-                        m.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                    }
-                    from = Some(node);
-                }
-                Ok(Some(Frame::SubmitTx { client, tx })) => {
-                    // Client submissions need no hello: clients are not
-                    // validators and have no NodeId. Admission control,
-                    // dedup, and the tx hash all run here on the reader
-                    // thread — the driver never sees raw submissions. The
-                    // result is intentionally dropped: backpressure is
-                    // best-effort over one-way streams, and the mempool's
-                    // counters record every accept/reject/dedup. The client
-                    // id feeds per-client fairness accounting in the pool.
-                    if let Some(pool) = &mempool {
-                        let _ = pool.submit_from(client, tx);
-                    }
-                }
-                // Dissemination plane. Handled entirely here on the reader
-                // thread: the digest is *recomputed* over the received
-                // bytes (hashing stays off the driver), a mismatch is
-                // counted and dropped like a verify failure, and fetch
-                // requests are answered straight from the store through
-                // the requester's protected outbound queue.
-                Ok(Some(Frame::BatchPush { digest, bytes }))
-                | Ok(Some(Frame::BatchResponse { digest, bytes })) => {
-                    let Some(plane) = &dissem else { continue };
-                    if from.is_none() {
-                        return; // batch frames before hello: protocol violation
-                    }
-                    if batch_digest(&bytes) != digest {
-                        plane.counters.digest_mismatches.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    plane.store.insert(digest, bytes);
-                }
-                Ok(Some(Frame::BatchRequest { digest })) => {
-                    let Some(plane) = &dissem else { continue };
-                    let Some(id) = from else {
-                        return; // fetches are a validator-only path
-                    };
-                    match plane.store.get(&digest) {
-                        Some(bytes) => {
-                            plane.counters.fetches_served.fetch_add(1, Ordering::Relaxed);
-                            let frame =
-                                Arc::new(encode_frame(&Frame::BatchResponse { digest, bytes }));
-                            if let Some(q) = queues.get(&id) {
-                                if !q.push_protected(frame) {
-                                    if let Some(m) = metrics.get(&id) {
-                                        m.protected_dropped.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                        }
-                        None => {
-                            plane.counters.fetches_missed.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                Ok(Some(Frame::Consensus(msg))) => {
-                    let Some(id) = from else {
-                        return; // consensus before hello: protocol violation
-                    };
-                    if let Some(m) = metrics.get(&id) {
-                        m.frames_in.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // Signature checking happens here, on the reader
-                    // thread, so the driver never touches ED25519. A
-                    // message that fails is Byzantine garbage: drop it,
-                    // count it, keep the connection (framing is intact).
-                    let (msg, verified) = match &verifier {
-                        Some(v) => match v.verify(msg) {
-                            Ok(pv) => (pv.into_inner(), true),
-                            Err(_) => {
-                                if let Some(m) = metrics.get(&id) {
-                                    m.verify_failures.fetch_add(1, Ordering::Relaxed);
-                                }
-                                continue;
-                            }
-                        },
-                        None => (msg, false),
-                    };
-                    if inbound.send(Inbound { from: id, msg, verified }).is_err() {
-                        return; // driver gone
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    // Framing is lost; the connection is unrecoverable.
-                    if let Some(m) = from.and_then(|id| metrics.get(&id)) {
-                        m.decode_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    return;
-                }
-            }
-        }
-    }
-}
-
-fn writer_loop(
-    me: NodeId,
-    addr: SocketAddr,
-    queue: Arc<OutboundQueue>,
-    metrics: Arc<PeerMetrics>,
-    shutdown: Arc<AtomicBool>,
-    base: Duration,
-    max: Duration,
-) {
-    let hello = encode_frame(&Frame::Hello { node: me });
-    let mut backoff = base;
-    // Whether a connection has ever carried a successful hello. Dial
-    // failures before then are the normal startup race (our dial vs the
-    // remote listener bind) and must not count as reconnects; only
-    // re-establishing after a previously working connection does.
-    let mut established_once = false;
-    while !shutdown.load(Ordering::SeqCst) {
-        let mut stream = match TcpStream::connect(addr) {
-            Ok(s) => s,
-            Err(_) => {
-                // Sleep in POLL-sized slices so shutdown stays responsive.
-                let mut remaining = backoff;
-                while remaining > Duration::ZERO && !shutdown.load(Ordering::SeqCst) {
-                    let step = remaining.min(POLL);
-                    std::thread::sleep(step);
-                    remaining = remaining.saturating_sub(step);
-                }
-                backoff = (backoff * 2).min(max);
-                continue;
-            }
-        };
-        let _ = stream.set_nodelay(true);
-        if stream.write_all(&hello).is_err() {
-            continue;
-        }
-        if established_once {
-            metrics.reconnects.fetch_add(1, Ordering::Relaxed);
-        }
-        established_once = true;
-        metrics.bytes_out.fetch_add(hello.len() as u64, Ordering::Relaxed);
-        backoff = base;
-
-        while !shutdown.load(Ordering::SeqCst) {
-            let Some(frame) = queue.pop(POLL) else { continue };
-            metrics.queue_depth.store(queue.depth(), Ordering::Relaxed);
-            if stream.write_all(&frame).is_ok() {
-                metrics.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
-                metrics.frames_out.fetch_add(1, Ordering::Relaxed);
-            } else {
-                // The frame is lost with the connection; redial.
-                metrics.dropped_frames.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
+    /// Detaches this node from the pool: its sockets close, its redials
+    /// stop. A privately owned pool is shut down and joined too; a shared
+    /// pool keeps running for its other nodes (the cluster shuts it down
+    /// after the last node stops).
+    pub fn stop(self) {
+        // Order matters: the shutdown flag gates the dialer and the
+        // AddOutbound handler, so setting it before the close commands go
+        // out means no connection for this node can (re)appear afterwards.
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.pool.detach(&self.core);
+        if self.owns_pool {
+            self.pool.shutdown();
         }
     }
 }
